@@ -1,0 +1,166 @@
+package dbtouch_test
+
+import (
+	"testing"
+	"time"
+
+	"dbtouch"
+	"dbtouch/internal/experiments"
+)
+
+// Benchmarks regenerate every figure of the paper plus the ablations of
+// DESIGN.md. Each bench reports the figure's headline quantity as custom
+// metrics (virtual time, entries, etc.) alongside wall-clock cost of the
+// simulation itself. Run the full paper-scale sweep with
+//
+//	go test -bench=. -benchmem
+//
+// or print the full series/tables with cmd/dbtouch-bench.
+func benchScale() experiments.Scale {
+	if testing.Short() {
+		return experiments.Small()
+	}
+	// Paper scale is 10^7; benches use 10^6 so `go test -bench=.`
+	// finishes in seconds. cmd/dbtouch-bench runs the full 10^7.
+	return experiments.Scale{Rows: 1_000_000, ContestRows: 200_000, TableRows: 100_000}
+}
+
+// BenchmarkFig4aGestureSpeed regenerates Figure 4(a): entries returned
+// vs gesture completion time (0.5s..4s slide over a 10cm column object).
+func BenchmarkFig4aGestureSpeed(b *testing.B) {
+	s := benchScale()
+	var entries float64
+	for i := 0; i < b.N; i++ {
+		series := experiments.Fig4aGestureSpeed(s)
+		entries = series.Points[len(series.Points)-1].Y
+	}
+	b.ReportMetric(entries, "entries@4s")
+}
+
+// BenchmarkFig4bObjectSize regenerates Figure 4(b): entries returned vs
+// object size under progressive zoom-in at constant slide speed.
+func BenchmarkFig4bObjectSize(b *testing.B) {
+	s := benchScale()
+	var entries float64
+	for i := 0; i < b.N; i++ {
+		series := experiments.Fig4bObjectSize(s)
+		entries = series.Points[len(series.Points)-1].Y
+	}
+	b.ReportMetric(entries, "entries@20cm")
+}
+
+// BenchmarkContest regenerates the Appendix A exploration contest
+// (dbTouch vs SQL DBMS time-to-insight on planted patterns).
+func BenchmarkContest(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Contest(s)
+	}
+}
+
+// BenchmarkSampleHierarchy regenerates Ext-1 (§2.6 sample-based storage).
+func BenchmarkSampleHierarchy(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.SampleHierarchy(s)
+	}
+}
+
+// BenchmarkPrefetch regenerates Ext-2 (§2.6 prefetching during pauses).
+func BenchmarkPrefetch(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Prefetch(s)
+	}
+}
+
+// BenchmarkCaching regenerates Ext-3 (§2.6 gesture-aware caching).
+func BenchmarkCaching(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Caching(s)
+	}
+}
+
+// BenchmarkSummaryK regenerates Ext-4 (§2.7 interactive summaries sweep).
+func BenchmarkSummaryK(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.SummaryK(s)
+	}
+}
+
+// BenchmarkRotateLayout regenerates Ext-5 (§2.8 incremental layout
+// change).
+func BenchmarkRotateLayout(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.RotateLayout(s)
+	}
+}
+
+// BenchmarkJoinNonBlocking regenerates Ext-6 (§2.9 non-blocking joins).
+func BenchmarkJoinNonBlocking(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.JoinNonBlocking(s)
+	}
+}
+
+// BenchmarkAdaptiveOptimizer regenerates Ext-7 (§2.9 on-the-fly
+// optimization).
+func BenchmarkAdaptiveOptimizer(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.AdaptiveOptimizer(s)
+	}
+}
+
+// BenchmarkRemote regenerates Ext-8 (§4 remote processing).
+func BenchmarkRemote(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.RemoteProcessing(s)
+	}
+}
+
+// BenchmarkZoomGranularity regenerates Ext-9 (§2.5 zoom granularity).
+func BenchmarkZoomGranularity(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.ZoomGranularity(s)
+	}
+}
+
+// BenchmarkIndexedSlide regenerates Ext-10 (§2.6 per-sample indexing).
+func BenchmarkIndexedSlide(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.IndexedSlide(s)
+	}
+}
+
+// BenchmarkTouchPipeline measures the raw kernel hot path: one slide
+// touch through hit-test, recognition, mapping and a k=10 summary.
+func BenchmarkTouchPipeline(b *testing.B) {
+	db := dbtouch.Open()
+	db.NewTable("t").Int("v", benchInts(1_000_000)).MustCreate()
+	obj, err := db.NewColumnObject("t", "v", 2, 2, 2, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj.Summarize(dbtouch.Avg, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj.Slide(500 * time.Millisecond)
+	}
+	b.ReportMetric(float64(db.TouchLatency().Count())/float64(b.N), "touches/op")
+}
+
+func benchInts(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}

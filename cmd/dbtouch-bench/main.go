@@ -1,0 +1,70 @@
+// Command dbtouch-bench regenerates the paper's evaluation: Figure 4(a),
+// Figure 4(b), the Appendix A exploration contest, and the ablation
+// experiments DESIGN.md indexes (Ext-1..Ext-10).
+//
+// Usage:
+//
+//	dbtouch-bench            # everything at paper scale (10^7 rows)
+//	dbtouch-bench -small     # everything at test scale
+//	dbtouch-bench -fig 4a    # one experiment: 4a 4b contest samples
+//	                         # prefetch caching summaryk adaptive rotate
+//	                         # join index zoom remote
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dbtouch/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment to run (4a, 4b, contest, samples, prefetch, caching, summaryk, adaptive, rotate, join, index, zoom, remote, all)")
+	small := flag.Bool("small", false, "run at test scale instead of paper scale")
+	flag.Parse()
+
+	scale := experiments.Full()
+	if *small {
+		scale = experiments.Small()
+	}
+
+	type experiment struct {
+		name string
+		desc string
+		run  func()
+	}
+	out := os.Stdout
+	all := []experiment{
+		{"4a", "Figure 4(a): vary gesture speed", func() { experiments.Fig4aGestureSpeed(scale).Fprint(out) }},
+		{"4b", "Figure 4(b): vary object size", func() { experiments.Fig4bObjectSize(scale).Fprint(out) }},
+		{"contest", "Appendix A: exploration contest dbTouch vs DBMS", func() { experiments.Contest(scale).Fprint(out) }},
+		{"samples", "Ext-1: sample-based storage ablation", func() { experiments.SampleHierarchy(scale).Fprint(out) }},
+		{"prefetch", "Ext-2: gesture-extrapolation prefetching", func() { experiments.Prefetch(scale).Fprint(out) }},
+		{"caching", "Ext-3: gesture-aware caching policies", func() { experiments.Caching(scale).Fprint(out) }},
+		{"summaryk", "Ext-4: interactive summaries window sweep", func() { experiments.SummaryK(scale).Fprint(out) }},
+		{"rotate", "Ext-5: incremental layout rotation", func() { experiments.RotateLayout(scale).Fprint(out) }},
+		{"join", "Ext-6: non-blocking vs blocking join", func() { experiments.JoinNonBlocking(scale).Fprint(out) }},
+		{"adaptive", "Ext-7: adaptive predicate reordering", func() { experiments.AdaptiveOptimizer(scale).Fprint(out) }},
+		{"remote", "Ext-8: remote processing with request batching", func() { experiments.RemoteProcessing(scale).Fprint(out) }},
+		{"zoom", "Ext-9: zoom granularity bound", func() { experiments.ZoomGranularity(scale).Fprint(out) }},
+		{"index", "Ext-10: per-sample-level indexing", func() { experiments.IndexedSlide(scale).Fprint(out) }},
+	}
+
+	want := strings.ToLower(*fig)
+	ran := 0
+	for _, e := range all {
+		if want != "all" && want != e.name {
+			continue
+		}
+		fmt.Fprintf(out, "=== %s ===\n", e.desc)
+		e.run()
+		fmt.Fprintln(out)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "dbtouch-bench: unknown experiment %q\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,68 @@
+// Command dbtouch-contest runs the Appendix A exploration contest: a
+// scripted dbTouch analyst (gestures, half a second of thinking between
+// them) races a scripted SQL analyst (full queries, ten seconds to
+// compose each) to locate planted patterns. Both engines charge the same
+// virtual storage cost model; the winner is whoever reports a correct
+// localization first.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dbtouch/internal/core"
+	"dbtouch/internal/datagen"
+	"dbtouch/internal/explorer"
+	"dbtouch/internal/iomodel"
+	"dbtouch/internal/metrics"
+)
+
+func main() {
+	rows := flag.Int("rows", 1_000_000, "contest data size")
+	seed := flag.Int64("seed", 3, "base seed for task generation")
+	flag.Parse()
+
+	kinds := []struct {
+		name string
+		kind datagen.PatternKind
+	}{
+		{"outlier-region", datagen.OutlierRegion},
+		{"level-shift", datagen.LevelShift},
+		{"spike-cluster", datagen.Spike},
+		{"trend-region", datagen.TrendRegion},
+	}
+	t := &metrics.Table{Header: []string{
+		"task", "agent", "correct", "time-to-insight", "machine-time", "tuples-read", "actions",
+	}}
+	dbAgent := explorer.DefaultDBTouchAgent()
+	sqlAgent := explorer.DefaultSQLAgent()
+	for i, kc := range kinds {
+		task := explorer.NewTask(kc.name, kc.kind, *rows, *seed+int64(i)*2)
+		d, err := dbAgent.Run(task, core.DefaultConfig())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "contest:", err)
+			os.Exit(1)
+		}
+		addRow(t, task, "dbtouch", d)
+		q, err := sqlAgent.Run(task, iomodel.DefaultParams())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "contest:", err)
+			os.Exit(1)
+		}
+		addRow(t, task, "sql-dbms", q)
+	}
+	t.Fprint(os.Stdout)
+	fmt.Println("\nnotes: time-to-insight includes analyst think time (0.5s per gesture,")
+	fmt.Println("10s per SQL query); machine-time is engine cost only, on the shared")
+	fmt.Println("virtual storage model.")
+}
+
+func addRow(t *metrics.Table, task explorer.Task, agent string, d explorer.Discovery) {
+	correct := "no"
+	if d.Correct(task.Pattern, task.Rows) {
+		correct = "yes"
+	}
+	t.AddRow(task.Name, agent, correct, d.Elapsed.String(), d.MachineTime.String(),
+		fmt.Sprint(d.TuplesRead), fmt.Sprint(d.Actions))
+}

@@ -1,0 +1,255 @@
+// Package dbtouch is a touch-driven database kernel for interactive data
+// exploration, reproducing "dbTouch: Analytics at your Fingertips"
+// (Idreos & Liarou, CIDR 2013).
+//
+// Data objects — columns and tables — live on a simulated touch screen.
+// Queries are not statements but gestures: sliding a finger over an
+// object scans it, runs running aggregates, or produces interactive
+// summaries; pinching zooms the object (changing the data granularity a
+// slide can reach); rotating flips the physical layout between row- and
+// column-order. The user's touch stream controls the data flow; the
+// kernel reacts to every touch, feeding from sample hierarchies,
+// prefetching along the predicted gesture path, and adapting query plans
+// on the fly.
+//
+// Everything runs on a virtual clock, so exploration sessions and
+// benchmarks are deterministic and hardware independent.
+//
+// Quick start:
+//
+//	db := dbtouch.Open()
+//	db.NewTable("readings").Float("temp", temps).MustCreate()
+//	obj, _ := db.NewColumnObject("readings", "temp", 2, 2, 2, 10)
+//	obj.Summarize(dbtouch.Avg, 10)
+//	results := obj.Slide(2 * time.Second) // slide top to bottom for 2s
+package dbtouch
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dbtouch/internal/core"
+	"dbtouch/internal/gesture"
+	"dbtouch/internal/metrics"
+	"dbtouch/internal/operator"
+	"dbtouch/internal/storage"
+	"dbtouch/internal/touchos"
+	"dbtouch/internal/vclock"
+)
+
+// Re-exported result and configuration types. Aliases keep the internal
+// kernel private while letting callers name everything they receive.
+type (
+	// Result is one answer popped up by one touch.
+	Result = core.Result
+	// ResultKind classifies results.
+	ResultKind = core.ResultKind
+	// Actions is the per-object touch/query configuration.
+	Actions = core.Actions
+	// Mode selects what a touch executes.
+	Mode = core.Mode
+	// AggKind selects an aggregate function.
+	AggKind = operator.AggKind
+	// Predicate is one WHERE conjunct.
+	Predicate = operator.Predicate
+	// Config is the kernel configuration (advanced use).
+	Config = core.Config
+)
+
+// Result kinds.
+const (
+	ScanValue      = core.ScanValue
+	AggregateValue = core.AggregateValue
+	SummaryValue   = core.SummaryValue
+	TuplePeek      = core.TuplePeek
+	GroupValue     = core.GroupValue
+	JoinMatches    = core.JoinMatches
+)
+
+// Touch modes.
+const (
+	ModeScan      = core.ModeScan
+	ModeAggregate = core.ModeAggregate
+	ModeSummary   = core.ModeSummary
+)
+
+// Aggregate kinds.
+const (
+	Count  = operator.Count
+	Sum    = operator.Sum
+	Avg    = operator.Avg
+	Min    = operator.Min
+	Max    = operator.Max
+	Var    = operator.Var
+	Stddev = operator.Stddev
+)
+
+// Option adjusts the kernel configuration at Open time.
+type Option func(*core.Config)
+
+// WithScreen sizes the virtual screen in centimeters.
+func WithScreen(w, h float64) Option {
+	return func(c *core.Config) { c.ScreenW, c.ScreenH = w, h }
+}
+
+// WithUIOverhead sets the fixed per-touch UI cost (device speed knob).
+func WithUIOverhead(d time.Duration) Option {
+	return func(c *core.Config) { c.UIOverhead = d }
+}
+
+// WithSamples toggles sample-based storage.
+func WithSamples(on bool) Option {
+	return func(c *core.Config) { c.UseSamples = on }
+}
+
+// WithPrefetch toggles gesture-extrapolation prefetching.
+func WithPrefetch(on bool) Option {
+	return func(c *core.Config) { c.Prefetch = on }
+}
+
+// WithAdaptiveOptimizer toggles on-the-fly predicate reordering.
+func WithAdaptiveOptimizer(on bool) Option {
+	return func(c *core.Config) { c.AdaptiveOpt = on }
+}
+
+// WithResponseBound caps per-touch processing; the kernel degrades to
+// coarser samples to respect it.
+func WithResponseBound(d time.Duration) Option {
+	return func(c *core.Config) { c.ResponseBound = d }
+}
+
+// WithCachePolicy selects "lru", "gesture-aware" or "none".
+func WithCachePolicy(name string) Option {
+	return func(c *core.Config) {
+		switch name {
+		case "gesture-aware":
+			c.CachePolicy = core.PolicyGestureAware
+		case "none":
+			c.CachePolicy = core.PolicyNone
+		default:
+			c.CachePolicy = core.PolicyLRU
+		}
+	}
+}
+
+// WithConfig replaces the whole configuration (advanced use).
+func WithConfig(cfg Config) Option {
+	return func(c *core.Config) { *c = cfg }
+}
+
+// DB is a dbTouch instance: a kernel plus a gesture synthesizer that
+// turns high-level calls (Slide, Tap, ZoomIn...) into digitizer-rate
+// touch streams.
+type DB struct {
+	kernel *core.Kernel
+	synth  gesture.Synth
+}
+
+// Open creates a dbTouch instance.
+func Open(opts ...Option) *DB {
+	cfg := core.DefaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return &DB{kernel: core.NewKernel(cfg)}
+}
+
+// Kernel exposes the underlying kernel for advanced scenarios and the
+// benchmark harness.
+func (db *DB) Kernel() *core.Kernel { return db.kernel }
+
+// Clock exposes the virtual clock.
+func (db *DB) Clock() *vclock.Clock { return db.kernel.Clock() }
+
+// Now reports the current virtual time.
+func (db *DB) Now() time.Duration { return db.kernel.Clock().Now() }
+
+// LoadCSV loads a table from CSV (header "name:TYPE,..." — see
+// storage.ReadCSV) and registers it.
+func (db *DB) LoadCSV(name string, r io.Reader) error {
+	m, err := storage.ReadCSV(name, r)
+	if err != nil {
+		return err
+	}
+	db.kernel.Catalog().Register(m)
+	return nil
+}
+
+// Tables lists loaded table names.
+func (db *DB) Tables() []string { return db.kernel.Catalog().List() }
+
+// TouchLatency returns the per-touch latency histogram.
+func (db *DB) TouchLatency() *metrics.Histogram { return db.kernel.TouchLatency() }
+
+// Results returns every result emitted so far.
+func (db *DB) Results() []Result { return db.kernel.Results() }
+
+// OnResult registers a live result callback (front-end hook).
+func (db *DB) OnResult(fn func(Result)) { db.kernel.OnResult(fn) }
+
+// Idle advances virtual time with no touch activity, letting background
+// machinery (prefetch, layout conversion) use the gap — e.g. the user
+// lifted the finger and is looking at the screen.
+func (db *DB) Idle(d time.Duration) {
+	from := db.kernel.Clock().Now()
+	db.kernel.RunIdle(from, from+d)
+}
+
+// Apply pushes a raw touch-event stream through the kernel (advanced
+// use; the Object methods synthesize streams for you).
+func (db *DB) Apply(events []touchos.TouchEvent) []Result {
+	return db.kernel.Apply(events)
+}
+
+// NewColumnObject places column of table on screen at (x, y) with size
+// (w, h) centimeters and returns its handle.
+func (db *DB) NewColumnObject(table, column string, x, y, w, h float64) (*Object, error) {
+	m, err := db.kernel.Catalog().Get(table)
+	if err != nil {
+		return nil, err
+	}
+	idx := m.ColumnIndex(column)
+	if idx < 0 {
+		return nil, fmt.Errorf("dbtouch: table %q has no column %q", table, column)
+	}
+	obj, err := db.kernel.CreateColumnObject(m, idx, touchos.NewRect(x, y, w, h))
+	if err != nil {
+		return nil, err
+	}
+	return &Object{db: db, inner: obj}, nil
+}
+
+// NewTableObject places the whole table on screen as a fat rectangle.
+func (db *DB) NewTableObject(table string, x, y, w, h float64) (*Object, error) {
+	m, err := db.kernel.Catalog().Get(table)
+	if err != nil {
+		return nil, err
+	}
+	obj, err := db.kernel.CreateTableObject(m, touchos.NewRect(x, y, w, h))
+	if err != nil {
+		return nil, err
+	}
+	return &Object{db: db, inner: obj}, nil
+}
+
+// ProjectColumnOut drags the named column out of a table object into its
+// own single-column object at (x, y, w, h) — the paper's §2.8 gesture for
+// getting faster response times by touching only the needed data.
+func (db *DB) ProjectColumnOut(table *Object, column string, x, y, w, h float64) (*Object, error) {
+	idx := table.inner.Matrix().ColumnIndex(column)
+	if idx < 0 {
+		return nil, fmt.Errorf("dbtouch: no column %q in object %d", column, table.ID())
+	}
+	obj, err := db.kernel.ProjectColumnOut(table.inner, idx, touchos.NewRect(x, y, w, h))
+	if err != nil {
+		return nil, err
+	}
+	return &Object{db: db, inner: obj}, nil
+}
+
+// gestureStart returns the next free virtual instant for a synthesized
+// gesture (never in the past).
+func (db *DB) gestureStart() time.Duration {
+	return db.kernel.Clock().Now()
+}

@@ -1,0 +1,304 @@
+package dbtouch
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func identityInts(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}
+
+func openWithColumn(t *testing.T, n int, opts ...Option) (*DB, *Object) {
+	t.Helper()
+	db := Open(opts...)
+	db.NewTable("t").Int("v", identityInts(n)).MustCreate()
+	obj, err := db.NewColumnObject("t", "v", 2, 2, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, obj
+}
+
+func TestOpenAndSlide(t *testing.T) {
+	db, obj := openWithColumn(t, 100000)
+	obj.Summarize(Avg, 10)
+	results := obj.Slide(2 * time.Second)
+	if len(results) < 20 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if db.Now() < 2*time.Second {
+		t.Fatalf("virtual time = %v after a 2s gesture", db.Now())
+	}
+	if db.TouchLatency().Count() == 0 {
+		t.Fatal("latency histogram empty")
+	}
+	if len(db.Results()) != len(results) {
+		t.Fatal("Results() should retain everything")
+	}
+}
+
+func TestScanAggregateModes(t *testing.T) {
+	_, obj := openWithColumn(t, 10000)
+	obj.Scan()
+	for _, r := range obj.Slide(time.Second) {
+		if r.Kind != ScanValue {
+			t.Fatalf("scan mode produced %v", r.Kind)
+		}
+	}
+	obj.Aggregate(Max)
+	results := obj.Slide(time.Second)
+	if len(results) == 0 || results[len(results)-1].Kind != AggregateValue {
+		t.Fatal("aggregate mode broken")
+	}
+}
+
+func TestSlideUpReverses(t *testing.T) {
+	_, obj := openWithColumn(t, 100000)
+	obj.Scan()
+	results := obj.SlideUp(time.Second)
+	prev := 1 << 60
+	for _, r := range results {
+		if r.Kind != ScanValue {
+			continue
+		}
+		if r.TupleID > prev {
+			t.Fatalf("upward slide ids not decreasing: %d after %d", r.TupleID, prev)
+		}
+		prev = r.TupleID
+	}
+}
+
+func TestTapFraction(t *testing.T) {
+	_, obj := openWithColumn(t, 1000)
+	results := obj.Tap(0.9)
+	if len(results) != 1 {
+		t.Fatalf("tap results = %v", results)
+	}
+	if results[0].TupleID < 800 {
+		t.Fatalf("tap at 0.9 mapped to %d", results[0].TupleID)
+	}
+}
+
+func TestWhereRejectsBadInput(t *testing.T) {
+	_, obj := openWithColumn(t, 100)
+	if err := obj.Where("missing", "=", 1); err == nil {
+		t.Fatal("unknown column should error")
+	}
+	if err := obj.Where("v", "~", 1); err == nil {
+		t.Fatal("unknown operator should error")
+	}
+	if err := obj.Where("v", ">=", 50); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZoomChangesFrame(t *testing.T) {
+	_, obj := openWithColumn(t, 1000)
+	_, _, _, h0 := obj.Frame()
+	obj.ZoomIn(2)
+	_, _, _, h1 := obj.Frame()
+	if h1 <= h0 {
+		t.Fatalf("zoom-in: %v -> %v", h0, h1)
+	}
+	obj.ZoomOut(2)
+	_, _, _, h2 := obj.Frame()
+	if h2 >= h1 {
+		t.Fatalf("zoom-out: %v -> %v", h1, h2)
+	}
+	obj.MoveTo(5, 5)
+	x, y, _, _ := obj.Frame()
+	if x != 5 || y != 5 {
+		t.Fatalf("MoveTo = (%v,%v)", x, y)
+	}
+}
+
+func TestLoadCSV(t *testing.T) {
+	db := Open()
+	err := db.LoadCSV("m", strings.NewReader("a:INT,b:FLOAT\n1,2.5\n3,4.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Tables(); len(got) != 1 || got[0] != "m" {
+		t.Fatalf("tables = %v", got)
+	}
+	obj, err := db.NewColumnObject("m", "b", 2, 2, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Rows() != 2 {
+		t.Fatalf("rows = %d", obj.Rows())
+	}
+}
+
+func TestNewColumnObjectErrors(t *testing.T) {
+	db := Open()
+	if _, err := db.NewColumnObject("missing", "v", 0, 0, 1, 1); err == nil {
+		t.Fatal("missing table should error")
+	}
+	db.NewTable("t").Int("v", identityInts(10)).MustCreate()
+	if _, err := db.NewColumnObject("t", "nope", 0, 0, 1, 1); err == nil {
+		t.Fatal("missing column should error")
+	}
+}
+
+func TestTableBuilderValidation(t *testing.T) {
+	db := Open()
+	err := db.NewTable("ragged").
+		Int("a", identityInts(5)).
+		Int("b", identityInts(6)).
+		Create()
+	if err == nil {
+		t.Fatal("ragged table should error")
+	}
+}
+
+func TestTableObjectAndProjection(t *testing.T) {
+	db := Open()
+	db.NewTable("t").
+		Int("a", identityInts(1000)).
+		Float("b", make([]float64, 1000)).
+		MustCreate()
+	table, err := db.NewTableObject("t", 2, 2, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peeks := table.Tap(0.5)
+	if len(peeks) != 1 || peeks[0].Kind != TuplePeek {
+		t.Fatalf("table tap = %v", peeks)
+	}
+	col, err := db.ProjectColumnOut(table, "a", 8, 2, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.Summarize(Avg, 5)
+	if res := col.Slide(time.Second); len(res) == 0 {
+		t.Fatal("projected column unusable")
+	}
+	if _, err := db.ProjectColumnOut(table, "zzz", 0, 0, 1, 1); err == nil {
+		t.Fatal("projecting unknown column should error")
+	}
+}
+
+func TestGroupByFacade(t *testing.T) {
+	db := Open()
+	keys := make([]string, 1000)
+	for i := range keys {
+		keys[i] = string(rune('a' + i%2))
+	}
+	db.NewTable("t").Int("v", identityInts(1000)).String("k", keys).MustCreate()
+	obj, err := db.NewColumnObject("t", "v", 2, 2, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.GroupBy("k", "v", Count); err != nil {
+		t.Fatal(err)
+	}
+	results := obj.Slide(time.Second)
+	saw := false
+	for _, r := range results {
+		if r.Kind == GroupValue {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Fatal("no group results")
+	}
+	if err := obj.GroupBy("zzz", "v", Count); err == nil {
+		t.Fatal("bad group column should error")
+	}
+}
+
+func TestJoinWithFacade(t *testing.T) {
+	db := Open()
+	db.NewTable("l").Int("x", identityInts(100)).MustCreate()
+	db.NewTable("r").Int("y", identityInts(100)).MustCreate()
+	lo, err := db.NewColumnObject("l", "x", 2, 2, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := db.NewColumnObject("r", "y", 6, 2, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo.JoinWith(ro)
+	r1 := lo.Slide(time.Second)
+	r2 := ro.Slide(time.Second)
+	matches := 0
+	for _, r := range append(r1, r2...) {
+		if r.Kind == JoinMatches {
+			matches += len(r.Matches)
+		}
+	}
+	if matches == 0 {
+		t.Fatal("identical columns must join")
+	}
+}
+
+func TestOptionsApply(t *testing.T) {
+	db := Open(
+		WithScreen(30, 40),
+		WithUIOverhead(5*time.Millisecond),
+		WithSamples(false),
+		WithPrefetch(false),
+		WithAdaptiveOptimizer(false),
+		WithResponseBound(time.Millisecond),
+		WithCachePolicy("none"),
+	)
+	cfg := db.Kernel().Config()
+	if cfg.ScreenW != 30 || cfg.ScreenH != 40 {
+		t.Fatal("screen option lost")
+	}
+	if cfg.UIOverhead != 5*time.Millisecond || cfg.UseSamples || cfg.Prefetch || cfg.AdaptiveOpt {
+		t.Fatalf("options lost: %+v", cfg)
+	}
+	if cfg.ResponseBound != time.Millisecond {
+		t.Fatal("response bound lost")
+	}
+}
+
+func TestFasterDeviceProcessesMore(t *testing.T) {
+	slowDB, slowObj := openWithColumn(t, 100000) // 65ms UI (iPad-1 class)
+	fastDB, fastObj := openWithColumn(t, 100000, WithUIOverhead(10*time.Millisecond))
+	slow := len(slowObj.Slide(2 * time.Second))
+	fast := len(fastObj.Slide(2 * time.Second))
+	if fast <= slow*2 {
+		t.Fatalf("fast device %d entries vs slow %d; hardware should matter", fast, slow)
+	}
+	_, _ = slowDB, fastDB
+}
+
+func TestIdleAdvancesClock(t *testing.T) {
+	db, _ := openWithColumn(t, 100)
+	before := db.Now()
+	db.Idle(3 * time.Second)
+	if db.Now()-before != 3*time.Second {
+		t.Fatalf("Idle advanced %v", db.Now()-before)
+	}
+}
+
+func TestRotateQuarterOnColumn(t *testing.T) {
+	_, obj := openWithColumn(t, 1000)
+	obj.RotateQuarter()
+	if obj.Inner().View().Rotation() == 0 {
+		t.Fatal("rotation not applied")
+	}
+	if conv, _ := obj.Converting(); conv {
+		t.Fatal("single column should not start conversion")
+	}
+}
+
+func TestOnResultStreams(t *testing.T) {
+	db, obj := openWithColumn(t, 10000)
+	var n int
+	db.OnResult(func(Result) { n++ })
+	res := obj.Slide(time.Second)
+	if n != len(res) {
+		t.Fatalf("callback %d vs returned %d", n, len(res))
+	}
+}

@@ -1,0 +1,56 @@
+// Quickstart: load a column, slide a finger over it, read the summaries.
+//
+// This is the minimal dbTouch loop — no SQL, no schema: put data on
+// screen, touch it, watch answers pop up.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dbtouch"
+)
+
+func main() {
+	// A million sensor readings with a hot region hiding at 60-63%.
+	rng := rand.New(rand.NewSource(1))
+	temps := make([]float64, 1_000_000)
+	for i := range temps {
+		temps[i] = 20 + rng.Float64()*5
+		if i > 600_000 && i < 630_000 {
+			temps[i] += 40 // overheating!
+		}
+	}
+
+	db := dbtouch.Open()
+	db.NewTable("readings").Float("temp", temps).MustCreate()
+
+	// Place the column on screen: 2cm wide, 10cm tall, at (2,2).
+	obj, err := db.NewColumnObject("readings", "temp", 2, 2, 2, 10)
+	if err != nil {
+		panic(err)
+	}
+
+	// Configure what a touch does: interactive summaries (average of the
+	// 21 entries around each touched tuple).
+	obj.Summarize(dbtouch.Avg, 10)
+
+	// Slide a finger from the top of the object to the bottom in two
+	// seconds. Every delivered touch maps to a tuple and produces one
+	// summary; slower slides produce more of them.
+	results := obj.Slide(2 * time.Second)
+
+	fmt.Printf("slide produced %d summaries (virtual time %v)\n\n",
+		len(results), db.Now().Round(time.Millisecond))
+	for _, r := range results {
+		marker := ""
+		if r.Agg > 30 {
+			marker = "  ← hot!"
+		}
+		fmt.Printf("tuples %8d-%8d  avg=%6.2f%s\n", r.WindowLo, r.WindowHi-1, r.Agg, marker)
+	}
+
+	fmt.Println("\nThe hot region shows up without a single query — now zoom in and")
+	fmt.Println("slide slower over it for detail (see examples/sensor-monitoring).")
+}

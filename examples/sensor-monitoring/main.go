@@ -1,0 +1,119 @@
+// Sensor monitoring: the paper's IT-analyst scenario — "a data analyst of
+// an IT business browses daily data of monitoring streams to figure out
+// user behavior patterns".
+//
+// A day of per-second latency measurements hides an hour-long incident.
+// The session shows the full exploration loop: coarse pass → spot the
+// anomaly → zoom in → slow slide for detail → WHERE filter to isolate
+// the bad host.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dbtouch"
+)
+
+func main() {
+	const secondsPerDay = 86_400
+	rng := rand.New(rand.NewSource(7))
+
+	latency := make([]float64, secondsPerDay)
+	host := make([]string, secondsPerDay)
+	hosts := []string{"web-1", "web-2", "web-3", "db-1"}
+	incidentStart := 15 * 3600          // 15:00
+	incidentEnd := incidentStart + 3600 // one bad hour
+	for i := range latency {
+		latency[i] = 20 + rng.Float64()*10 // healthy: 20-30ms
+		host[i] = hosts[rng.Intn(len(hosts))]
+		if i >= incidentStart && i < incidentEnd && host[i] == "db-1" {
+			latency[i] += 400 // db-1 melting down for an hour
+		}
+	}
+
+	db := dbtouch.Open()
+	db.NewTable("monitoring").
+		Float("latency_ms", latency).
+		String("host", host).
+		MustCreate()
+
+	obj, err := db.NewColumnObject("monitoring", "latency_ms", 2, 2, 2, 10)
+	if err != nil {
+		panic(err)
+	}
+	obj.Summarize(dbtouch.Max, 50) // max over ~100s windows surfaces spikes
+
+	// Pass 1: a quick 2-second sweep over the whole day.
+	fmt.Println("pass 1: fast sweep over 24h of data")
+	results := obj.Slide(2 * time.Second)
+	worst, worstAt := 0.0, 0
+	for _, r := range results {
+		if r.Agg > worst {
+			worst, worstAt = r.Agg, r.TupleID
+		}
+	}
+	fmt.Printf("  %d summaries; worst max=%.0fms around second %d (%s)\n\n",
+		len(results), worst, worstAt, clock(worstAt))
+
+	// Pass 2: zoom in (bigger object = finer granularity) and slide
+	// slowly over the suspicious region.
+	fmt.Println("pass 2: zoom in and drill into the region around the spike")
+	obj.ZoomIn(2)
+	obj.MoveTo(2, 2)
+	frac := float64(worstAt) / float64(secondsPerDay)
+	results = obj.SlideRange(frac-0.03, frac+0.03, 3*time.Second)
+	var lo, hi int
+	first := true
+	for _, r := range results {
+		if r.Agg > 200 {
+			if first {
+				lo, first = r.WindowLo, false
+			}
+			hi = r.WindowHi
+		}
+	}
+	fmt.Printf("  incident bounded to seconds [%d, %d] ≈ %s-%s (truth: %s-%s)\n\n",
+		lo, hi, clock(lo), clock(hi), clock(incidentStart), clock(incidentEnd))
+
+	// Pass 3: same region but restricted to one host at a time — the
+	// WHERE-filtered slide of §2.9. Scan mode reveals the raw value of
+	// each touched tuple that passes the filter, so every reading belongs
+	// to the probed host.
+	fmt.Println("pass 3: which host? filtered scans over the incident window")
+	for _, h := range hosts {
+		probe, err := db.NewColumnObject("monitoring", "latency_ms", 6, 2, 2, 10)
+		if err != nil {
+			panic(err)
+		}
+		probe.Scan()
+		if err := probe.Where("host", "=", h); err != nil {
+			panic(err)
+		}
+		res := probe.SlideRange(frac-0.05, frac+0.05, 4*time.Second)
+		worst := 0.0
+		seen := 0
+		for _, r := range res {
+			if r.Kind != dbtouch.ScanValue {
+				continue
+			}
+			seen++
+			if v := r.Value.AsFloat(); v > worst {
+				worst = v
+			}
+		}
+		verdict := "healthy"
+		if worst > 200 {
+			verdict = "GUILTY"
+		}
+		fmt.Printf("  %-6s readings=%2d worst=%6.0fms  %s\n", h, seen, worst, verdict)
+	}
+
+	fmt.Printf("\nwhole session: %v of virtual time, %d touches, no SQL written\n",
+		db.Now().Round(time.Millisecond), db.TouchLatency().Count())
+}
+
+func clock(second int) string {
+	return fmt.Sprintf("%02d:%02d", second/3600, (second%3600)/60)
+}

@@ -1,0 +1,130 @@
+package baseline
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dbtouch/internal/operator"
+	"dbtouch/internal/storage"
+)
+
+// ColumnRef names a column, optionally table-qualified.
+type ColumnRef struct {
+	Table  string // "" when unqualified
+	Column string
+}
+
+// String renders the reference.
+func (c ColumnRef) String() string {
+	if c.Table == "" {
+		return c.Column
+	}
+	return c.Table + "." + c.Column
+}
+
+// SelectItem is one projection: a column, or an aggregate over a column
+// (or over * for COUNT).
+type SelectItem struct {
+	// Agg is the aggregate, valid when IsAgg.
+	IsAgg bool
+	Agg   operator.AggKind
+	// Star marks COUNT(*).
+	Star bool
+	Col  ColumnRef
+	// Alias is the output name (AS), or "" for the default.
+	Alias string
+}
+
+// Name returns the output column name.
+func (s SelectItem) Name() string {
+	if s.Alias != "" {
+		return s.Alias
+	}
+	if s.IsAgg {
+		if s.Star {
+			return s.Agg.String() + "(*)"
+		}
+		return s.Agg.String() + "(" + s.Col.String() + ")"
+	}
+	return s.Col.String()
+}
+
+// Condition is one WHERE conjunct: column op literal, or column BETWEEN
+// lo AND hi (expanded by the parser into two conjuncts).
+type Condition struct {
+	Col     ColumnRef
+	Op      operator.CmpOp
+	Operand storage.Value
+}
+
+// String renders the condition.
+func (c Condition) String() string {
+	return fmt.Sprintf("%s %s %s", c.Col, c.Op, c.Operand)
+}
+
+// JoinClause is an equi-join between two tables.
+type JoinClause struct {
+	Table string
+	// LeftCol references the left (FROM) table, RightCol the joined one;
+	// the parser normalizes the ON order.
+	LeftCol  ColumnRef
+	RightCol ColumnRef
+}
+
+// OrderClause sorts output.
+type OrderClause struct {
+	Col  ColumnRef
+	Desc bool
+}
+
+// SelectStmt is the parsed query.
+type SelectStmt struct {
+	Items   []SelectItem
+	Star    bool // SELECT *
+	From    string
+	Join    *JoinClause
+	Where   []Condition
+	GroupBy *ColumnRef
+	OrderBy *OrderClause
+	Limit   int // -1 = none
+}
+
+// String renders the statement canonically (useful in tests/logs).
+func (s *SelectStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if s.Star {
+		sb.WriteString("*")
+	} else {
+		parts := make([]string, len(s.Items))
+		for i, it := range s.Items {
+			parts[i] = it.Name()
+		}
+		sb.WriteString(strings.Join(parts, ", "))
+	}
+	sb.WriteString(" FROM " + s.From)
+	if s.Join != nil {
+		fmt.Fprintf(&sb, " JOIN %s ON %s = %s", s.Join.Table, s.Join.LeftCol, s.Join.RightCol)
+	}
+	if len(s.Where) > 0 {
+		conds := make([]string, len(s.Where))
+		for i, c := range s.Where {
+			conds[i] = c.String()
+		}
+		sb.WriteString(" WHERE " + strings.Join(conds, " AND "))
+	}
+	if s.GroupBy != nil {
+		sb.WriteString(" GROUP BY " + s.GroupBy.String())
+	}
+	if s.OrderBy != nil {
+		sb.WriteString(" ORDER BY " + s.OrderBy.Col.String())
+		if s.OrderBy.Desc {
+			sb.WriteString(" DESC")
+		}
+	}
+	if s.Limit >= 0 {
+		sb.WriteString(" LIMIT " + strconv.Itoa(s.Limit))
+	}
+	return sb.String()
+}

@@ -1,0 +1,298 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"dbtouch/internal/iomodel"
+	"dbtouch/internal/operator"
+	"dbtouch/internal/storage"
+	"dbtouch/internal/vclock"
+)
+
+func TestLexer(t *testing.T) {
+	toks, err := lex("SELECT avg(v), 'str lit' FROM t WHERE a <= -1.5e2 AND b <> 3;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		if tok.kind != tokEOF {
+			texts = append(texts, tok.text)
+		}
+	}
+	want := []string{"SELECT", "avg", "(", "v", ")", ",", "str lit", "FROM", "t",
+		"WHERE", "a", "<=", "-1.5e2", "AND", "b", "<>", "3", ";"}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens = %v", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := lex("SELECT 'unterminated"); err == nil {
+		t.Fatal("unterminated string should error")
+	}
+	if _, err := lex("SELECT @v"); err == nil {
+		t.Fatal("bad rune should error")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"SELECT * FROM t",
+		"SELECT v FROM t WHERE v > 5",
+		"SELECT avg(v), count(*) FROM t",
+		"SELECT k, sum(v) FROM t GROUP BY k",
+		"SELECT v FROM t ORDER BY v DESC LIMIT 10",
+		"SELECT * FROM a JOIN b ON a.x = b.y",
+		"SELECT v FROM t WHERE v BETWEEN 1 AND 5",
+	}
+	for _, sql := range cases {
+		stmt, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", sql, err)
+		}
+		// Round-trip: the rendered statement must re-parse to the same
+		// rendering (BETWEEN normalizes to two conjuncts).
+		again, err := Parse(stmt.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", stmt.String(), err)
+		}
+		if again.String() != stmt.String() {
+			t.Fatalf("round trip changed: %q vs %q", stmt.String(), again.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT v t",
+		"SELECT v FROM t WHERE",
+		"SELECT v FROM t WHERE v ~ 3",
+		"SELECT sum(*) FROM t", // only COUNT takes *
+		"SELECT v FROM t LIMIT -1",
+		"SELECT v FROM t garbage",
+		"SELECT v FROM t JOIN u ON a.x <> b.y",
+	}
+	for _, sql := range cases {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	clock := vclock.New()
+	e := New(clock, iomodel.DefaultParams())
+	m, err := storage.NewMatrix("t",
+		storage.NewIntColumn("id", []int64{0, 1, 2, 3, 4, 5}),
+		storage.NewFloatColumn("v", []float64{10, 20, 30, 40, 50, 60}),
+		storage.NewStringColumn("k", []string{"a", "b", "a", "b", "a", "b"}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestQueryProject(t *testing.T) {
+	e := newEngine(t)
+	rs, err := e.Query("SELECT v FROM t WHERE id >= 2 AND id < 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 2 || rs.Rows[0][0].AsFloat() != 30 || rs.Rows[1][0].AsFloat() != 40 {
+		t.Fatalf("rows = %v", rs.Rows)
+	}
+	if rs.Elapsed <= 0 {
+		t.Fatal("query should consume virtual time")
+	}
+}
+
+func TestQueryStar(t *testing.T) {
+	e := newEngine(t)
+	rs, err := e.Query("SELECT * FROM t LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 2 || len(rs.Columns) != 3 {
+		t.Fatalf("star = %v cols %v", rs.Rows, rs.Columns)
+	}
+}
+
+func TestQueryAggregates(t *testing.T) {
+	e := newEngine(t)
+	rs, err := e.Query("SELECT avg(v), count(*), min(v), max(v), sum(v) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rs.Rows[0]
+	want := []float64{35, 6, 10, 60, 210}
+	for i, w := range want {
+		if row[i].AsFloat() != w {
+			t.Fatalf("agg %d = %v, want %v", i, row[i], w)
+		}
+	}
+}
+
+func TestQueryAggregateWithFilter(t *testing.T) {
+	e := newEngine(t)
+	rs, err := e.Query("SELECT sum(v) FROM t WHERE k = 'a'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.Rows[0][0].AsFloat(); got != 90 {
+		t.Fatalf("filtered sum = %v, want 90", got)
+	}
+}
+
+func TestQueryGroupBy(t *testing.T) {
+	e := newEngine(t)
+	rs, err := e.Query("SELECT k, sum(v), count(*) FROM t GROUP BY k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 2 {
+		t.Fatalf("groups = %v", rs.Rows)
+	}
+	// sorted by key: a then b
+	if rs.Rows[0][0].S != "a" || rs.Rows[0][1].AsFloat() != 90 || rs.Rows[0][2].AsFloat() != 3 {
+		t.Fatalf("group a = %v", rs.Rows[0])
+	}
+	if rs.Rows[1][0].S != "b" || rs.Rows[1][1].AsFloat() != 120 {
+		t.Fatalf("group b = %v", rs.Rows[1])
+	}
+}
+
+func TestQueryOrderByLimit(t *testing.T) {
+	e := newEngine(t)
+	rs, err := e.Query("SELECT v FROM t ORDER BY v DESC LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 3 || rs.Rows[0][0].AsFloat() != 60 || rs.Rows[2][0].AsFloat() != 40 {
+		t.Fatalf("ordered rows = %v", rs.Rows)
+	}
+}
+
+func TestQueryBetween(t *testing.T) {
+	e := newEngine(t)
+	rs, err := e.Query("SELECT count(*) FROM t WHERE v BETWEEN 20 AND 40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][0].AsFloat() != 3 {
+		t.Fatalf("between count = %v", rs.Rows[0][0])
+	}
+}
+
+func TestQueryJoin(t *testing.T) {
+	clock := vclock.New()
+	e := New(clock, iomodel.DefaultParams())
+	left, _ := storage.NewMatrix("a", storage.NewIntColumn("x", []int64{1, 2, 3, 2}))
+	right, _ := storage.NewMatrix("b", storage.NewIntColumn("y", []int64{2, 2, 9}))
+	_ = e.Register(left)
+	_ = e.Register(right)
+	rs, err := e.Query("SELECT count(*) FROM a JOIN b ON a.x = b.y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][0].AsFloat() != 4 { // rows 1,3 of a × rows 0,1 of b
+		t.Fatalf("join count = %v", rs.Rows[0][0])
+	}
+	// Materialized join pairs.
+	rs, err = e.Query("SELECT * FROM a JOIN b ON a.x = b.y LIMIT 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 4 {
+		t.Fatalf("join rows = %v", rs.Rows)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	e := newEngine(t)
+	cases := []string{
+		"SELECT v FROM missing",
+		"SELECT nope FROM t",
+		"SELECT avg(nope) FROM t",
+		"SELECT k, v FROM t GROUP BY k", // non-grouped plain column
+		"SELECT v, avg(v) FROM t",       // mixed without group by
+		"SELECT v FROM t JOIN u ON t.v = u.v",
+	}
+	for _, sql := range cases {
+		if _, err := e.Query(sql); err == nil {
+			t.Errorf("Query(%q) should fail", sql)
+		}
+	}
+}
+
+func TestEngineChargesReads(t *testing.T) {
+	e := newEngine(t)
+	if _, err := e.Query("SELECT avg(v) FROM t"); err != nil {
+		t.Fatal(err)
+	}
+	st := e.TotalStats()
+	if st.ValuesRead != 6 {
+		t.Fatalf("values read = %d, want 6 (full scan)", st.ValuesRead)
+	}
+	if e.Queries() != 1 {
+		t.Fatalf("queries = %d", e.Queries())
+	}
+}
+
+func TestEngineFullScansEveryQuery(t *testing.T) {
+	// The monolithic property: even a highly selective WHERE costs a
+	// full scan of the filter column.
+	e := newEngine(t)
+	_, _ = e.Query("SELECT v FROM t WHERE id = 3")
+	st := e.TotalStats()
+	if st.ValuesRead < 6 {
+		t.Fatalf("values read = %d; baseline must scan everything", st.ValuesRead)
+	}
+}
+
+func TestRegisterRowMajorConverts(t *testing.T) {
+	clock := vclock.New()
+	e := New(clock, iomodel.DefaultParams())
+	rm := storage.NewRowMajorMatrix("r", []storage.ColumnMeta{{Name: "x", Type: storage.Int64}})
+	_ = rm.AppendRow([]storage.Value{storage.IntValue(5)})
+	if err := e.Register(rm); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := e.Query("SELECT x FROM r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][0].I != 5 {
+		t.Fatalf("row-major register lost data: %v", rs.Rows)
+	}
+}
+
+func TestSelectItemNames(t *testing.T) {
+	stmt, err := Parse("SELECT avg(v) AS mean, count(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Items[0].Name() != "mean" {
+		t.Fatalf("alias = %q", stmt.Items[0].Name())
+	}
+	if !strings.Contains(stmt.Items[1].Name(), "count") {
+		t.Fatalf("default name = %q", stmt.Items[1].Name())
+	}
+	if stmt.Items[1].Agg != operator.Count {
+		t.Fatal("agg kind wrong")
+	}
+}

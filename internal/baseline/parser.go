@@ -1,0 +1,338 @@
+package baseline
+
+import (
+	"fmt"
+	"strconv"
+
+	"dbtouch/internal/operator"
+	"dbtouch/internal/storage"
+)
+
+// Parse parses one SELECT statement of the supported subset:
+//
+//	SELECT (* | item[, item...]) FROM table
+//	  [JOIN table2 ON a.x = b.y]
+//	  [WHERE col op literal [AND ...] | col BETWEEN lo AND hi]
+//	  [GROUP BY col] [ORDER BY col [ASC|DESC]] [LIMIT n]
+//
+// item := col | agg(col) | COUNT(*) — aggregates: COUNT SUM AVG MIN MAX
+// VAR STDDEV.
+func Parse(sql string) (*SelectStmt, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	// allow trailing semicolon
+	p.accept(tokSymbol, ";")
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("baseline: unexpected %s after statement", p.peek())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+// accept consumes the next token if it matches kind and (optionally) text.
+func (p *parser) accept(kind tokenKind, text string) bool {
+	t := p.peek()
+	if t.kind != kind {
+		return false
+	}
+	if text != "" && t.text != text {
+		return false
+	}
+	p.next()
+	return true
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	t := p.peek()
+	if t.kind != kind || (text != "" && t.text != text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return token{}, fmt.Errorf("baseline: expected %s, got %s at %d", want, t, t.pos)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	if p.accept(tokSymbol, "*") {
+		stmt.Star = true
+	} else {
+		for {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Items = append(stmt.Items, item)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from.text
+
+	if p.accept(tokKeyword, "JOIN") {
+		join, err := p.parseJoin(stmt.From)
+		if err != nil {
+			return nil, err
+		}
+		stmt.Join = join
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		conds, err := p.parseWhere()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = conds
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		ref, err := p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.GroupBy = &ref
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		ref, err := p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		oc := &OrderClause{Col: ref}
+		if p.accept(tokKeyword, "DESC") {
+			oc.Desc = true
+		} else {
+			p.accept(tokKeyword, "ASC")
+		}
+		stmt.OrderBy = oc
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		nTok, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(nTok.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("baseline: bad LIMIT %q at %d", nTok.text, nTok.pos)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	t := p.peek()
+	if t.kind == tokIdent {
+		// Could be agg(...) or a column ref.
+		if agg, err := operator.ParseAggKind(t.text); err == nil && p.toks[p.i+1].kind == tokSymbol && p.toks[p.i+1].text == "(" {
+			p.next() // agg name
+			p.next() // (
+			item := SelectItem{IsAgg: true, Agg: agg}
+			if p.accept(tokSymbol, "*") {
+				if agg != operator.Count {
+					return SelectItem{}, fmt.Errorf("baseline: only COUNT accepts * at %d", t.pos)
+				}
+				item.Star = true
+			} else {
+				ref, err := p.parseColumnRef()
+				if err != nil {
+					return SelectItem{}, err
+				}
+				item.Col = ref
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return SelectItem{}, err
+			}
+			item.Alias = p.parseAlias()
+			return item, nil
+		}
+		ref, err := p.parseColumnRef()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		return SelectItem{Col: ref, Alias: p.parseAlias()}, nil
+	}
+	return SelectItem{}, fmt.Errorf("baseline: expected select item, got %s at %d", t, t.pos)
+}
+
+func (p *parser) parseAlias() string {
+	if p.accept(tokKeyword, "AS") {
+		if t := p.peek(); t.kind == tokIdent {
+			p.next()
+			return t.text
+		}
+	}
+	return ""
+}
+
+func (p *parser) parseColumnRef() (ColumnRef, error) {
+	first, err := p.expect(tokIdent, "")
+	if err != nil {
+		return ColumnRef{}, err
+	}
+	if p.accept(tokSymbol, ".") {
+		second, err := p.expect(tokIdent, "")
+		if err != nil {
+			return ColumnRef{}, err
+		}
+		return ColumnRef{Table: first.text, Column: second.text}, nil
+	}
+	return ColumnRef{Column: first.text}, nil
+}
+
+func (p *parser) parseJoin(leftTable string) (*JoinClause, error) {
+	tbl, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "ON"); err != nil {
+		return nil, err
+	}
+	a, err := p.parseColumnRef()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "="); err != nil {
+		return nil, err
+	}
+	b, err := p.parseColumnRef()
+	if err != nil {
+		return nil, err
+	}
+	jc := &JoinClause{Table: tbl.text}
+	// Normalize so LeftCol references the FROM table.
+	switch {
+	case a.Table == leftTable || (a.Table == "" && b.Table == tbl.text):
+		jc.LeftCol, jc.RightCol = a, b
+	case b.Table == leftTable || (b.Table == "" && a.Table == tbl.text):
+		jc.LeftCol, jc.RightCol = b, a
+	default:
+		jc.LeftCol, jc.RightCol = a, b
+	}
+	return jc, nil
+}
+
+func (p *parser) parseWhere() ([]Condition, error) {
+	var out []Condition
+	for {
+		conds, err := p.parseCondition()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, conds...)
+		if !p.accept(tokKeyword, "AND") {
+			break
+		}
+	}
+	return out, nil
+}
+
+// parseCondition parses one comparison or BETWEEN (which expands to two
+// conjuncts).
+func (p *parser) parseCondition() ([]Condition, error) {
+	ref, err := p.parseColumnRef()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokKeyword, "BETWEEN") {
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return []Condition{
+			{Col: ref, Op: operator.Ge, Operand: lo},
+			{Col: ref, Op: operator.Le, Operand: hi},
+		}, nil
+	}
+	opTok, err := p.expect(tokSymbol, "")
+	if err != nil {
+		return nil, err
+	}
+	var op operator.CmpOp
+	switch opTok.text {
+	case "=":
+		op = operator.Eq
+	case "<>", "!=":
+		op = operator.Ne
+	case "<":
+		op = operator.Lt
+	case "<=":
+		op = operator.Le
+	case ">":
+		op = operator.Gt
+	case ">=":
+		op = operator.Ge
+	default:
+		return nil, fmt.Errorf("baseline: unknown operator %q at %d", opTok.text, opTok.pos)
+	}
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	return []Condition{{Col: ref, Op: op, Operand: lit}}, nil
+}
+
+func (p *parser) parseLiteral() (storage.Value, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		if f, err := strconv.ParseFloat(t.text, 64); err == nil {
+			return storage.FloatValue(f), nil
+		}
+		return storage.Value{}, fmt.Errorf("baseline: bad number %q at %d", t.text, t.pos)
+	case tokString:
+		return storage.StringValue(t.text), nil
+	case tokKeyword:
+		switch t.text {
+		case "TRUE":
+			return storage.BoolValue(true), nil
+		case "FALSE":
+			return storage.BoolValue(false), nil
+		}
+	}
+	return storage.Value{}, fmt.Errorf("baseline: expected literal, got %s at %d", t, t.pos)
+}

@@ -1,0 +1,148 @@
+// Package cache implements gesture-aware caching (paper §2.6 "Caching
+// Data"): "dbTouch needs to observe the gesture patterns and adjust the
+// caching policy according to the expected progression of the gesture."
+//
+// The package supplies eviction policies for iomodel trackers — plain LRU
+// lives in iomodel; here are the gesture-aware alternative and a
+// no-caching strawman — plus a hash-table cache for join state reuse
+// (§2.9: "caching of hash tables across the various sample copies can
+// enhance future queries") and a hot-range detector feeding
+// cache-to-sample promotion.
+package cache
+
+import (
+	"sort"
+	"time"
+)
+
+// GestureAware protects blocks the gesture is likely to revisit: blocks
+// just *behind* the current movement direction (back-and-forth slides
+// re-examine them) and blocks touched repeatedly. Victims are chosen by
+// lowest protection score, breaking ties by recency.
+type GestureAware struct {
+	// Window is how many blocks behind the frontier stay protected.
+	Window int
+	counts map[int]int
+	lastB  int
+	dir    int
+}
+
+// NewGestureAware returns a policy protecting window blocks behind the
+// gesture frontier (window <= 0 selects 8).
+func NewGestureAware(window int) *GestureAware {
+	if window <= 0 {
+		window = 8
+	}
+	return &GestureAware{Window: window, counts: make(map[int]int), lastB: -1}
+}
+
+// Touched implements iomodel.EvictionPolicy.
+func (g *GestureAware) Touched(b int, _ time.Duration, dir int) {
+	g.counts[b]++
+	g.lastB = b
+	if dir != 0 {
+		g.dir = dir
+	}
+}
+
+// Forgot implements iomodel.EvictionPolicy.
+func (g *GestureAware) Forgot(b int) { delete(g.counts, b) }
+
+// Name implements iomodel.EvictionPolicy.
+func (g *GestureAware) Name() string { return "gesture-aware" }
+
+// Victim implements iomodel.EvictionPolicy: keep the finger's
+// neighborhood. The gesture frontier is the last touched block; the warm
+// block farthest from it is evicted first, with a tie broken toward the
+// block *behind* the movement direction beyond the protection window
+// (ahead-of-finger blocks are about to be touched; just-behind blocks are
+// what a direction reversal revisits).
+func (g *GestureAware) Victim(lastUse map[int]time.Duration) int {
+	victim := -1
+	var victimScore float64
+	var victimUse time.Duration
+	for b, use := range lastUse {
+		dist := b - g.lastB
+		if g.lastB < 0 {
+			dist = 0
+		}
+		score := -absInt(dist) // farther = lower = evicted earlier
+		if g.dir != 0 && dist*g.dir < 0 && absInt(dist) > float64(g.Window) {
+			// Far behind the direction of travel beyond the protected
+			// trailing window: least likely to be touched soon.
+			score -= float64(g.Window)
+		}
+		if victim == -1 || score < victimScore || (score == victimScore && use < victimUse) {
+			victim, victimScore, victimUse = b, score, use
+		}
+	}
+	return victim
+}
+
+func absInt(v int) float64 {
+	if v < 0 {
+		return float64(-v)
+	}
+	return float64(v)
+}
+
+// None is the no-caching strawman: every block is evicted as soon as the
+// budget forces a choice, preferring the most recently used so nothing
+// accumulates (used with WarmBudget=1-ish configs to model cold reads).
+type None struct{}
+
+// Touched implements iomodel.EvictionPolicy.
+func (None) Touched(int, time.Duration, int) {}
+
+// Forgot implements iomodel.EvictionPolicy.
+func (None) Forgot(int) {}
+
+// Name implements iomodel.EvictionPolicy.
+func (None) Name() string { return "none" }
+
+// Victim implements iomodel.EvictionPolicy: evict the newest block.
+func (None) Victim(lastUse map[int]time.Duration) int {
+	victim, newest := -1, time.Duration(-1)
+	for b, t := range lastUse {
+		if t > newest || (t == newest && b > victim) {
+			victim, newest = b, t
+		}
+	}
+	return victim
+}
+
+// HotRange is a contiguous run of heavily accessed blocks, a candidate
+// for promotion to a stored sample.
+type HotRange struct {
+	// FromBlock and ToBlock bound the run [FromBlock, ToBlock].
+	FromBlock, ToBlock int
+	// Touches is the total access count over the run.
+	Touches int
+}
+
+// HotRanges scans a policy's touch counts for contiguous runs where every
+// block has at least minTouches accesses, merging runs separated by at
+// most gap blocks. Results are sorted by Touches descending.
+func (g *GestureAware) HotRanges(minTouches, gap int) []HotRange {
+	if minTouches <= 0 {
+		minTouches = 2
+	}
+	blocks := make([]int, 0, len(g.counts))
+	for b, c := range g.counts {
+		if c >= minTouches {
+			blocks = append(blocks, b)
+		}
+	}
+	sort.Ints(blocks)
+	var out []HotRange
+	for _, b := range blocks {
+		if len(out) > 0 && b-out[len(out)-1].ToBlock <= gap+1 {
+			out[len(out)-1].ToBlock = b
+			out[len(out)-1].Touches += g.counts[b]
+		} else {
+			out = append(out, HotRange{FromBlock: b, ToBlock: b, Touches: g.counts[b]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Touches > out[j].Touches })
+	return out
+}

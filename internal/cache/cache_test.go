@@ -1,0 +1,164 @@
+package cache
+
+import (
+	"testing"
+	"time"
+
+	"dbtouch/internal/iomodel"
+	"dbtouch/internal/vclock"
+)
+
+func TestGestureAwareKeepsFingerNeighborhood(t *testing.T) {
+	g := NewGestureAware(4)
+	lastUse := map[int]time.Duration{}
+	// Finger moved through blocks 0..20, budget retains them all so far.
+	for b := 0; b <= 20; b++ {
+		g.Touched(b, time.Duration(b), 1)
+		lastUse[b] = time.Duration(b)
+	}
+	victim := g.Victim(lastUse)
+	if victim != 0 {
+		t.Fatalf("victim = %d, want 0 (farthest from frontier 20)", victim)
+	}
+}
+
+func TestGestureAwareVictimFallsBackWithoutState(t *testing.T) {
+	g := NewGestureAware(4)
+	lastUse := map[int]time.Duration{3: 1, 7: 2}
+	v := g.Victim(lastUse)
+	if v != 3 && v != 7 {
+		t.Fatalf("victim %d not a warm block", v)
+	}
+}
+
+func TestGestureAwareForgotClearsCounts(t *testing.T) {
+	g := NewGestureAware(4)
+	g.Touched(5, 0, 1)
+	g.Touched(5, 1, 1)
+	g.Forgot(5)
+	if ranges := g.HotRanges(1, 0); len(ranges) != 0 {
+		t.Fatalf("forgot block still hot: %v", ranges)
+	}
+}
+
+func TestHotRangesMergesRuns(t *testing.T) {
+	g := NewGestureAware(4)
+	for i := 0; i < 3; i++ {
+		for b := 10; b <= 12; b++ {
+			g.Touched(b, 0, 1)
+		}
+		g.Touched(20, 0, 1)
+	}
+	ranges := g.HotRanges(2, 1)
+	if len(ranges) != 2 {
+		t.Fatalf("ranges = %v", ranges)
+	}
+	if ranges[0].FromBlock != 10 || ranges[0].ToBlock != 12 {
+		t.Fatalf("hottest run = %+v", ranges[0])
+	}
+	if ranges[0].Touches < ranges[1].Touches {
+		t.Fatal("ranges not sorted by touches")
+	}
+}
+
+func TestNonePolicyEvictsNewest(t *testing.T) {
+	n := None{}
+	lastUse := map[int]time.Duration{1: 10, 2: 30, 3: 20}
+	if v := n.Victim(lastUse); v != 2 {
+		t.Fatalf("victim = %d, want newest (2)", v)
+	}
+}
+
+// The policies must satisfy iomodel.EvictionPolicy and actually drive a
+// tracker.
+func TestPoliciesIntegrateWithTracker(t *testing.T) {
+	for _, policy := range []iomodel.EvictionPolicy{NewGestureAware(4), None{}} {
+		clock := vclock.New()
+		tr := iomodel.New(clock, iomodel.Params{
+			BlockValues: 4, ColdLatency: time.Millisecond, WarmLatency: time.Microsecond, WarmBudget: 2,
+		}, policy)
+		for i := 0; i < 40; i += 4 {
+			tr.Access(i)
+		}
+		if tr.WarmBlocks() > 2 {
+			t.Fatalf("%s: budget exceeded: %d warm", policy.Name(), tr.WarmBlocks())
+		}
+		if tr.Stats().Evictions == 0 {
+			t.Fatalf("%s: no evictions under pressure", policy.Name())
+		}
+	}
+}
+
+// A gesture that pauses and re-examines the area just behind the finger
+// (the paper's canonical revisit) benefits from keeping the frontier
+// neighborhood warm; a policy ignorant of the gesture keeps stale blocks.
+func TestGestureAwareRevisitBeatsNone(t *testing.T) {
+	run := func(policy iomodel.EvictionPolicy) int64 {
+		clock := vclock.New()
+		tr := iomodel.New(clock, iomodel.Params{
+			BlockValues: 1, ColdLatency: time.Millisecond, WarmLatency: time.Microsecond, WarmBudget: 8,
+		}, policy)
+		tr.SetDirection(1)
+		for b := 0; b < 16; b++ {
+			tr.Access(b) // slide down once
+		}
+		for pass := 0; pass < 3; pass++ {
+			for b := 15; b >= 12; b-- {
+				tr.SetDirection(-1)
+				tr.Access(b) // re-examine just behind the finger
+			}
+			for b := 12; b <= 15; b++ {
+				tr.SetDirection(1)
+				tr.Access(b)
+			}
+		}
+		return tr.Stats().ColdFetches
+	}
+	aware := run(NewGestureAware(4))
+	none := run(None{})
+	if aware >= none {
+		t.Fatalf("gesture-aware cold=%d, none cold=%d; aware should refetch less", aware, none)
+	}
+}
+
+func TestHashTableCache(t *testing.T) {
+	c := NewHashTableCache(2)
+	c.Put(Key("t", "a", 0), "tableA")
+	c.Put(Key("t", "b", 0), "tableB")
+	if v, ok := c.Get(Key("t", "a", 0)); !ok || v != "tableA" {
+		t.Fatalf("Get A = %v, %v", v, ok)
+	}
+	// Insert a third: LRU (b) evicted because a was just used.
+	c.Put(Key("t", "c", 0), "tableC")
+	if _, ok := c.Get(Key("t", "b", 0)); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get(Key("t", "a", 0)); !ok {
+		t.Fatal("a should have survived")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if c.Hits() < 2 || c.Misses() < 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestHashTableCacheUpdate(t *testing.T) {
+	c := NewHashTableCache(2)
+	key := Key("t", "a", 1)
+	c.Put(key, 1)
+	c.Put(key, 2)
+	if v, _ := c.Get(key); v != 2 {
+		t.Fatalf("updated value = %v", v)
+	}
+	if c.Len() != 1 {
+		t.Fatal("update should not grow the cache")
+	}
+}
+
+func TestKeyFormat(t *testing.T) {
+	if Key("orders", "amount", 3) != "orders.amount@3" {
+		t.Fatalf("key = %q", Key("orders", "amount", 3))
+	}
+}

@@ -1,0 +1,78 @@
+package cache
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// HashTableCache retains built join hash tables keyed by (column identity,
+// sample level) so later join gestures over the same copy skip the build
+// (paper §2.9). A small LRU bound keeps memory predictable.
+type HashTableCache struct {
+	capacity int
+	entries  map[string]*list.Element
+	order    *list.List
+	hits     int
+	misses   int
+}
+
+type htEntry struct {
+	key   string
+	table any
+}
+
+// NewHashTableCache returns a cache bounded to capacity tables
+// (capacity <= 0 selects 8).
+func NewHashTableCache(capacity int) *HashTableCache {
+	if capacity <= 0 {
+		capacity = 8
+	}
+	return &HashTableCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// Key builds a cache key for a column of a matrix at a sample level.
+func Key(matrixName, columnName string, level int) string {
+	return fmt.Sprintf("%s.%s@%d", matrixName, columnName, level)
+}
+
+// Get returns the cached table for key, if any.
+func (c *HashTableCache) Get(key string) (any, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	return el.Value.(*htEntry).table, true
+}
+
+// Put stores table under key, evicting the LRU entry when full.
+func (c *HashTableCache) Put(key string, table any) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*htEntry).table = table
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		if oldest != nil {
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*htEntry).key)
+		}
+	}
+	c.entries[key] = c.order.PushFront(&htEntry{key: key, table: table})
+}
+
+// Len reports the number of cached tables.
+func (c *HashTableCache) Len() int { return c.order.Len() }
+
+// Hits reports cache hits since construction.
+func (c *HashTableCache) Hits() int { return c.hits }
+
+// Misses reports cache misses since construction.
+func (c *HashTableCache) Misses() int { return c.misses }

@@ -1,0 +1,596 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dbtouch/internal/gesture"
+	"dbtouch/internal/operator"
+	"dbtouch/internal/storage"
+	"dbtouch/internal/touchos"
+)
+
+// testKernel builds a kernel over an identity int column of n rows with a
+// 2x10cm object at (2,2).
+func testKernel(t *testing.T, n int, cfg Config) (*Kernel, *Object) {
+	t.Helper()
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	k := NewKernel(cfg)
+	m, err := storage.NewMatrix("t", storage.NewIntColumn("v", vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := k.CreateColumnObject(m, 0, touchos.NewRect(2, 2, 2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, obj
+}
+
+func slideEvents(obj *Object, dur time.Duration, start time.Duration) []touchos.TouchEvent {
+	f := obj.View().Frame()
+	synth := gesture.Synth{}
+	return synth.Slide(
+		touchos.Point{X: f.Origin.X + f.Size.W/2, Y: f.Origin.Y + 0.05},
+		touchos.Point{X: f.Origin.X + f.Size.W/2, Y: f.Origin.Y + f.Size.H - 0.05},
+		start, dur,
+	)
+}
+
+func countResults(results []Result, kind ResultKind) int {
+	n := 0
+	for _, r := range results {
+		if r.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSlideProducesSummaries(t *testing.T) {
+	k, obj := testKernel(t, 100000, DefaultConfig())
+	results := k.Apply(slideEvents(obj, 2*time.Second, 0))
+	got := countResults(results, SummaryValue)
+	if got < 25 || got > 40 {
+		t.Fatalf("2s slide produced %d summaries, want ≈31", got)
+	}
+	// Results carry sane metadata.
+	for _, r := range results {
+		if r.Kind != SummaryValue {
+			continue
+		}
+		if r.TupleID < 0 || r.TupleID >= 100000 {
+			t.Fatalf("result tuple out of range: %d", r.TupleID)
+		}
+		if r.FadeAt != r.Time+FadeAfter {
+			t.Fatal("fade deadline wrong")
+		}
+		if r.WindowHi <= r.WindowLo {
+			t.Fatalf("window [%d,%d) empty", r.WindowLo, r.WindowHi)
+		}
+	}
+}
+
+func TestSlowerSlideMoreEntries(t *testing.T) {
+	fast := func() int {
+		k, obj := testKernel(t, 100000, DefaultConfig())
+		return countResults(k.Apply(slideEvents(obj, 500*time.Millisecond, 0)), SummaryValue)
+	}()
+	slow := func() int {
+		k, obj := testKernel(t, 100000, DefaultConfig())
+		return countResults(k.Apply(slideEvents(obj, 4*time.Second, 0)), SummaryValue)
+	}()
+	if slow < fast*5 {
+		t.Fatalf("slow=%d fast=%d; slower slides must process more entries", slow, fast)
+	}
+}
+
+func TestSummaryIDsMonotoneDuringDownSlide(t *testing.T) {
+	k, obj := testKernel(t, 100000, DefaultConfig())
+	results := k.Apply(slideEvents(obj, 2*time.Second, 0))
+	prev := -1
+	for _, r := range results {
+		if r.Kind != SummaryValue {
+			continue
+		}
+		if r.TupleID < prev {
+			t.Fatalf("tuple ids not monotone: %d after %d", r.TupleID, prev)
+		}
+		prev = r.TupleID
+	}
+}
+
+func TestScanMode(t *testing.T) {
+	k, obj := testKernel(t, 1000, DefaultConfig())
+	a := obj.Actions()
+	a.Mode = ModeScan
+	obj.SetActions(a)
+	results := k.Apply(slideEvents(obj, time.Second, 0))
+	scans := countResults(results, ScanValue)
+	if scans < 10 {
+		t.Fatalf("scans = %d", scans)
+	}
+	for _, r := range results {
+		if r.Kind == ScanValue && r.Value.I != int64(r.TupleID) {
+			t.Fatalf("scan value %v at tuple %d (identity data)", r.Value, r.TupleID)
+		}
+	}
+}
+
+func TestAggregateModeRuns(t *testing.T) {
+	k, obj := testKernel(t, 1000, DefaultConfig())
+	a := obj.Actions()
+	a.Mode = ModeAggregate
+	a.Agg = operator.Count
+	obj.SetActions(a)
+	results := k.Apply(slideEvents(obj, time.Second, 0))
+	var last Result
+	n := 0
+	for _, r := range results {
+		if r.Kind == AggregateValue {
+			if r.Agg != float64(n+1) {
+				t.Fatalf("running count = %v at step %d", r.Agg, n)
+			}
+			n++
+			last = r
+		}
+	}
+	if n == 0 || last.N != int64(n) {
+		t.Fatalf("aggregate results: n=%d last.N=%d", n, last.N)
+	}
+}
+
+func TestTapRevealsValue(t *testing.T) {
+	k, obj := testKernel(t, 1000, DefaultConfig())
+	synth := gesture.Synth{}
+	f := obj.View().Frame()
+	results := k.Apply(synth.Tap(touchos.Point{X: 3, Y: f.Origin.Y + f.Size.H/2}, 0))
+	if countResults(results, ScanValue) != 1 {
+		t.Fatalf("tap results = %v", results)
+	}
+	r := results[0]
+	if r.TupleID < 400 || r.TupleID > 600 {
+		t.Fatalf("mid tap mapped to %d, want ≈500", r.TupleID)
+	}
+}
+
+func TestTableObjectTapPeeksTuple(t *testing.T) {
+	k := NewKernel(DefaultConfig())
+	m, err := storage.NewMatrix("t",
+		storage.NewIntColumn("a", []int64{1, 2, 3, 4}),
+		storage.NewStringColumn("b", []string{"w", "x", "y", "z"}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := k.CreateTableObject(m, touchos.NewRect(2, 2, 4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = obj
+	synth := gesture.Synth{}
+	results := k.Apply(synth.Tap(touchos.Point{X: 4, Y: 6}, 0))
+	if countResults(results, TuplePeek) != 1 {
+		t.Fatalf("results = %v", results)
+	}
+	peek := results[0]
+	if len(peek.Tuple) != 2 {
+		t.Fatalf("tuple = %v", peek.Tuple)
+	}
+}
+
+func TestTableSlideScan(t *testing.T) {
+	k := NewKernel(DefaultConfig())
+	m, _ := storage.NewMatrix("t",
+		storage.NewIntColumn("a", mkInts(1000, 0)),
+		storage.NewIntColumn("b", mkInts(1000, 1000)),
+	)
+	obj, err := k.CreateTableObject(m, touchos.NewRect(2, 2, 4, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := obj.Actions()
+	a.Mode = ModeScan
+	obj.SetActions(a)
+	// Vertical slide down the right half: attribute b.
+	synth := gesture.Synth{}
+	events := synth.Slide(touchos.Point{X: 5, Y: 2.05}, touchos.Point{X: 5, Y: 11.95}, 0, time.Second)
+	results := k.Apply(events)
+	if countResults(results, ScanValue) == 0 {
+		t.Fatal("no table scans")
+	}
+	for _, r := range results {
+		if r.Kind == ScanValue && r.Col != 1 {
+			t.Fatalf("slide on right half touched col %d", r.Col)
+		}
+	}
+}
+
+func mkInts(n int, offset int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = offset + int64(i)
+	}
+	return out
+}
+
+func TestZoomChangesAddressableDetail(t *testing.T) {
+	cfg := DefaultConfig()
+	k, obj := testKernel(t, 100000, cfg)
+	synth := gesture.Synth{}
+	f := obj.View().Frame()
+	center := f.Center()
+	k.Apply(synth.Pinch(center, 2, 4, 0, 300*time.Millisecond))
+	nf := obj.View().Frame()
+	if nf.Size.H <= f.Size.H {
+		t.Fatalf("zoom-in did not grow the object: %v -> %v", f.Size, nf.Size)
+	}
+	if k.Counters().Get("gesture.zoom_in") != 1 {
+		t.Fatal("zoom counter missing")
+	}
+	// Zoom-out shrinks back.
+	k.Apply(synth.Pinch(nf.Center(), 4, 2, k.Clock().Now()+time.Millisecond, 300*time.Millisecond))
+	if got := obj.View().Frame().Size.H; got >= nf.Size.H {
+		t.Fatalf("zoom-out did not shrink: %v", got)
+	}
+}
+
+func TestZoomClampsToScreen(t *testing.T) {
+	cfg := DefaultConfig() // 15x20 screen
+	k, obj := testKernel(t, 1000, cfg)
+	synth := gesture.Synth{}
+	for i := 0; i < 6; i++ {
+		f := obj.View().Frame()
+		k.Apply(synth.Pinch(f.Center(), 1, 4, k.Clock().Now()+time.Millisecond, 200*time.Millisecond))
+	}
+	f := obj.View().Frame()
+	if f.Size.W > cfg.ScreenW || f.Size.H > cfg.ScreenH {
+		t.Fatalf("object escaped the screen: %v", f)
+	}
+	if f.Origin.X < 0 || f.Origin.Y < 0 {
+		t.Fatalf("object origin off screen: %v", f.Origin)
+	}
+}
+
+func TestRotateColumnObjectKeepsMapping(t *testing.T) {
+	k, obj := testKernel(t, 1000, DefaultConfig())
+	synth := gesture.Synth{}
+	f := obj.View().Frame()
+	k.Apply(synth.Rotate(f.Center(), 0.9, 1.65, 0, 400*time.Millisecond))
+	if obj.View().Rotation() != 1 {
+		t.Fatalf("rotation = %d, want 1", obj.View().Rotation())
+	}
+	// A single-column object starts no layout conversion.
+	if converting, _ := obj.Converting(); converting {
+		t.Fatal("single column must not convert layout")
+	}
+	// A horizontal slide along the rotated height axis still maps rows.
+	events := synth.Slide(
+		touchos.Point{X: f.Origin.X + 0.05, Y: f.Origin.Y + 1},
+		touchos.Point{X: f.Origin.X + f.Size.W - 0.05, Y: f.Origin.Y + 1},
+		k.Clock().Now()+time.Millisecond, time.Second)
+	results := k.Apply(events)
+	if countResults(results, SummaryValue) == 0 {
+		t.Fatal("rotated object unusable")
+	}
+}
+
+func TestRotateTableStartsConversion(t *testing.T) {
+	k := NewKernel(DefaultConfig())
+	m, _ := storage.NewMatrix("t",
+		storage.NewIntColumn("a", mkInts(50000, 0)),
+		storage.NewIntColumn("b", mkInts(50000, 7)),
+	)
+	obj, err := k.CreateTableObject(m, touchos.NewRect(2, 2, 6, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth := gesture.Synth{}
+	k.Apply(synth.Rotate(obj.View().Frame().Center(), 2, 1.65, 0, 400*time.Millisecond))
+	converting, progress := obj.Converting()
+	if !converting {
+		t.Fatal("rotate should start a layout conversion")
+	}
+	if progress >= 1 {
+		t.Fatal("conversion should be incremental")
+	}
+	startLayout := obj.Matrix().Layout()
+	if startLayout != storage.ColumnMajor {
+		t.Fatal("conversion target should not be swapped in yet")
+	}
+	// Idle time finishes the conversion and swaps the matrix.
+	now := k.Clock().Now()
+	k.RunIdle(now, now+time.Minute)
+	if converting, _ := obj.Converting(); converting {
+		t.Fatal("conversion should be done after a minute of idle")
+	}
+	if obj.Matrix().Layout() != storage.RowMajor {
+		t.Fatalf("layout after rotate = %v, want row-major", obj.Matrix().Layout())
+	}
+	if obj.Matrix().NumRows() != 50000 {
+		t.Fatal("conversion lost rows")
+	}
+}
+
+func TestFiltersGateResults(t *testing.T) {
+	k := NewKernel(DefaultConfig())
+	n := 10000
+	v := mkInts(n, 0)
+	flag := make([]int64, n)
+	for i := range flag {
+		// Bands of 50 tuples alternate pass/fail, wide enough that the
+		// touch-position grid cannot alias with the pattern.
+		flag[i] = int64((i / 50) % 2)
+	}
+	m, _ := storage.NewMatrix("t", storage.NewIntColumn("v", v), storage.NewIntColumn("flag", flag))
+	obj, err := k.CreateColumnObject(m, 0, touchos.NewRect(2, 2, 2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := obj.Actions()
+	a.Mode = ModeScan
+	a.Filters = []operator.Predicate{{Col: 1, Op: operator.Eq, Operand: storage.IntValue(1)}}
+	obj.SetActions(a)
+	results := k.Apply(slideEvents(obj, 2*time.Second, 0))
+	for _, r := range results {
+		if r.Kind == ScanValue && (r.TupleID/50)%2 == 0 {
+			t.Fatalf("filtered slide returned non-matching tuple %d", r.TupleID)
+		}
+	}
+	if k.Counters().Get("touch.filtered") == 0 {
+		t.Fatal("no touches filtered")
+	}
+}
+
+func TestJoinGestures(t *testing.T) {
+	k := NewKernel(DefaultConfig())
+	left, _ := storage.NewMatrix("l", storage.NewIntColumn("x", []int64{1, 2, 3, 4, 5, 6, 7, 8}))
+	right, _ := storage.NewMatrix("r", storage.NewIntColumn("y", []int64{8, 7, 6, 5, 4, 3, 2, 1}))
+	lo, err := k.CreateColumnObject(left, 0, touchos.NewRect(2, 2, 2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := k.CreateColumnObject(right, 0, touchos.NewRect(6, 2, 2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := lo.Actions()
+	a.Join = &JoinSpec{OtherObject: ro.ID(), Side: JoinLeft}
+	lo.SetActions(a)
+
+	// Slide both objects; matches must stream out.
+	r1 := k.Apply(slideEvents(lo, time.Second, 0))
+	r2 := k.Apply(slideEvents(ro, time.Second, k.Clock().Now()+time.Millisecond))
+	matches := countResults(r1, JoinMatches) + countResults(r2, JoinMatches)
+	if matches == 0 {
+		t.Fatal("join produced no matches")
+	}
+	for _, r := range append(r1, r2...) {
+		if r.Kind != JoinMatches {
+			continue
+		}
+		for _, m := range r.Matches {
+			lv, _ := left.At(m.LeftID, 0)
+			rv, _ := right.At(m.RightID, 0)
+			if !lv.Equal(rv) {
+				t.Fatalf("bogus match %v: %v != %v", m, lv, rv)
+			}
+		}
+	}
+}
+
+func TestGroupByGesture(t *testing.T) {
+	k := NewKernel(DefaultConfig())
+	n := 1000
+	keys := make([]string, n)
+	vals := make([]int64, n)
+	for i := range keys {
+		keys[i] = string(rune('a' + i%3))
+		vals[i] = int64(i)
+	}
+	m, _ := storage.NewMatrix("t",
+		storage.NewIntColumn("v", vals),
+		storage.NewStringColumn("k", keys),
+	)
+	obj, err := k.CreateColumnObject(m, 0, touchos.NewRect(2, 2, 2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := obj.Actions()
+	a.Group = &GroupSpec{KeyCol: 1, ValCol: 0, Agg: operator.Count}
+	obj.SetActions(a)
+	results := k.Apply(slideEvents(obj, time.Second, 0))
+	groups := map[string]bool{}
+	for _, r := range results {
+		if r.Kind == GroupValue {
+			groups[r.GroupKey] = true
+		}
+	}
+	if len(groups) != 3 {
+		t.Fatalf("groups touched = %v, want 3", groups)
+	}
+}
+
+func TestResponseBoundDegradesLevel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ResponseBound = 200 * time.Microsecond
+	cfg.IO.ColdLatency = time.Millisecond // single cold block busts the bound
+	k, obj := testKernel(t, 1_000_000, cfg)
+	a := obj.Actions()
+	a.SummaryK = 5000 // huge windows at base level
+	obj.SetActions(a)
+	results := k.Apply(slideEvents(obj, 2*time.Second, 0))
+	for _, r := range results {
+		if r.Kind == SummaryValue && r.Level == 0 {
+			t.Fatal("response bound should escalate off base level")
+		}
+	}
+	_ = results
+}
+
+func TestDuplicateTouchesSuppressed(t *testing.T) {
+	k, obj := testKernel(t, 20, DefaultConfig())
+	// Tiny data: many touch positions map to the same tuple.
+	results := k.Apply(slideEvents(obj, 4*time.Second, 0))
+	entries := countResults(results, SummaryValue)
+	if entries > 20 {
+		t.Fatalf("entries %d exceed tuple count 20", entries)
+	}
+	if k.Counters().Get("touch.duplicates") == 0 {
+		t.Fatal("expected duplicate suppression on tiny data")
+	}
+}
+
+func TestTouchOutsideObjectsCounted(t *testing.T) {
+	k, _ := testKernel(t, 100, DefaultConfig())
+	synth := gesture.Synth{}
+	k.Apply(synth.Tap(touchos.Point{X: 14, Y: 19}, 0))
+	if k.Counters().Get("touch.misses") == 0 {
+		t.Fatal("off-object touch should count as a miss")
+	}
+}
+
+func TestValueOrderSlide(t *testing.T) {
+	cfg := DefaultConfig()
+	k := NewKernel(cfg)
+	// Shuffled data; value order must come out sorted.
+	vals := []int64{50, 10, 40, 20, 30, 60, 90, 70, 80, 0}
+	big := make([]int64, 0, 1000)
+	for i := 0; i < 100; i++ {
+		for _, v := range vals {
+			big = append(big, v+int64(i)*100)
+		}
+	}
+	m, _ := storage.NewMatrix("t", storage.NewIntColumn("v", big))
+	obj, err := k.CreateColumnObject(m, 0, touchos.NewRect(2, 2, 2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := obj.Actions()
+	a.Mode = ModeScan
+	a.ValueOrder = true
+	obj.SetActions(a)
+	results := k.Apply(slideEvents(obj, 2*time.Second, 0))
+	prev := -1.0
+	n := 0
+	for _, r := range results {
+		if r.Kind != ScanValue {
+			continue
+		}
+		v := r.Value.AsFloat()
+		if v < prev {
+			t.Fatalf("value-order slide not sorted: %v after %v", v, prev)
+		}
+		prev = v
+		n++
+	}
+	if n < 10 {
+		t.Fatalf("value-order scans = %d", n)
+	}
+}
+
+func TestProjectColumnOut(t *testing.T) {
+	k := NewKernel(DefaultConfig())
+	m, _ := storage.NewMatrix("t",
+		storage.NewIntColumn("a", mkInts(100, 0)),
+		storage.NewIntColumn("b", mkInts(100, 1000)),
+	)
+	tableObj, err := k.CreateTableObject(m, touchos.NewRect(2, 2, 4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	colObj, err := k.ProjectColumnOut(tableObj, 1, touchos.NewRect(8, 2, 2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !colObj.IsColumn() || colObj.Rows() != 100 {
+		t.Fatal("projected object malformed")
+	}
+	results := k.Apply(slideEvents(colObj, time.Second, k.Clock().Now()+time.Millisecond))
+	if countResults(results, SummaryValue) == 0 {
+		t.Fatal("projected object unusable")
+	}
+}
+
+func TestKernelObjectRegistry(t *testing.T) {
+	k, obj := testKernel(t, 100, DefaultConfig())
+	got, err := k.Object(obj.ID())
+	if err != nil || got != obj {
+		t.Fatalf("Object lookup = %v, %v", got, err)
+	}
+	if _, err := k.Object(999); err == nil {
+		t.Fatal("missing object should error")
+	}
+	if len(k.Objects()) != 1 {
+		t.Fatal("Objects() wrong")
+	}
+	k.RemoveObject(obj.ID())
+	if len(k.Objects()) != 0 {
+		t.Fatal("RemoveObject failed")
+	}
+	// Touches after removal are misses, not crashes.
+	synth := gesture.Synth{}
+	k.Apply(synth.Tap(touchos.Point{X: 3, Y: 7}, k.Clock().Now()))
+}
+
+func TestOnResultCallback(t *testing.T) {
+	k, obj := testKernel(t, 10000, DefaultConfig())
+	var live int
+	k.OnResult(func(Result) { live++ })
+	results := k.Apply(slideEvents(obj, time.Second, 0))
+	if live != len(results) {
+		t.Fatalf("callback saw %d, Apply returned %d", live, len(results))
+	}
+}
+
+func TestCreateColumnObjectErrors(t *testing.T) {
+	k := NewKernel(DefaultConfig())
+	rm := storage.NewRowMajorMatrix("r", []storage.ColumnMeta{{Name: "x", Type: storage.Int64}})
+	_ = rm.AppendRow([]storage.Value{storage.IntValue(1)})
+	if _, err := k.CreateColumnObject(rm, 0, touchos.NewRect(0, 0, 1, 1)); err == nil {
+		t.Fatal("row-major column object should error")
+	}
+	if _, err := k.CreateTableObject(storage.NewRowMajorMatrix("e", []storage.ColumnMeta{{Name: "x", Type: storage.Int64}}), touchos.NewRect(0, 0, 1, 1)); err == nil {
+		t.Fatal("empty table object should error")
+	}
+}
+
+func TestAdaptiveOptimizerUnit(t *testing.T) {
+	m, _ := storage.NewMatrix("t",
+		storage.NewIntColumn("a", mkInts(100, 0)),
+		storage.NewIntColumn("b", mkInts(100, 0)),
+	)
+	preds := []operator.Predicate{
+		{Col: 0, Op: operator.Lt, Operand: storage.IntValue(5)},  // 5% pass
+		{Col: 1, Op: operator.Lt, Operand: storage.IntValue(95)}, // 95% pass
+	}
+	opt := NewAdaptiveOptimizer(preds, 16, true)
+	for row := 0; row < 100; row++ {
+		if _, err := opt.Eval(m, row, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	order := opt.Order()
+	if order[0] != 0 {
+		t.Fatalf("adaptive order = %v; selective predicate should go first", order)
+	}
+	if opt.Selectivity(0) > 0.2 || opt.Selectivity(1) < 0.8 {
+		t.Fatalf("selectivities = %v, %v", opt.Selectivity(0), opt.Selectivity(1))
+	}
+	// Disabled optimizer keeps the declared order.
+	fixed := NewAdaptiveOptimizer([]operator.Predicate{preds[1], preds[0]}, 16, false)
+	for row := 0; row < 100; row++ {
+		if _, err := fixed.Eval(m, row, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fixed.Order(); got[0] != 0 {
+		t.Fatalf("fixed order changed: %v", got)
+	}
+	if fixed.Reorders() != 0 {
+		t.Fatal("disabled optimizer reordered")
+	}
+}

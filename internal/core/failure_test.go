@@ -1,0 +1,239 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dbtouch/internal/gesture"
+	"dbtouch/internal/storage"
+	"dbtouch/internal/touchos"
+)
+
+// Failure injection: malformed or hostile touch streams must never panic
+// or corrupt kernel state — the digitizer is an external input source.
+
+func TestCancelledTouchMidSlide(t *testing.T) {
+	k, obj := testKernel(t, 10000, DefaultConfig())
+	f := obj.View().Frame()
+	x := f.Origin.X + 1
+	events := []touchos.TouchEvent{
+		{Phase: touchos.TouchBegan, Loc: touchos.Point{X: x, Y: 3}, Time: 0},
+		{Phase: touchos.TouchMoved, Loc: touchos.Point{X: x, Y: 4}, Time: 50 * time.Millisecond},
+		{Phase: touchos.TouchMoved, Loc: touchos.Point{X: x, Y: 5}, Time: 100 * time.Millisecond},
+		{Phase: touchos.TouchCancelled, Loc: touchos.Point{X: x, Y: 5}, Time: 150 * time.Millisecond},
+	}
+	k.Apply(events)
+	// The kernel must accept a fresh gesture afterwards.
+	results := k.Apply(slideEvents(obj, time.Second, k.Clock().Now()+time.Millisecond))
+	if countResults(results, SummaryValue) == 0 {
+		t.Fatal("kernel unusable after cancelled touch")
+	}
+}
+
+func TestMoveWithoutBegan(t *testing.T) {
+	k, obj := testKernel(t, 1000, DefaultConfig())
+	_ = obj
+	events := []touchos.TouchEvent{
+		{Phase: touchos.TouchMoved, Loc: touchos.Point{X: 3, Y: 5}, Time: 0},
+		{Phase: touchos.TouchEnded, Loc: touchos.Point{X: 3, Y: 5}, Time: 10 * time.Millisecond},
+	}
+	k.Apply(events) // must not panic; orphan moves are dropped
+}
+
+func TestEndedWithoutBegan(t *testing.T) {
+	k, _ := testKernel(t, 1000, DefaultConfig())
+	k.Apply([]touchos.TouchEvent{
+		{Phase: touchos.TouchEnded, Loc: touchos.Point{X: 3, Y: 5}, Time: 0},
+	})
+}
+
+func TestDoubleBegan(t *testing.T) {
+	k, obj := testKernel(t, 1000, DefaultConfig())
+	f := obj.View().Frame()
+	x := f.Origin.X + 1
+	k.Apply([]touchos.TouchEvent{
+		{Phase: touchos.TouchBegan, Loc: touchos.Point{X: x, Y: 3}, Time: 0},
+		{Phase: touchos.TouchBegan, Loc: touchos.Point{X: x, Y: 4}, Time: 10 * time.Millisecond},
+		{Phase: touchos.TouchEnded, Loc: touchos.Point{X: x, Y: 4}, Time: 20 * time.Millisecond},
+	})
+}
+
+func TestTouchesOffScreen(t *testing.T) {
+	k, _ := testKernel(t, 1000, DefaultConfig())
+	synth := gesture.Synth{}
+	k.Apply(synth.Slide(
+		touchos.Point{X: -5, Y: -5}, touchos.Point{X: 100, Y: 100}, 0, time.Second))
+	if k.Counters().Get("touch.misses") == 0 {
+		t.Fatal("off-screen touches should count as misses")
+	}
+}
+
+func TestSingleRowColumn(t *testing.T) {
+	k := NewKernel(DefaultConfig())
+	m, err := storage.NewMatrix("one", storage.NewIntColumn("v", []int64{42}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := k.CreateColumnObject(m, 0, touchos.NewRect(2, 2, 2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := k.Apply(slideEvents(obj, time.Second, 0))
+	for _, r := range results {
+		if r.TupleID != 0 {
+			t.Fatalf("single-row object produced tuple %d", r.TupleID)
+		}
+	}
+}
+
+func TestTinyObjectFrame(t *testing.T) {
+	k := NewKernel(DefaultConfig())
+	m, _ := storage.NewMatrix("t", storage.NewIntColumn("v", mkInts(1000, 0)))
+	obj, err := k.CreateColumnObject(m, 0, touchos.NewRect(2, 2, 0.1, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1mm object registers at most one position; slides degrade to
+	// (at most) a couple of touches but never crash.
+	results := k.Apply(slideEvents(obj, time.Second, 0))
+	_ = results
+}
+
+func TestEmptyEventBatch(t *testing.T) {
+	k, _ := testKernel(t, 100, DefaultConfig())
+	if got := k.Apply(nil); len(got) != 0 {
+		t.Fatal("empty batch produced results")
+	}
+	if got := k.Apply([]touchos.TouchEvent{}); len(got) != 0 {
+		t.Fatal("empty batch produced results")
+	}
+}
+
+func TestBackwardsTimestampsClamped(t *testing.T) {
+	k, obj := testKernel(t, 10000, DefaultConfig())
+	f := obj.View().Frame()
+	x := f.Origin.X + 1
+	// Events with non-monotonic times: the dispatcher delivers them when
+	// the kernel is free; virtual time never goes backwards.
+	events := []touchos.TouchEvent{
+		{Phase: touchos.TouchBegan, Loc: touchos.Point{X: x, Y: 3}, Time: 100 * time.Millisecond},
+		{Phase: touchos.TouchMoved, Loc: touchos.Point{X: x, Y: 5}, Time: 50 * time.Millisecond},
+		{Phase: touchos.TouchEnded, Loc: touchos.Point{X: x, Y: 5}, Time: 150 * time.Millisecond},
+	}
+	k.Apply(events)
+	if k.Clock().Now() < 100*time.Millisecond {
+		t.Fatal("virtual clock went backwards")
+	}
+}
+
+func TestSetActionsMidGestureResets(t *testing.T) {
+	k, obj := testKernel(t, 10000, DefaultConfig())
+	k.Apply(slideEvents(obj, 500*time.Millisecond, 0))
+	before := len(k.Results())
+	a := obj.Actions()
+	a.Mode = ModeScan
+	obj.SetActions(a)
+	results := k.Apply(slideEvents(obj, 500*time.Millisecond, k.Clock().Now()+time.Millisecond))
+	for _, r := range results {
+		if r.Kind == SummaryValue {
+			t.Fatal("stale mode after SetActions")
+		}
+	}
+	if len(k.Results()) <= before {
+		t.Fatal("no results after reconfiguration")
+	}
+}
+
+func TestJoinWithMissingPartner(t *testing.T) {
+	k, obj := testKernel(t, 1000, DefaultConfig())
+	a := obj.Actions()
+	a.Join = &JoinSpec{OtherObject: 9999, Side: JoinLeft}
+	obj.SetActions(a) // wireJoin fails silently: no partner
+	results := k.Apply(slideEvents(obj, time.Second, 0))
+	for _, r := range results {
+		if r.Kind == JoinMatches {
+			t.Fatal("join against missing partner produced matches")
+		}
+	}
+}
+
+func TestGroupSpecAgainstRowMajorIgnored(t *testing.T) {
+	// Group-by requires direct column access; a row-major matrix cannot
+	// provide it, and SetActions must not panic.
+	k := NewKernel(DefaultConfig())
+	rm := storage.NewRowMajorMatrix("r", []storage.ColumnMeta{
+		{Name: "k", Type: storage.String}, {Name: "v", Type: storage.Int64},
+	})
+	_ = rm.AppendRow([]storage.Value{storage.StringValue("a"), storage.IntValue(1)})
+	obj, err := k.CreateTableObject(rm, touchos.NewRect(2, 2, 4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := obj.Actions()
+	a.Group = &GroupSpec{KeyCol: 0, ValCol: 1}
+	obj.SetActions(a)
+}
+
+func TestInterleavedGesturesOnTwoObjects(t *testing.T) {
+	k := NewKernel(DefaultConfig())
+	m1, _ := storage.NewMatrix("a", storage.NewIntColumn("x", mkInts(10000, 0)))
+	m2, _ := storage.NewMatrix("b", storage.NewIntColumn("y", mkInts(10000, 0)))
+	o1, err := k.CreateColumnObject(m1, 0, touchos.NewRect(2, 2, 2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := k.CreateColumnObject(m2, 0, touchos.NewRect(6, 2, 2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two fingers, one per object, sliding simultaneously: the
+	// recognizer treats them as a two-finger gesture only when their
+	// motion matches pinch/rotate; parallel vertical slides at constant
+	// separation neither pinch nor rotate, so no layout accidents.
+	synth := gesture.Synth{}
+	f1, f2 := o1.View().Frame(), o2.View().Frame()
+	s1 := synth.Slide(touchos.Point{X: f1.Origin.X + 1, Y: 2.1}, touchos.Point{X: f1.Origin.X + 1, Y: 9.9}, 0, time.Second)
+	s2 := synth.Slide(touchos.Point{X: f2.Origin.X + 1, Y: 2.1}, touchos.Point{X: f2.Origin.X + 1, Y: 9.9}, 0, time.Second)
+	for i := range s2 {
+		s2[i].Finger = 1
+	}
+	k.Apply(gesture.Merge(s1, s2))
+	if o1.View().Rotation() != 0 || o2.View().Rotation() != 0 {
+		t.Fatal("parallel slides misrecognized as rotation")
+	}
+	if conv, _ := o1.Converting(); conv {
+		t.Fatal("parallel slides started a layout conversion")
+	}
+}
+
+func TestManyObjectsRegistry(t *testing.T) {
+	k := NewKernel(Config{ScreenW: 100, ScreenH: 100})
+	for i := 0; i < 20; i++ {
+		m, _ := storage.NewMatrix(
+			names20[i], storage.NewIntColumn("v", mkInts(100, int64(i))))
+		x := float64(1 + (i%5)*4)
+		y := float64(1 + (i/5)*4)
+		if _, err := k.CreateColumnObject(m, 0, touchos.NewRect(x, y, 3, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(k.Objects()) != 20 {
+		t.Fatalf("objects = %d", len(k.Objects()))
+	}
+	// Tap each object: hit testing must resolve the right one.
+	synth := gesture.Synth{}
+	for _, o := range k.Objects() {
+		center := o.View().Frame().Center()
+		results := k.Apply(synth.Tap(center, k.Clock().Now()+time.Millisecond))
+		for _, r := range results {
+			if r.ObjectID != o.ID() {
+				t.Fatalf("tap on object %d answered by %d", o.ID(), r.ObjectID)
+			}
+		}
+	}
+}
+
+var names20 = []string{
+	"m00", "m01", "m02", "m03", "m04", "m05", "m06", "m07", "m08", "m09",
+	"m10", "m11", "m12", "m13", "m14", "m15", "m16", "m17", "m18", "m19",
+}

@@ -1,0 +1,453 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dbtouch/internal/cache"
+	"dbtouch/internal/gesture"
+	"dbtouch/internal/index"
+	"dbtouch/internal/iomodel"
+	"dbtouch/internal/metrics"
+	"dbtouch/internal/operator"
+	"dbtouch/internal/prefetch"
+	"dbtouch/internal/sample"
+	"dbtouch/internal/storage"
+	"dbtouch/internal/touchos"
+	"dbtouch/internal/vclock"
+)
+
+// PolicyKind selects the cache eviction policy for all trackers.
+type PolicyKind uint8
+
+// Cache policies.
+const (
+	PolicyLRU PolicyKind = iota
+	PolicyGestureAware
+	PolicyNone
+)
+
+// String names the policy.
+func (p PolicyKind) String() string {
+	switch p {
+	case PolicyLRU:
+		return "lru"
+	case PolicyGestureAware:
+		return "gesture-aware"
+	case PolicyNone:
+		return "none"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", uint8(p))
+	}
+}
+
+// Config tunes the kernel. The defaults model the paper's prototype
+// device class (iPad 1): see DefaultConfig.
+type Config struct {
+	// ScreenW/ScreenH size the root view in centimeters.
+	ScreenW, ScreenH float64
+	// UIOverhead is the fixed virtual cost per handled touch: gesture
+	// recognition, mapping arithmetic, and result rendering/animation.
+	// On the 2010 tablet the prototype ran on, this dominates per-touch
+	// latency and is what bounds effective touch throughput.
+	UIOverhead time.Duration
+	// EventOverhead is the small cost of touches that trigger no data
+	// processing (touch-down, sub-slop moves).
+	EventOverhead time.Duration
+	// IO parameterizes all storage cost trackers.
+	IO iomodel.Params
+	// SampleLevels is the hierarchy depth above base data.
+	SampleLevels int
+	// UseSamples gates sample-based storage (ablation switch).
+	UseSamples bool
+	// Prefetch gates gesture-extrapolation prefetching.
+	Prefetch bool
+	// CachePolicy selects the eviction policy for every tracker.
+	CachePolicy PolicyKind
+	// AdaptiveOpt gates on-the-fly predicate reordering.
+	AdaptiveOpt bool
+	// ResponseBound caps the per-touch data-processing estimate; the
+	// kernel degrades to coarser sample levels to respect it. Zero
+	// disables the bound.
+	ResponseBound time.Duration
+	// Granularity coarsens touch→tuple mapping (0/1 = full resolution).
+	Granularity int
+	// ResolutionPerCm overrides digitizer pointing resolution (0 = default).
+	ResolutionPerCm float64
+}
+
+// DefaultConfig models the prototype setup: a 15x20 cm tablet screen,
+// 65ms of UI work per processed touch (which yields the ~14-16
+// entries/second the paper's Figure 4 exhibits), tablet-class storage
+// latencies, a 14-level sample hierarchy, prefetching and adaptive
+// optimization on.
+func DefaultConfig() Config {
+	return Config{
+		ScreenW:       15,
+		ScreenH:       20,
+		UIOverhead:    65 * time.Millisecond,
+		EventOverhead: time.Millisecond,
+		IO:            iomodel.DefaultParams(),
+		SampleLevels:  14,
+		UseSamples:    true,
+		Prefetch:      true,
+		CachePolicy:   PolicyGestureAware,
+		AdaptiveOpt:   true,
+	}
+}
+
+// Kernel is the dbTouch engine: it owns the screen, the dispatcher, the
+// recognizer, the catalog and all data objects, and processes one touch at
+// a time on the virtual clock.
+type Kernel struct {
+	cfg        Config
+	clock      *vclock.Clock
+	screen     *touchos.View
+	dispatcher *touchos.Dispatcher
+	recognizer *gesture.Recognizer
+	catalog    *storage.Catalog
+
+	objects map[int]*Object
+	byView  map[int]*Object
+	nextID  int
+
+	results   []Result
+	onResult  func(Result)
+	counters  *metrics.Counters
+	touchHist metrics.Histogram
+
+	// curTouchStart timestamps the touch being handled, for per-result
+	// latency.
+	curTouchStart time.Duration
+}
+
+// NewKernel builds a kernel with the given config; zero-valued fields
+// inherit DefaultConfig.
+func NewKernel(cfg Config) *Kernel {
+	def := DefaultConfig()
+	if cfg.ScreenW <= 0 {
+		cfg.ScreenW = def.ScreenW
+	}
+	if cfg.ScreenH <= 0 {
+		cfg.ScreenH = def.ScreenH
+	}
+	if cfg.UIOverhead <= 0 {
+		cfg.UIOverhead = def.UIOverhead
+	}
+	if cfg.EventOverhead <= 0 {
+		cfg.EventOverhead = def.EventOverhead
+	}
+	if cfg.IO.BlockValues == 0 {
+		cfg.IO = def.IO
+	}
+	if cfg.SampleLevels <= 0 {
+		cfg.SampleLevels = def.SampleLevels
+	}
+	clock := vclock.New()
+	return &Kernel{
+		cfg:        cfg,
+		clock:      clock,
+		screen:     touchos.NewScreen(cfg.ScreenW, cfg.ScreenH),
+		dispatcher: touchos.NewDispatcher(clock),
+		recognizer: gesture.NewRecognizer(gesture.DefaultConfig()),
+		catalog:    storage.NewCatalog(),
+		objects:    make(map[int]*Object),
+		byView:     make(map[int]*Object),
+		counters:   metrics.NewCounters(),
+	}
+}
+
+// Clock exposes the virtual clock.
+func (k *Kernel) Clock() *vclock.Clock { return k.clock }
+
+// Screen exposes the root view.
+func (k *Kernel) Screen() *touchos.View { return k.screen }
+
+// Catalog exposes the matrix registry.
+func (k *Kernel) Catalog() *storage.Catalog { return k.catalog }
+
+// Config returns the active configuration.
+func (k *Kernel) Config() Config { return k.cfg }
+
+// Counters exposes kernel counters.
+func (k *Kernel) Counters() *metrics.Counters { return k.counters }
+
+// TouchLatency exposes the per-touch busy-time histogram.
+func (k *Kernel) TouchLatency() *metrics.Histogram { return &k.touchHist }
+
+// DispatchStats exposes dispatcher delivery/coalescing counters.
+func (k *Kernel) DispatchStats() touchos.DispatchStats { return k.dispatcher.Stats() }
+
+// OnResult registers a callback invoked for every emitted result (the
+// front-end hook). Results are also retained; see Results.
+func (k *Kernel) OnResult(fn func(Result)) { k.onResult = fn }
+
+// Results returns all results emitted so far (shared slice; treat as
+// read-only).
+func (k *Kernel) Results() []Result { return k.results }
+
+// ResetResults clears retained results (between experiment runs).
+func (k *Kernel) ResetResults() { k.results = nil }
+
+// newPolicy builds a fresh eviction policy instance per tracker.
+func (k *Kernel) newPolicy() iomodel.EvictionPolicy {
+	switch k.cfg.CachePolicy {
+	case PolicyGestureAware:
+		return cache.NewGestureAware(8)
+	case PolicyNone:
+		return cache.None{}
+	default:
+		return iomodel.LRU{}
+	}
+}
+
+// CreateColumnObject registers a visual object over one column of m with
+// the given frame, building its sample hierarchy, and returns it. The
+// matrix must be column-major (rotate or project first otherwise).
+func (k *Kernel) CreateColumnObject(m *storage.Matrix, col int, frame touchos.Rect) (*Object, error) {
+	column, err := m.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	levels := 0
+	if k.cfg.UseSamples {
+		levels = k.cfg.SampleLevels
+	}
+	h, err := sample.Build(column, levels, k.clock, k.cfg.IO, k.newPolicy)
+	if err != nil {
+		return nil, err
+	}
+	o := k.newObject(m, col, frame)
+	o.hierarchy = h
+	k.finishObject(o)
+	return o, nil
+}
+
+// CreateTableObject registers a visual object over the whole matrix
+// (either layout).
+func (k *Kernel) CreateTableObject(m *storage.Matrix, frame touchos.Rect) (*Object, error) {
+	if m.NumRows() == 0 {
+		return nil, fmt.Errorf("core: table object over empty matrix %q", m.Name())
+	}
+	o := k.newObject(m, -1, frame)
+	o.cellTracker = iomodel.New(k.clock, k.cfg.IO, k.newPolicy())
+	k.finishObject(o)
+	return o, nil
+}
+
+func (k *Kernel) newObject(m *storage.Matrix, col int, frame touchos.Rect) *Object {
+	k.nextID++
+	name := m.Name()
+	if col >= 0 {
+		name = fmt.Sprintf("%s.%s", m.Name(), m.Schema()[col].Name)
+	}
+	view := touchos.NewView(name, frame)
+	o := &Object{
+		id:      k.nextID,
+		kernel:  k,
+		view:    view,
+		matrix:  m,
+		colIdx:  col,
+		extrap:  &prefetch.Extrapolator{},
+		indexes: index.NewRegistry(),
+		lastID:  -1,
+	}
+	o.prefetcher = prefetch.New(o.extrap)
+	o.prefetcher.Enabled = k.cfg.Prefetch
+	o.SetActions(DefaultActions())
+	return o
+}
+
+func (k *Kernel) finishObject(o *Object) {
+	rows, cols := o.matrix.NumRows(), o.matrix.NumCols()
+	if o.IsColumn() {
+		cols = 1
+	}
+	o.view.SetProps(touchos.DataProps{ObjectID: o.id, Rows: rows, Cols: cols})
+	_ = k.screen.AddChild(o.view)
+	k.objects[o.id] = o
+	k.byView[o.view.ID()] = o
+	k.catalog.Register(o.matrix)
+}
+
+// Object resolves an object by id.
+func (k *Kernel) Object(id int) (*Object, error) {
+	o, ok := k.objects[id]
+	if !ok {
+		return nil, fmt.Errorf("core: no object %d", id)
+	}
+	return o, nil
+}
+
+// Objects lists all registered objects.
+func (k *Kernel) Objects() []*Object {
+	out := make([]*Object, 0, len(k.objects))
+	for _, o := range k.objects {
+		out = append(out, o)
+	}
+	return out
+}
+
+// RemoveObject detaches an object and its view.
+func (k *Kernel) RemoveObject(id int) {
+	o, ok := k.objects[id]
+	if !ok {
+		return
+	}
+	k.screen.RemoveChild(o.view)
+	delete(k.byView, o.view.ID())
+	delete(k.objects, id)
+}
+
+// ProjectColumnOut implements the drag-a-column-out gesture (paper §2.8):
+// it materializes column col of a table object as an independent
+// single-column object with the given frame.
+func (k *Kernel) ProjectColumnOut(tableObj *Object, col int, frame touchos.Rect) (*Object, error) {
+	projected, err := tableObj.matrix.Project(col)
+	if err != nil {
+		return nil, err
+	}
+	// Copying the column costs one pass over it.
+	k.clock.Advance(time.Duration(tableObj.matrix.NumRows()) * 50 * time.Nanosecond)
+	k.catalog.Register(projected)
+	k.counters.Add("gesture.projections", 1)
+	return k.CreateColumnObject(projected, 0, frame)
+}
+
+// wireJoin connects two objects through one shared symmetric hash join.
+func (k *Kernel) wireJoin(o *Object, spec *JoinSpec) {
+	other, ok := k.objects[spec.OtherObject]
+	if !ok {
+		return
+	}
+	left, right := o, other
+	if spec.Side == JoinRight {
+		left, right = other, o
+	}
+	lcol, errL := left.column()
+	rcol, errR := right.column()
+	if errL != nil || errR != nil {
+		return
+	}
+	j := operator.NewSymmetricHashJoin(lcol, rcol)
+	left.join, left.joinSide = j, JoinLeft
+	right.join, right.joinSide = j, JoinRight
+}
+
+// Apply pushes a batch of raw touch events through the dispatcher and
+// returns the results emitted during the batch.
+func (k *Kernel) Apply(events []touchos.TouchEvent) []Result {
+	mark := len(k.results)
+	k.dispatcher.Dispatch(events, k.handleTouch, k.onIdle)
+	return k.results[mark:]
+}
+
+// handleTouch is the per-touch pipeline of Figure 3: recognize the
+// gesture, map the touch to data, execute, emit.
+func (k *Kernel) handleTouch(ev touchos.TouchEvent) time.Duration {
+	t0 := k.clock.Now()
+	k.curTouchStart = t0
+	processed := false
+	for _, ge := range k.recognizer.Feed(ev) {
+		o := k.hitObject(ge.Loc)
+		if o == nil {
+			k.counters.Add("touch.misses", 1)
+			continue
+		}
+		processed = true
+		switch ge.Kind {
+		case gesture.Tap:
+			o.processTap(ge)
+		case gesture.SlideBegan:
+			o.beginSlide(ge)
+		case gesture.SlideStep:
+			o.processSlideStep(ge)
+		case gesture.SlideEnded:
+			o.endSlide(ge)
+		case gesture.PinchEnded:
+			o.applyZoom(ge.Scale)
+		case gesture.RotateEnded:
+			o.applyRotate(ge.Angle)
+		}
+	}
+	dataTime := k.clock.Now() - t0
+	busy := k.cfg.EventOverhead + dataTime
+	if processed {
+		busy = k.cfg.UIOverhead + dataTime
+	}
+	k.touchHist.Observe(busy)
+	k.counters.Add("touch.handled", 1)
+	return busy
+}
+
+// hitObject resolves the data object under a screen point.
+func (k *Kernel) hitObject(p touchos.Point) *Object {
+	v := k.screen.HitTest(p)
+	if v == nil {
+		return nil
+	}
+	for ; v != nil; v = v.Parent() {
+		if o, ok := k.byView[v.ID()]; ok {
+			return o
+		}
+	}
+	return nil
+}
+
+// onIdle gives background machinery the gap between touches: prefetchers
+// warm predicted blocks, layout conversions advance.
+func (k *Kernel) onIdle(from, to time.Duration) {
+	budget := to - from
+	if budget <= 0 {
+		return
+	}
+	for _, o := range k.objects {
+		if o.conv != nil {
+			o.advanceConversion(budget)
+			continue
+		}
+		if o.prefetcher == nil || !o.prefetcher.Enabled || o.hierarchy == nil {
+			continue
+		}
+		lvl, err := o.hierarchy.Level(o.lastLevel)
+		if err != nil {
+			continue
+		}
+		stride := lvl.Stride
+		n := lvl.Col.Len()
+		o.prefetcher.OnIdle(from, to, lvl.Tracker, func(baseID int) int {
+			idx := baseID / stride
+			if idx < 0 {
+				return 0
+			}
+			if idx >= n {
+				return n - 1
+			}
+			return idx
+		})
+	}
+}
+
+// RunIdle hands the window [from, to) to the background machinery and
+// advances the clock to its end — the user lifted the finger. Exposed for
+// the facade and tests; the dispatcher calls onIdle directly for gaps
+// inside event streams.
+func (k *Kernel) RunIdle(from, to time.Duration) {
+	if to <= from {
+		return
+	}
+	k.onIdle(from, to)
+	k.clock.AdvanceTo(to)
+}
+
+// emit records a result, stamping times and latency.
+func (k *Kernel) emit(r Result) {
+	r.Time = k.clock.Now()
+	r.FadeAt = r.Time + FadeAfter
+	r.Latency = k.clock.Now() - k.curTouchStart
+	k.results = append(k.results, r)
+	k.counters.Add("results.emitted", 1)
+	if k.onResult != nil {
+		k.onResult(r)
+	}
+}

@@ -1,0 +1,624 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dbtouch/internal/gesture"
+	"dbtouch/internal/index"
+	"dbtouch/internal/iomodel"
+	"dbtouch/internal/layout"
+	"dbtouch/internal/mapping"
+	"dbtouch/internal/operator"
+	"dbtouch/internal/prefetch"
+	"dbtouch/internal/sample"
+	"dbtouch/internal/storage"
+	"dbtouch/internal/touchos"
+)
+
+// Object is a visual data object: a view on screen bound to a matrix (or
+// one column of it), carrying all the per-object machinery — sample
+// hierarchy, trackers, extrapolator, prefetcher, lazy indexes, and the
+// configured touch actions.
+type Object struct {
+	id     int
+	kernel *Kernel
+	view   *touchos.View
+	matrix *storage.Matrix
+	// colIdx is the bound attribute for column objects, -1 for tables.
+	colIdx int
+
+	// hierarchy backs column objects; cellTracker backs table objects
+	// (index space = row*ncols+col).
+	hierarchy   *sample.Hierarchy
+	cellTracker *iomodel.Tracker
+	// colTrackers charge filter/group/join reads per attribute.
+	colTrackers []*iomodel.Tracker
+
+	extrap     *prefetch.Extrapolator
+	prefetcher *prefetch.Prefetcher
+	indexes    *index.Registry
+	actions    Actions
+	optimizer  *AdaptiveOptimizer
+	agg        *operator.RunningAgg
+	grouper    *operator.IncrementalGroupBy
+	join       *operator.SymmetricHashJoin
+	joinSide   JoinSide
+
+	lastID    int
+	lastTouch time.Duration
+	lastLevel int
+	sliding   bool
+
+	// touchBuckets histograms touched base ids at bucketSize granularity,
+	// feeding hot-region detection for cache-to-sample promotion (§2.6).
+	touchBuckets map[int]int
+	bucketSize   int
+
+	// conv is the in-progress layout conversion after a rotate gesture.
+	conv *layout.Conversion
+}
+
+// ID returns the object identifier.
+func (o *Object) ID() int { return o.id }
+
+// View returns the object's view.
+func (o *Object) View() *touchos.View { return o.view }
+
+// Matrix returns the backing matrix.
+func (o *Object) Matrix() *storage.Matrix { return o.matrix }
+
+// IsColumn reports whether the object is bound to a single column.
+func (o *Object) IsColumn() bool { return o.colIdx >= 0 }
+
+// Actions returns the current touch configuration.
+func (o *Object) Actions() Actions { return o.actions }
+
+// SetActions replaces the touch configuration and resets per-query state
+// (running aggregates, group tables, optimizer statistics).
+func (o *Object) SetActions(a Actions) {
+	o.actions = a
+	o.agg = operator.NewRunningAgg(a.Agg)
+	o.optimizer = NewAdaptiveOptimizer(a.Filters, 64, o.kernel.cfg.AdaptiveOpt)
+	for _, f := range a.Filters {
+		o.trackerFor(f.Col) // pre-create so evaluations are charged
+	}
+	o.grouper = nil
+	if a.Group != nil && o.matrix.Layout() == storage.ColumnMajor {
+		keyCol, errK := o.matrix.Column(a.Group.KeyCol)
+		valCol, errV := o.matrix.Column(a.Group.ValCol)
+		if errK == nil && errV == nil {
+			o.grouper = operator.NewIncrementalGroupBy(keyCol, valCol, a.Group.Agg)
+		}
+	}
+	o.join = nil
+	if a.Join != nil {
+		o.kernel.wireJoin(o, a.Join)
+	}
+	o.lastID = -1
+}
+
+// Hierarchy exposes the sample hierarchy (column objects; nil for tables).
+func (o *Object) Hierarchy() *sample.Hierarchy { return o.hierarchy }
+
+// Rows reports the tuple count of the backing data.
+func (o *Object) Rows() int { return o.matrix.NumRows() }
+
+// objectMap builds the touch→tuple translator for the current geometry.
+func (o *Object) objectMap() mapping.ObjectMap {
+	cols := o.matrix.NumCols()
+	if o.IsColumn() {
+		cols = 1
+	}
+	return mapping.ObjectMap{
+		Rows:            o.matrix.NumRows(),
+		Cols:            cols,
+		Granularity:     o.kernel.cfg.Granularity,
+		ResolutionPerCm: o.kernel.cfg.ResolutionPerCm,
+	}
+}
+
+// column returns the bound column of a column object.
+func (o *Object) column() (*storage.Column, error) {
+	if !o.IsColumn() {
+		return nil, fmt.Errorf("core: object %d is a table object", o.id)
+	}
+	return o.matrix.Column(o.colIdx)
+}
+
+// beginSlide resets gesture-tracking state at slide start.
+func (o *Object) beginSlide(ev gesture.Event) {
+	o.sliding = true
+	o.lastID = -1
+	o.extrap.Reset()
+	o.lastTouch = ev.Time
+	o.kernel.counters.Add("gesture.slides", 1)
+}
+
+// endSlide finalizes a slide.
+func (o *Object) endSlide(gesture.Event) {
+	o.sliding = false
+}
+
+// processTap handles a single tap: reveal one value (columns) or one full
+// tuple (tables) — the schema-discovery touch of paper §2.2.
+func (o *Object) processTap(ev gesture.Event) {
+	om := o.objectMap()
+	if o.IsColumn() {
+		id, err := om.RowOnView(o.view, ev.Loc)
+		if err != nil {
+			o.kernel.counters.Add("touch.mapping_errors", 1)
+			return
+		}
+		v, baseID, err := o.hierarchy.ScanAt(id, 0)
+		if err != nil {
+			return
+		}
+		o.kernel.emit(Result{Kind: ScanValue, ObjectID: o.id, TupleID: baseID, Value: v})
+		return
+	}
+	row, col, err := om.CellOnView(o.view, ev.Loc)
+	if err != nil {
+		o.kernel.counters.Add("touch.mapping_errors", 1)
+		return
+	}
+	o.chargeCell(row, col)
+	tuple, err := o.matrix.Row(row)
+	if err != nil {
+		return
+	}
+	// Reading the remaining attributes of the tuple costs one access per
+	// attribute beyond the touched cell.
+	for c := 0; c < o.matrix.NumCols(); c++ {
+		if c != col {
+			o.chargeCell(row, c)
+		}
+	}
+	o.kernel.emit(Result{Kind: TuplePeek, ObjectID: o.id, TupleID: row, Col: col, Tuple: tuple})
+}
+
+// processSlideStep handles one delivered slide sample — the unit of query
+// processing in dbTouch.
+func (o *Object) processSlideStep(ev gesture.Event) {
+	om := o.objectMap()
+	var id, col int
+	var err error
+	if o.IsColumn() {
+		id, err = om.RowOnView(o.view, ev.Loc)
+	} else {
+		id, col, err = om.CellOnView(o.view, ev.Loc)
+	}
+	if err != nil {
+		o.kernel.counters.Add("touch.mapping_errors", 1)
+		return
+	}
+	if id == o.lastID {
+		o.kernel.counters.Add("touch.duplicates", 1)
+		return
+	}
+	interTouch := ev.Time - o.lastTouch
+	level := o.chooseLevel(ev, interTouch)
+	o.extrap.Observe(id, ev.Time)
+	o.setDirection()
+	o.lastID = id
+	o.lastTouch = ev.Time
+	o.lastLevel = level
+	o.recordTouch(id)
+
+	// WHERE conjuncts gate everything else (paper §2.9: the slide drives
+	// the query processing steps; tuples failing the restriction yield no
+	// result).
+	if o.optimizer != nil && o.optimizer.Len() > 0 {
+		pass, err := o.optimizer.Eval(o.matrix, id, o.colTrackers)
+		if err != nil || !pass {
+			o.kernel.counters.Add("touch.filtered", 1)
+			return
+		}
+	}
+
+	if o.IsColumn() {
+		o.slideColumn(id, level)
+	} else {
+		o.slideTable(id, col)
+	}
+
+	if o.grouper != nil {
+		kt := o.trackerFor(o.actions.Group.KeyCol)
+		vt := o.trackerFor(o.actions.Group.ValCol)
+		if key, val, ok := o.grouper.Push(id, kt, vt); ok {
+			o.kernel.emit(Result{
+				Kind: GroupValue, ObjectID: o.id, TupleID: id,
+				GroupKey: key, Agg: val, N: int64(o.grouper.SeenTuples()), Level: level,
+			})
+		}
+	}
+	if o.join != nil {
+		o.pushJoin(id, level)
+	}
+}
+
+// slideColumn executes the configured mode against the column hierarchy.
+func (o *Object) slideColumn(id, level int) {
+	rows := o.matrix.NumRows()
+	switch o.actions.Mode {
+	case ModeScan:
+		if o.actions.ValueOrder {
+			o.scanValueOrder(id, level)
+			return
+		}
+		v, baseID, err := o.hierarchy.ScanAt(id, level)
+		if err != nil {
+			return
+		}
+		o.kernel.emit(Result{Kind: ScanValue, ObjectID: o.id, TupleID: baseID, Value: v, Level: level})
+	case ModeAggregate:
+		v, baseID, err := o.hierarchy.ScanAt(id, level)
+		if err != nil {
+			return
+		}
+		o.agg.Add(v.AsFloat())
+		o.kernel.emit(Result{
+			Kind: AggregateValue, ObjectID: o.id, TupleID: baseID,
+			Agg: o.agg.Value(), N: o.agg.N(), Level: level,
+		})
+	case ModeSummary:
+		if o.actions.ValueOrder {
+			o.summaryValueOrder(id, level)
+			return
+		}
+		s := operator.Summarizer{K: o.actions.SummaryK, Kind: o.actions.Agg}
+		lo, hi := s.Window(id, rows)
+		sum, n, min, max, err := o.hierarchy.WindowAgg(lo, hi, level)
+		if err != nil || n == 0 {
+			return
+		}
+		o.kernel.emit(Result{
+			Kind: SummaryValue, ObjectID: o.id, TupleID: id,
+			WindowLo: lo, WindowHi: hi, N: int64(n), Level: level,
+			Agg: summaryValue(o.actions.Agg, sum, n, min, max),
+		})
+	}
+}
+
+// scanValueOrder serves a scan touch in value order via the per-level
+// sorted index: the mapped id is interpreted as a rank.
+func (o *Object) scanValueOrder(id, level int) {
+	lvl, err := o.hierarchy.Level(level)
+	if err != nil {
+		return
+	}
+	idx := o.indexes.For(level, lvl.Col, lvl.Tracker)
+	rank := id / lvl.Stride
+	if rank >= idx.Len() {
+		rank = idx.Len() - 1
+	}
+	v, pos, err := idx.ValueAtRank(rank, lvl.Tracker)
+	if err != nil {
+		return
+	}
+	o.kernel.emit(Result{
+		Kind: ScanValue, ObjectID: o.id, TupleID: pos * lvl.Stride,
+		Value: storage.FloatValue(v), Level: level,
+	})
+}
+
+// summaryValueOrder aggregates a rank window via the sorted index —
+// summaries over value quantiles rather than positions.
+func (o *Object) summaryValueOrder(id, level int) {
+	lvl, err := o.hierarchy.Level(level)
+	if err != nil {
+		return
+	}
+	idx := o.indexes.For(level, lvl.Col, lvl.Tracker)
+	rank := id / lvl.Stride
+	k := o.actions.SummaryK
+	lo, hi := rank-k, rank+k+1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > idx.Len() {
+		hi = idx.Len()
+	}
+	agg := operator.NewRunningAgg(o.actions.Agg)
+	for r := lo; r < hi; r++ {
+		v, _, err := idx.ValueAtRank(r, lvl.Tracker)
+		if err != nil {
+			continue
+		}
+		agg.Add(v)
+	}
+	if agg.N() == 0 {
+		return
+	}
+	o.kernel.emit(Result{
+		Kind: SummaryValue, ObjectID: o.id, TupleID: id,
+		WindowLo: lo * lvl.Stride, WindowHi: hi * lvl.Stride,
+		Agg: agg.Value(), N: agg.N(), Level: level,
+	})
+}
+
+// slideTable executes the configured mode against a table object at
+// (row, col).
+func (o *Object) slideTable(row, col int) {
+	switch o.actions.Mode {
+	case ModeScan:
+		o.chargeCell(row, col)
+		v, err := o.matrix.At(row, col)
+		if err != nil {
+			return
+		}
+		o.kernel.emit(Result{Kind: ScanValue, ObjectID: o.id, TupleID: row, Col: col, Value: v})
+	case ModeAggregate:
+		o.chargeCell(row, col)
+		v, err := o.matrix.At(row, col)
+		if err != nil {
+			return
+		}
+		o.agg.Add(v.AsFloat())
+		o.kernel.emit(Result{
+			Kind: AggregateValue, ObjectID: o.id, TupleID: row, Col: col,
+			Agg: o.agg.Value(), N: o.agg.N(),
+		})
+	case ModeSummary:
+		s := operator.Summarizer{K: o.actions.SummaryK, Kind: o.actions.Agg}
+		lo, hi := s.Window(row, o.matrix.NumRows())
+		agg := operator.NewRunningAgg(o.actions.Agg)
+		for r := lo; r < hi; r++ {
+			o.chargeCell(r, col)
+			v, err := o.matrix.At(r, col)
+			if err != nil {
+				continue
+			}
+			agg.Add(v.AsFloat())
+		}
+		if agg.N() == 0 {
+			return
+		}
+		o.kernel.emit(Result{
+			Kind: SummaryValue, ObjectID: o.id, TupleID: row, Col: col,
+			WindowLo: lo, WindowHi: hi, Agg: agg.Value(), N: agg.N(),
+		})
+	}
+}
+
+// pushJoin feeds the touched tuple into the symmetric join and emits any
+// matches.
+func (o *Object) pushJoin(id, level int) {
+	tracker := o.trackerFor(maxInt(o.colIdx, 0))
+	var matches []operator.JoinMatch
+	if o.joinSide == JoinLeft {
+		matches = o.join.PushLeft(id, tracker)
+	} else {
+		matches = o.join.PushRight(id, tracker)
+	}
+	if len(matches) > 0 {
+		o.kernel.emit(Result{
+			Kind: JoinMatches, ObjectID: o.id, TupleID: id,
+			Matches: matches, N: o.join.Matches(), Level: level,
+		})
+	}
+}
+
+// chooseLevel picks the sample level serving this touch from object
+// extent, finger speed and inter-touch time, then escalates coarser if the
+// estimated window cost would blow the response bound.
+func (o *Object) chooseLevel(ev gesture.Event, interTouch time.Duration) int {
+	if !o.kernel.cfg.UseSamples || o.hierarchy == nil {
+		return 0
+	}
+	// WHERE filters qualify the touched base tuple; answering from a
+	// coarser sample would return a different tuple's value and break
+	// the filter contract, so filtered touches read base data.
+	if len(o.actions.Filters) > 0 {
+		return 0
+	}
+	speed := math.Hypot(ev.Velocity.X, ev.Velocity.Y)
+	level := o.hierarchy.SelectLevel(o.view.LocalSize().H, speed, interTouch)
+	if bound := o.kernel.cfg.ResponseBound; bound > 0 && o.actions.Mode == ModeSummary {
+		level = o.escalateForBound(level, bound)
+	}
+	return level
+}
+
+// escalateForBound raises the level until the worst-case window cost fits
+// the response bound (paper §4: "there should always be a maximum possible
+// wait time for a single touch regardless of the query and the data
+// sizes").
+func (o *Object) escalateForBound(level int, bound time.Duration) int {
+	window := 2*o.actions.SummaryK + 1
+	for level < o.hierarchy.NumLevels()-1 {
+		lvl, err := o.hierarchy.Level(level)
+		if err != nil {
+			return level
+		}
+		entries := window / lvl.Stride
+		if entries < 1 {
+			entries = 1
+		}
+		params := lvl.Tracker.Params()
+		blocks := entries/params.BlockValues + 1
+		worst := time.Duration(blocks)*params.ColdLatency + time.Duration(entries)*params.WarmLatency
+		if worst <= bound {
+			return level
+		}
+		level++
+	}
+	return level
+}
+
+// chargeCell charges a table-cell read to the cell tracker.
+func (o *Object) chargeCell(row, col int) {
+	if o.cellTracker != nil {
+		o.cellTracker.Access(row*o.matrix.NumCols() + col)
+	}
+}
+
+// TrackerFor exposes the per-column tracker (benchmark instrumentation).
+func (o *Object) TrackerFor(col int) *iomodel.Tracker { return o.trackerFor(col) }
+
+// OptimizerReorders reports how many times the adaptive optimizer changed
+// the conjunct evaluation order.
+func (o *Object) OptimizerReorders() int {
+	if o.optimizer == nil {
+		return 0
+	}
+	return o.optimizer.Reorders()
+}
+
+// trackerFor returns (lazily creating) the per-column tracker.
+func (o *Object) trackerFor(col int) *iomodel.Tracker {
+	if col < 0 || col >= o.matrix.NumCols() {
+		return nil
+	}
+	for len(o.colTrackers) <= col {
+		o.colTrackers = append(o.colTrackers, nil)
+	}
+	if o.colTrackers[col] == nil {
+		o.colTrackers[col] = iomodel.New(o.kernel.clock, o.kernel.cfg.IO, o.kernel.newPolicy())
+	}
+	return o.colTrackers[col]
+}
+
+// setDirection forwards the gesture direction to the active trackers so
+// gesture-aware eviction can protect trailing blocks.
+func (o *Object) setDirection() {
+	dir := o.extrap.Direction()
+	if o.hierarchy != nil {
+		for i := 0; i < o.hierarchy.NumLevels(); i++ {
+			if lvl, err := o.hierarchy.Level(i); err == nil {
+				lvl.Tracker.SetDirection(dir)
+			}
+		}
+	}
+	if o.cellTracker != nil {
+		o.cellTracker.SetDirection(dir)
+	}
+}
+
+// applyZoom resizes the view by the pinch factor, bounded to stay
+// touchable (paper §2.5 "Zoom-in/Zoom-out": the object size bounds the
+// addressable data; zooming adjusts the bound).
+func (o *Object) applyZoom(scale float64) {
+	if scale <= 0 {
+		return
+	}
+	frame := o.view.Frame().ScaledAbout(scale)
+	const minExtent = 0.5 // half a centimeter stays tappable
+	if frame.Size.W < minExtent || frame.Size.H < minExtent {
+		return
+	}
+	// Keep the object touchable: clamp the frame to the screen (a real
+	// UI clamps or pans; data off the glass cannot be touched).
+	screen := o.kernel.screen.Frame().Size
+	if frame.Size.W > screen.W {
+		frame.Size.W = screen.W
+	}
+	if frame.Size.H > screen.H {
+		frame.Size.H = screen.H
+	}
+	if frame.Origin.X < 0 {
+		frame.Origin.X = 0
+	}
+	if frame.Origin.Y < 0 {
+		frame.Origin.Y = 0
+	}
+	if frame.Origin.X+frame.Size.W > screen.W {
+		frame.Origin.X = screen.W - frame.Size.W
+	}
+	if frame.Origin.Y+frame.Size.H > screen.H {
+		frame.Origin.Y = screen.H - frame.Size.H
+	}
+	o.view.SetFrame(frame)
+	if scale > 1 {
+		o.kernel.counters.Add("gesture.zoom_in", 1)
+	} else {
+		o.kernel.counters.Add("gesture.zoom_out", 1)
+	}
+}
+
+// applyRotate handles a completed two-finger rotation: the view turns a
+// quarter turn, and multi-column objects start an incremental physical
+// layout conversion with a sample-first preview (paper §2.8).
+func (o *Object) applyRotate(angle float64) {
+	if math.Abs(angle) < math.Pi/4 {
+		return // not a committed quarter turn
+	}
+	turns := touchos.QuarterTurns(1)
+	if angle < 0 {
+		turns = touchos.QuarterTurns(-1)
+	}
+	o.view.Rotate(turns)
+	o.kernel.counters.Add("gesture.rotations", 1)
+	if o.matrix.NumCols() <= 1 || o.conv != nil {
+		return
+	}
+	conv, err := layout.NewConversion(o.matrix, o.kernel.clock, 4096)
+	if err != nil {
+		return
+	}
+	// Sample-first: a strided preview sized to the touchable positions so
+	// the user can query the new layout immediately.
+	positions := o.objectMap().Positions(o.view.LocalSize().H)
+	stride := o.matrix.NumRows() / maxInt(positions, 1)
+	if stride > 1 {
+		if _, err := conv.SampleFirst(stride); err == nil {
+			o.kernel.counters.Add("layout.previews", 1)
+		}
+	}
+	o.conv = conv
+	o.kernel.counters.Add("layout.conversions_started", 1)
+}
+
+// advanceConversion spends idle time on an in-progress layout conversion
+// and swaps the matrix in when complete.
+func (o *Object) advanceConversion(budget time.Duration) {
+	if o.conv == nil {
+		return
+	}
+	if _, err := o.conv.RunFor(budget); err != nil {
+		o.conv = nil
+		return
+	}
+	if o.conv.Done() {
+		o.matrix = o.conv.Result()
+		o.cellTracker = iomodel.New(o.kernel.clock, o.kernel.cfg.IO, o.kernel.newPolicy())
+		o.colTrackers = nil
+		o.conv = nil
+		o.kernel.counters.Add("layout.conversions_done", 1)
+	}
+}
+
+// Converting reports whether a layout conversion is in progress and its
+// progress fraction.
+func (o *Object) Converting() (bool, float64) {
+	if o.conv == nil {
+		return false, 1
+	}
+	return true, o.conv.Progress()
+}
+
+func summaryValue(kind operator.AggKind, sum float64, n int, min, max float64) float64 {
+	switch kind {
+	case operator.Count:
+		return float64(n)
+	case operator.Sum:
+		return sum
+	case operator.Min:
+		return min
+	case operator.Max:
+		return max
+	default: // Avg and variance-family default to the mean over samples
+		if n == 0 {
+			return math.NaN()
+		}
+		return sum / float64(n)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

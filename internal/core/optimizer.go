@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sort"
+
+	"dbtouch/internal/iomodel"
+	"dbtouch/internal/operator"
+	"dbtouch/internal/storage"
+)
+
+// AdaptiveOptimizer reorders WHERE conjuncts on the fly (paper §2.9
+// "Optimization"): dbTouch cannot know up front which part of the data a
+// gesture will cover, and different regions have different properties, so
+// per-predicate selectivities are observed over a decaying window of
+// recent touches and the evaluation order adapts — cheapest expected work
+// first — without ever blocking a touch.
+type AdaptiveOptimizer struct {
+	// Enabled gates adaptation (the ablation switch); disabled keeps the
+	// user-declared order.
+	Enabled bool
+
+	predicates []operator.Predicate
+	stats      []*operator.ConjunctStats
+	order      []int
+	reorders   int
+	evals      int64
+}
+
+// NewAdaptiveOptimizer wraps the given conjuncts. window is the decay
+// window for selectivity statistics.
+func NewAdaptiveOptimizer(predicates []operator.Predicate, window int, enabled bool) *AdaptiveOptimizer {
+	o := &AdaptiveOptimizer{Enabled: enabled, predicates: predicates}
+	o.stats = make([]*operator.ConjunctStats, len(predicates))
+	o.order = make([]int, len(predicates))
+	for i := range predicates {
+		o.stats[i] = operator.NewConjunctStats(window)
+		o.order[i] = i
+	}
+	return o
+}
+
+// Eval evaluates the conjunction against tuple row of m with
+// short-circuiting in the current adaptive order, charging reads through
+// trackers, then reconsiders the order. Evaluated conjuncts update their
+// selectivity; short-circuited ones learn nothing (they were not paid
+// for).
+func (o *AdaptiveOptimizer) Eval(m *storage.Matrix, row int, trackers []*iomodel.Tracker) (bool, error) {
+	o.evals++
+	pass := true
+	for _, idx := range o.order {
+		ok, err := o.predicates[idx].Eval(m, row, trackers)
+		if err != nil {
+			return false, err
+		}
+		o.stats[idx].Observe(ok)
+		if !ok {
+			pass = false
+			break
+		}
+	}
+	if o.Enabled && o.evals%16 == 0 {
+		o.reorder()
+	}
+	return pass, nil
+}
+
+// reorder sorts conjuncts by ascending selectivity: with uniform
+// per-predicate cost, evaluating the most selective (lowest pass rate)
+// first minimizes expected evaluations.
+func (o *AdaptiveOptimizer) reorder() {
+	prev := append([]int(nil), o.order...)
+	sort.SliceStable(o.order, func(a, b int) bool {
+		return o.stats[o.order[a]].Selectivity() < o.stats[o.order[b]].Selectivity()
+	})
+	for i := range prev {
+		if prev[i] != o.order[i] {
+			o.reorders++
+			return
+		}
+	}
+}
+
+// Order returns the current evaluation order (indexes into the original
+// predicate list).
+func (o *AdaptiveOptimizer) Order() []int { return append([]int(nil), o.order...) }
+
+// Reorders reports how many times the order changed.
+func (o *AdaptiveOptimizer) Reorders() int { return o.reorders }
+
+// Selectivity reports the observed selectivity of predicate i.
+func (o *AdaptiveOptimizer) Selectivity(i int) float64 { return o.stats[i].Selectivity() }
+
+// Len reports the number of conjuncts.
+func (o *AdaptiveOptimizer) Len() int { return len(o.predicates) }

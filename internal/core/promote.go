@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dbtouch/internal/storage"
+	"dbtouch/internal/touchos"
+)
+
+// HotRegion describes a heavily revisited tuple range of a column object.
+type HotRegion struct {
+	// Lo and Hi bound the base-tuple range [Lo, Hi).
+	Lo, Hi int
+	// Touches is the access count that made the region hot.
+	Touches int
+}
+
+// recordTouch histograms the touched base id (512 buckets per object).
+func (o *Object) recordTouch(id int) {
+	if o.touchBuckets == nil {
+		o.touchBuckets = make(map[int]int)
+		o.bucketSize = o.matrix.NumRows() / 512
+		if o.bucketSize < 1 {
+			o.bucketSize = 1
+		}
+	}
+	o.touchBuckets[id/o.bucketSize]++
+}
+
+// HotRegions reports contiguous base-tuple ranges the user has revisited
+// at least minTouches times per bucket, hottest first — the kernel
+// "observing the gesture patterns" (paper §2.6) to decide what deserves
+// its own materialized copy. Adjacent hot buckets merge into one region.
+func (o *Object) HotRegions(minTouches int) []HotRegion {
+	if minTouches <= 0 {
+		minTouches = 2
+	}
+	var hot []int
+	for b, c := range o.touchBuckets {
+		if c >= minTouches {
+			hot = append(hot, b)
+		}
+	}
+	if len(hot) == 0 {
+		return nil
+	}
+	sort.Ints(hot)
+	rows := o.matrix.NumRows()
+	var out []HotRegion
+	for _, b := range hot {
+		lo := b * o.bucketSize
+		hi := (b + 1) * o.bucketSize
+		if hi > rows {
+			hi = rows
+		}
+		touches := o.touchBuckets[b]
+		if n := len(out); n > 0 && lo <= out[n-1].Hi+o.bucketSize {
+			out[n-1].Hi = hi
+			out[n-1].Touches += touches
+			continue
+		}
+		out = append(out, HotRegion{Lo: lo, Hi: hi, Touches: touches})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Touches > out[j].Touches })
+	return out
+}
+
+// PromoteHotRegion materializes the hottest revisited region of a column
+// object as its own data object with the given frame — the paper's §2.6
+// "caching may be used to create a new copy (sample) of the data which
+// will allow dbTouch to answer future queries requesting data at a
+// similar granularity". The new object has its own full sample hierarchy
+// over just the region, so slides over it run at region granularity.
+func (k *Kernel) PromoteHotRegion(o *Object, frame touchos.Rect) (*Object, error) {
+	if !o.IsColumn() {
+		return nil, fmt.Errorf("core: hot-region promotion requires a column object")
+	}
+	regions := o.HotRegions(2)
+	if len(regions) == 0 {
+		return nil, fmt.Errorf("core: object %d has no hot regions yet", o.id)
+	}
+	r := regions[0]
+	col, err := o.hierarchy.Promote(r.Lo, r.Hi, k.clock, k.cfg.IO)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("%s[%d:%d]", o.view.Name(), r.Lo, r.Hi)
+	m, err := storage.NewMatrix(name, col)
+	if err != nil {
+		return nil, err
+	}
+	// Copying the region costs one pass over it.
+	k.clock.Advance(k.cfg.IO.WarmLatency * time.Duration(2*(r.Hi-r.Lo)))
+	k.catalog.Register(m)
+	k.counters.Add("cache.promotions", 1)
+	promoted, err := k.CreateColumnObject(m, 0, frame)
+	if err != nil {
+		return nil, err
+	}
+	promoted.SetActions(o.actions)
+	return promoted, nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dbtouch/internal/gesture"
+	"dbtouch/internal/touchos"
+)
+
+// revisitRegion slides back and forth over a narrow band of the object so
+// the gesture-aware policy accumulates touch counts there.
+func revisitRegion(k *Kernel, obj *Object, fromFrac, toFrac float64, passes int) {
+	synth := gesture.Synth{}
+	f := obj.View().Frame()
+	yAt := func(frac float64) float64 { return f.Origin.Y + frac*f.Size.H }
+	x := f.Origin.X + f.Size.W/2
+	start := k.Clock().Now() + time.Millisecond
+	events := synth.BackAndForth(
+		touchos.Point{X: x, Y: yAt(fromFrac)},
+		touchos.Point{X: x, Y: yAt(toFrac)},
+		start, time.Second, passes,
+	)
+	k.Apply(events)
+}
+
+func TestHotRegionsDetectRevisits(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UseSamples = false // keep touches on base level where counting happens
+	cfg.CachePolicy = PolicyGestureAware
+	k, obj := testKernel(t, 100000, cfg)
+	revisitRegion(k, obj, 0.4, 0.6, 3)
+	regions := obj.HotRegions(2)
+	if len(regions) == 0 {
+		t.Fatal("no hot regions after heavy revisits")
+	}
+	top := regions[0]
+	// The revisited band maps to tuples ≈[40000, 60000].
+	if top.Hi < 40000 || top.Lo > 60000 {
+		t.Fatalf("hot region [%d,%d) misses the revisited band", top.Lo, top.Hi)
+	}
+}
+
+func TestHotRegionsEmptyWithoutTouches(t *testing.T) {
+	k, obj := testKernel(t, 100000, DefaultConfig())
+	_ = k
+	if regions := obj.HotRegions(2); regions != nil {
+		t.Fatalf("untouched object reported hot regions: %v", regions)
+	}
+}
+
+func TestHotRegionsLocalizeUnderSampling(t *testing.T) {
+	// Even when touches are served from coarse sample levels, the touch
+	// histogram localizes the revisited band in base-tuple space.
+	k, obj := testKernel(t, 1_000_000, DefaultConfig())
+	revisitRegion(k, obj, 0.5, 0.75, 3)
+	regions := obj.HotRegions(2)
+	if len(regions) == 0 {
+		t.Fatal("no hot regions")
+	}
+	top := regions[0]
+	if top.Hi-top.Lo > 500_000 {
+		t.Fatalf("hot region [%d,%d) not localized", top.Lo, top.Hi)
+	}
+	if top.Lo > 760_000 || top.Hi < 490_000 {
+		t.Fatalf("hot region [%d,%d) misses the revisited band", top.Lo, top.Hi)
+	}
+}
+
+func TestPromoteHotRegion(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UseSamples = false
+	cfg.CachePolicy = PolicyGestureAware
+	k, obj := testKernel(t, 100000, cfg)
+	revisitRegion(k, obj, 0.4, 0.6, 3)
+
+	promoted, err := k.PromoteHotRegion(obj, touchos.NewRect(6, 2, 2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if promoted.Rows() >= obj.Rows() {
+		t.Fatalf("promoted region %d rows should be a subset of %d", promoted.Rows(), obj.Rows())
+	}
+	if promoted.Rows() == 0 {
+		t.Fatal("promoted region empty")
+	}
+	// The promoted object inherits the source's actions and is
+	// immediately explorable.
+	if promoted.Actions().Mode != obj.Actions().Mode {
+		t.Fatal("promoted object should inherit actions")
+	}
+	results := k.Apply(slideEvents(promoted, time.Second, k.Clock().Now()+time.Millisecond))
+	if countResults(results, SummaryValue) == 0 {
+		t.Fatal("promoted object not explorable")
+	}
+	if k.Counters().Get("cache.promotions") != 1 {
+		t.Fatal("promotion counter missing")
+	}
+}
+
+func TestPromoteHotRegionErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CachePolicy = PolicyGestureAware
+	k, obj := testKernel(t, 1000, cfg)
+	// No gestures yet: nothing hot.
+	if _, err := k.PromoteHotRegion(obj, touchos.NewRect(6, 2, 2, 10)); err == nil {
+		t.Fatal("promotion without hot regions should error")
+	}
+}

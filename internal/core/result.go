@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dbtouch/internal/operator"
+	"dbtouch/internal/storage"
+)
+
+// ResultKind classifies what a result carries.
+type ResultKind uint8
+
+// Result kinds.
+const (
+	// ScanValue is a raw cell revealed by a scan touch.
+	ScanValue ResultKind = iota
+	// AggregateValue is the current value of a running aggregate.
+	AggregateValue
+	// SummaryValue is one interactive summary (window aggregate).
+	SummaryValue
+	// TuplePeek is a full tuple revealed by tapping a table object
+	// (schema discovery, paper §2.2).
+	TuplePeek
+	// GroupValue is a group's current aggregate after absorbing the
+	// touched tuple.
+	GroupValue
+	// JoinMatches reports join pairs produced by the touched tuple.
+	JoinMatches
+)
+
+// String names the kind.
+func (k ResultKind) String() string {
+	switch k {
+	case ScanValue:
+		return "scan"
+	case AggregateValue:
+		return "aggregate"
+	case SummaryValue:
+		return "summary"
+	case TuplePeek:
+		return "tuple"
+	case GroupValue:
+		return "group"
+	case JoinMatches:
+		return "join"
+	default:
+		return fmt.Sprintf("ResultKind(%d)", uint8(k))
+	}
+}
+
+// Result is one answer popped up by one touch. Results appear in place at
+// the touch location and fade away shortly after (paper §2.3 "Inspecting
+// Results"); FadeAt records when the front-end should have faded it out.
+type Result struct {
+	Kind     ResultKind
+	ObjectID int
+	// TupleID is the base-data tuple the touch mapped to.
+	TupleID int
+	// Col is the attribute touched (table objects; 0 for columns).
+	Col int
+	// Value is the revealed cell (ScanValue) or a rendering of the
+	// result for other kinds.
+	Value storage.Value
+	// Agg is the numeric answer for aggregate/summary/group results.
+	Agg float64
+	// WindowLo and WindowHi bound the entries a summary aggregated.
+	WindowLo, WindowHi int
+	// N is how many entries contributed (summaries, aggregates, groups).
+	N int64
+	// GroupKey is set for GroupValue results.
+	GroupKey string
+	// Matches carries join pairs for JoinMatches results.
+	Matches []operator.JoinMatch
+	// Tuple carries the full row for TuplePeek results.
+	Tuple []storage.Value
+	// Level is the sample level that served the touch (0 = base data).
+	Level int
+	// Time is the virtual instant the result was produced.
+	Time time.Duration
+	// FadeAt is when the result fades from the screen.
+	FadeAt time.Duration
+	// Latency is how long the kernel was busy producing this result.
+	Latency time.Duration
+}
+
+// FadeAfter is how long a result stays visible before fading.
+const FadeAfter = 1500 * time.Millisecond
+
+// String renders the result for logs and the ASCII front-end.
+func (r Result) String() string {
+	switch r.Kind {
+	case ScanValue:
+		return fmt.Sprintf("[%d] %s", r.TupleID, r.Value)
+	case AggregateValue:
+		return fmt.Sprintf("[%d] agg=%.4g (n=%d)", r.TupleID, r.Agg, r.N)
+	case SummaryValue:
+		return fmt.Sprintf("[%d-%d] %.4g", r.WindowLo, r.WindowHi-1, r.Agg)
+	case TuplePeek:
+		return fmt.Sprintf("[%d] %v", r.TupleID, r.Tuple)
+	case GroupValue:
+		return fmt.Sprintf("%s=%.4g (n=%d)", r.GroupKey, r.Agg, r.N)
+	case JoinMatches:
+		return fmt.Sprintf("[%d] %d matches", r.TupleID, len(r.Matches))
+	default:
+		return fmt.Sprintf("result kind %d", r.Kind)
+	}
+}

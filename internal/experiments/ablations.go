@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dbtouch"
+	"dbtouch/internal/metrics"
+)
+
+// SampleHierarchy (Ext-1) compares sample-based storage against feeding
+// every touch from base data (§2.6 "Sample-based Storage"): same 2 s
+// slide, measuring entries, values read, bytes moved from cold storage
+// and mean per-touch latency.
+func SampleHierarchy(s Scale) *metrics.Table {
+	t := &metrics.Table{Header: []string{
+		"storage", "entries", "values-read", "cold-blocks", "bytes-read", "mean-touch",
+	}}
+	for _, useSamples := range []bool{true, false} {
+		db, obj := s.newDB(10, ablationConfig(func(c *dbtouch.Config) {
+			c.UseSamples = useSamples
+			c.Prefetch = false
+		}))
+		results := obj.Slide(2 * time.Second)
+		stats := obj.Inner().Hierarchy().TotalStats()
+		name := "base-data-only"
+		if useSamples {
+			name = "sample-hierarchy"
+		}
+		t.AddRow(name,
+			fmt.Sprint(countKind(results, dbtouch.SummaryValue)),
+			fmt.Sprint(stats.ValuesRead),
+			fmt.Sprint(stats.ColdFetches),
+			fmt.Sprint(stats.BytesRead),
+			db.TouchLatency().Mean().String(),
+		)
+	}
+	return t
+}
+
+// Prefetch (Ext-2) measures §2.6 "Prefetching Data": a slide pauses
+// mid-gesture for 2 s; with prefetching the kernel spends the pause
+// warming the blocks the extrapolated gesture will reach, so the resumed
+// half of the slide finds data warm.
+func Prefetch(s Scale) *metrics.Table {
+	t := &metrics.Table{Header: []string{
+		"prefetch", "entries", "cold-on-touch-path", "prefetched-blocks", "mean-touch", "p99-touch",
+	}}
+	for _, enabled := range []bool{true, false} {
+		db, obj := s.newDB(10, ablationConfig(func(c *dbtouch.Config) {
+			c.Prefetch = enabled
+			c.UseSamples = false // isolate the mechanism at base level
+		}))
+		results := obj.SlideWithPause(3*time.Second, 0.5, 2*time.Second)
+		stats := obj.Inner().Hierarchy().TotalStats()
+		name := "off"
+		if enabled {
+			name = "on"
+		}
+		t.AddRow(name,
+			fmt.Sprint(countKind(results, dbtouch.SummaryValue)),
+			fmt.Sprint(stats.ColdFetches),
+			fmt.Sprint(stats.Prefetched),
+			db.TouchLatency().Mean().String(),
+			db.TouchLatency().Quantile(0.99).String(),
+		)
+	}
+	return t
+}
+
+// Caching (Ext-3) measures §2.6 "Caching Data" with a back-and-forth
+// slide (two round trips) under a tight warm budget, comparing the
+// gesture-aware policy against LRU and against no caching.
+func Caching(s Scale) *metrics.Table {
+	t := &metrics.Table{Header: []string{
+		"policy", "entries", "cold-fetches", "warm-hits", "evictions", "mean-touch",
+	}}
+	for _, policy := range []string{"gesture-aware", "lru", "none"} {
+		db, obj := s.newDB(10, ablationConfig(func(c *dbtouch.Config) {
+			c.Prefetch = false
+			c.UseSamples = false
+			c.IO.WarmBudget = 24
+		}), dbtouch.WithCachePolicy(policy))
+		results := obj.SlideBackAndForth(1500*time.Millisecond, 2)
+		stats := obj.Inner().Hierarchy().TotalStats()
+		t.AddRow(policy,
+			fmt.Sprint(countKind(results, dbtouch.SummaryValue)),
+			fmt.Sprint(stats.ColdFetches),
+			fmt.Sprint(stats.WarmHits),
+			fmt.Sprint(stats.Evictions),
+			db.TouchLatency().Mean().String(),
+		)
+	}
+	return t
+}
+
+// SummaryK (Ext-4) sweeps the interactive-summaries half-window k
+// (§2.7): each touch inspects 2k+1 entries, trading per-touch cost for
+// data coverage.
+func SummaryK(s Scale) *metrics.Table {
+	t := &metrics.Table{Header: []string{
+		"k", "entries", "values-read", "values-per-touch", "mean-touch",
+	}}
+	for _, k := range []int{0, 1, 5, 10, 50, 100, 500} {
+		db, obj := s.newDB(10, ablationConfig(func(c *dbtouch.Config) {
+			c.UseSamples = false
+			c.Prefetch = false
+		}))
+		obj.Summarize(dbtouch.Avg, k)
+		results := obj.Slide(2 * time.Second)
+		stats := obj.Inner().Hierarchy().TotalStats()
+		entries := countKind(results, dbtouch.SummaryValue)
+		perTouch := float64(0)
+		if entries > 0 {
+			perTouch = float64(stats.ValuesRead) / float64(entries)
+		}
+		t.AddRow(fmt.Sprint(k),
+			fmt.Sprint(entries),
+			fmt.Sprint(stats.ValuesRead),
+			fmt.Sprintf("%.1f", perTouch),
+			db.TouchLatency().Mean().String(),
+		)
+	}
+	return t
+}
+
+// AdaptiveOptimizer (Ext-7) measures §2.9 "Optimization": a slide crosses
+// data whose predicate selectivities flip halfway, so the best conjunct
+// order changes mid-gesture. Adaptive reordering cuts predicate
+// evaluations versus the user-declared order.
+func AdaptiveOptimizer(s Scale) *metrics.Table {
+	t := &metrics.Table{Header: []string{
+		"optimizer", "touches-passed", "touches-filtered", "predicate-evals", "reorders",
+	}}
+	rows := s.Rows
+	// Column a is selective (rarely passes) in the first half; column b
+	// is selective in the second half. Values are pseudo-random per row
+	// so the touch-position quantization grid cannot alias with them.
+	rng := rand.New(rand.NewSource(17))
+	a := make([]int64, rows)
+	b := make([]int64, rows)
+	for i := 0; i < rows; i++ {
+		if i < rows/2 {
+			a[i] = int64(rng.Intn(100)) // a < 5 passes 5%
+			b[i] = 0                    // b < 5 always passes
+		} else {
+			a[i] = 0
+			b[i] = int64(rng.Intn(100))
+		}
+	}
+	v := make([]int64, rows)
+	for i := range v {
+		v[i] = int64(i)
+	}
+	for _, adaptive := range []bool{true, false} {
+		db := dbtouch.Open(ablationConfig(func(c *dbtouch.Config) {
+			c.AdaptiveOpt = adaptive
+			c.UseSamples = false
+			c.Prefetch = false
+		}))
+		db.NewTable("t").Int("v", v).Int("a", a).Int("b", b).MustCreate()
+		obj, err := db.NewColumnObject("t", "v", 2, 2, 2, 10)
+		if err != nil {
+			panic(err)
+		}
+		obj.Scan()
+		// Declared order: b first (bad for the first half).
+		if err := obj.Where("b", "<", 5); err != nil {
+			panic(err)
+		}
+		if err := obj.Where("a", "<", 5); err != nil {
+			panic(err)
+		}
+		results := obj.Slide(4 * time.Second)
+		evals := int64(0)
+		for _, col := range []string{"a", "b"} {
+			idx := obj.Inner().Matrix().ColumnIndex(col)
+			tr := obj.Inner().TrackerFor(idx)
+			if tr != nil {
+				evals += tr.Stats().ValuesRead
+			}
+		}
+		name := "fixed-order"
+		if adaptive {
+			name = "adaptive"
+		}
+		t.AddRow(name,
+			fmt.Sprint(countKind(results, dbtouch.ScanValue)),
+			fmt.Sprint(db.Kernel().Counters().Get("touch.filtered")),
+			fmt.Sprint(evals),
+			fmt.Sprint(obj.Inner().OptimizerReorders()),
+		)
+	}
+	return t
+}

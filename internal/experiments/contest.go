@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dbtouch/internal/core"
+	"dbtouch/internal/datagen"
+	"dbtouch/internal/explorer"
+	"dbtouch/internal/index"
+	"dbtouch/internal/iomodel"
+	"dbtouch/internal/metrics"
+	"dbtouch/internal/storage"
+)
+
+// indexOver adapts the index package for the IndexedSlide experiment.
+func indexOver(col *storage.Column) *index.Sorted { return index.New(col) }
+
+// Contest (Appendix A) runs the dbTouch-vs-DBMS exploration contest on
+// three planted-pattern tasks: an outlier region, a level shift and a
+// spike cluster. Both agents pay analyst think time (deciding the next
+// gesture vs composing the next SQL query) and both engines charge the
+// same virtual cost model; the reported times are end-to-end
+// time-to-discovery.
+func Contest(s Scale) *metrics.Table {
+	t := &metrics.Table{Header: []string{
+		"task", "agent", "found", "time", "machine-time", "tuples-read", "actions",
+	}}
+	tasks := []explorer.Task{
+		explorer.NewTask("outliers", datagen.OutlierRegion, s.ContestRows, 3),
+		explorer.NewTask("levelshift", datagen.LevelShift, s.ContestRows, 5),
+		explorer.NewTask("spikes", datagen.Spike, s.ContestRows, 9),
+	}
+	dbAgent := explorer.DefaultDBTouchAgent()
+	sqlAgent := explorer.DefaultSQLAgent()
+	for _, task := range tasks {
+		d, err := dbAgent.Run(task, core.DefaultConfig())
+		if err != nil {
+			panic(err)
+		}
+		addContestRow(t, task, "dbtouch", d)
+
+		q, err := sqlAgent.Run(task, iomodel.DefaultParams())
+		if err != nil {
+			panic(err)
+		}
+		addContestRow(t, task, "sql-dbms", q)
+	}
+	return t
+}
+
+func addContestRow(t *metrics.Table, task explorer.Task, agent string, d explorer.Discovery) {
+	found := "no"
+	if d.Correct(task.Pattern, task.Rows) {
+		found = "yes"
+	}
+	t.AddRow(task.Name, agent, found,
+		d.Elapsed.String(), d.MachineTime.String(),
+		fmt.Sprint(d.TuplesRead), fmt.Sprint(d.Actions))
+}

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dbtouch/internal/metrics"
+)
+
+// The experiment suite is the integration test of the whole system: each
+// test asserts the *shape* the paper reports, at test scale.
+
+func cellInt(t *testing.T, tb *metrics.Table, row, col int) int64 {
+	t.Helper()
+	v, err := strconv.ParseInt(tb.Rows[row][col], 10, 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not an int: %v", row, col, tb.Rows[row][col], err)
+	}
+	return v
+}
+
+func cellDuration(t *testing.T, tb *metrics.Table, row, col int) time.Duration {
+	t.Helper()
+	d, err := time.ParseDuration(tb.Rows[row][col])
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not a duration: %v", row, col, tb.Rows[row][col], err)
+	}
+	return d
+}
+
+func TestFig4aShape(t *testing.T) {
+	s := Fig4aGestureSpeed(Small())
+	if len(s.Points) != 8 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	// Strictly more entries as the gesture slows down.
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].Y <= s.Points[i-1].Y {
+			t.Fatalf("entries not increasing with duration: %v", s.Points)
+		}
+	}
+	// The paper's endpoints: ≈9 at 0.5s, ≈55 at 4s — both within 2x.
+	first, last := s.Points[0].Y, s.Points[len(s.Points)-1].Y
+	if first < 4 || first > 18 {
+		t.Fatalf("0.5s entries = %v, paper reports ≈9", first)
+	}
+	if last < 28 || last > 110 {
+		t.Fatalf("4s entries = %v, paper reports ≈55", last)
+	}
+	// Roughly linear: 8x duration ⇒ ≥5x entries.
+	if last < first*5 {
+		t.Fatalf("slope too shallow: %v → %v", first, last)
+	}
+}
+
+func TestFig4bShape(t *testing.T) {
+	s := Fig4bObjectSize(Small())
+	if len(s.Points) != 4 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].Y <= s.Points[i-1].Y {
+			t.Fatalf("entries not increasing with size: %v", s.Points)
+		}
+		// Zoom-in doubles the size each step.
+		ratio := s.Points[i].X / s.Points[i-1].X
+		if ratio < 1.9 || ratio > 2.1 {
+			t.Fatalf("object size not doubling: %v", s.Points)
+		}
+	}
+	// Entries roughly double per step too (same gesture speed over a
+	// doubled object).
+	last, first := s.Points[3].Y, s.Points[0].Y
+	if last < first*4 {
+		t.Fatalf("size scaling too shallow: %v", s.Points)
+	}
+}
+
+func TestZoomGranularityShape(t *testing.T) {
+	s := ZoomGranularity(Small())
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].Y <= s.Points[i-1].Y {
+			t.Fatalf("addressable tuples not increasing with zoom: %v", s.Points)
+		}
+	}
+	// At the digitizer bound: ≈20 positions/cm.
+	last := s.Points[len(s.Points)-1]
+	perCm := last.Y / last.X
+	if perCm < 15 || perCm > 22 {
+		t.Fatalf("addressable per cm = %v, want ≈20", perCm)
+	}
+}
+
+func TestSampleHierarchyReducesReads(t *testing.T) {
+	tb := SampleHierarchy(Small())
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+	// Row 0 = sample-hierarchy, row 1 = base-data-only.
+	sampleBytes := cellInt(t, tb, 0, 4)
+	baseBytes := cellInt(t, tb, 1, 4)
+	if sampleBytes*4 > baseBytes {
+		t.Fatalf("samples moved %d bytes vs base %d; want ≥4x reduction", sampleBytes, baseBytes)
+	}
+	// Same entries returned either way (the answer quality knob is
+	// unchanged; only the data source differs).
+	if cellInt(t, tb, 0, 1) != cellInt(t, tb, 1, 1) {
+		t.Fatalf("entries differ between storage modes: %v", tb.Rows)
+	}
+}
+
+func TestPrefetchCutsColdFetches(t *testing.T) {
+	tb := Prefetch(Small())
+	onCold := cellInt(t, tb, 0, 2)
+	offCold := cellInt(t, tb, 1, 2)
+	if onCold*10 > offCold {
+		t.Fatalf("prefetch on: %d cold, off: %d; want ≥10x reduction", onCold, offCold)
+	}
+	if cellInt(t, tb, 0, 3) == 0 {
+		t.Fatal("prefetcher warmed nothing")
+	}
+}
+
+func TestCachingPoliciesOrdering(t *testing.T) {
+	tb := Caching(Small())
+	byName := map[string]int64{}
+	for _, row := range tb.Rows {
+		v, err := strconv.ParseInt(row[2], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byName[row[0]] = v
+	}
+	if byName["gesture-aware"] > byName["lru"] {
+		t.Fatalf("gesture-aware cold %d worse than lru %d", byName["gesture-aware"], byName["lru"])
+	}
+	if byName["none"] < byName["lru"]*2 {
+		t.Fatalf("no-cache cold %d should be far worse than lru %d", byName["none"], byName["lru"])
+	}
+}
+
+func TestSummaryKScalesValuesPerTouch(t *testing.T) {
+	tb := SummaryK(Small())
+	// values-per-touch = 2k+1 exactly.
+	ks := []int{0, 1, 5, 10, 50, 100, 500}
+	for i, k := range ks {
+		got, err := strconv.ParseFloat(tb.Rows[i][3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(2*k + 1)
+		if got < want*0.95 || got > want*1.05 {
+			t.Fatalf("k=%d values/touch = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestAdaptiveOptimizerSavesEvals(t *testing.T) {
+	tb := AdaptiveOptimizer(Small())
+	adaptiveEvals := cellInt(t, tb, 0, 3)
+	fixedEvals := cellInt(t, tb, 1, 3)
+	if adaptiveEvals >= fixedEvals {
+		t.Fatalf("adaptive %d evals vs fixed %d; adaptation must help", adaptiveEvals, fixedEvals)
+	}
+	if cellInt(t, tb, 0, 4) == 0 {
+		t.Fatal("adaptive optimizer never reordered")
+	}
+	// Both configurations return the same passing touches.
+	if cellInt(t, tb, 0, 1) != cellInt(t, tb, 1, 1) {
+		t.Fatalf("optimizer changed results: %v", tb.Rows)
+	}
+}
+
+func TestRotateSampleFirstFasterToQueryable(t *testing.T) {
+	tb := RotateLayout(Small())
+	fullFirst := cellDuration(t, tb, 0, 1)
+	sampleFirst := cellDuration(t, tb, 1, 1)
+	if sampleFirst*10 > fullFirst {
+		t.Fatalf("sample-first queryable at %v vs full %v; want ≥10x faster", sampleFirst, fullFirst)
+	}
+	// Total completion within 2x of the one-shot copy.
+	fullDone := cellDuration(t, tb, 0, 2)
+	sampleDone := cellDuration(t, tb, 1, 2)
+	if sampleDone > fullDone*2 {
+		t.Fatalf("sample-first total %v vs full %v", sampleDone, fullDone)
+	}
+}
+
+func TestJoinSymmetricFirstMatchEarlier(t *testing.T) {
+	tb := JoinNonBlocking(Small())
+	symFirst := cellDuration(t, tb, 0, 1)
+	blkFirst := cellDuration(t, tb, 1, 1)
+	if symFirst*2 > blkFirst {
+		t.Fatalf("symmetric first match %v vs blocking %v; non-blocking must be much earlier", symFirst, blkFirst)
+	}
+	// Identical match counts.
+	if tb.Rows[0][3] != tb.Rows[1][3] {
+		t.Fatalf("match counts differ: %v", tb.Rows)
+	}
+}
+
+func TestIndexedSlideCheaperThanScan(t *testing.T) {
+	tb := IndexedSlide(Small())
+	var rangeIdx, rangeScan int64
+	for _, row := range tb.Rows {
+		v, err := strconv.ParseInt(row[2], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case strings.HasPrefix(row[0], "index-range"):
+			rangeIdx = v
+		case strings.HasPrefix(row[0], "fullscan-range"):
+			rangeScan = v
+		}
+	}
+	if rangeIdx*10 > rangeScan {
+		t.Fatalf("index range read %d values vs scan %d", rangeIdx, rangeScan)
+	}
+}
+
+func TestRemoteBatchingShape(t *testing.T) {
+	tb := RemoteProcessing(Small())
+	batchedTrips := cellInt(t, tb, 0, 1)
+	perTouchTrips := cellInt(t, tb, 1, 1)
+	if batchedTrips*2 > perTouchTrips {
+		t.Fatalf("batched %d trips vs per-touch %d", batchedTrips, perTouchTrips)
+	}
+	// Everything still answered locally first.
+	if cellInt(t, tb, 0, 3) != cellInt(t, tb, 1, 3) {
+		t.Fatalf("local answers differ: %v", tb.Rows)
+	}
+}
+
+func TestContestShape(t *testing.T) {
+	tb := Contest(Small())
+	// Rows alternate dbtouch/sql per task; compare pairs.
+	for i := 0; i+1 < len(tb.Rows); i += 2 {
+		task := tb.Rows[i][0]
+		if tb.Rows[i][2] != "yes" {
+			t.Fatalf("task %s: dbtouch agent failed: %v", task, tb.Rows[i])
+		}
+		if tb.Rows[i+1][2] != "yes" {
+			t.Fatalf("task %s: sql agent failed: %v", task, tb.Rows[i+1])
+		}
+		dbTime := cellDuration(t, tb, i, 3)
+		sqlTime := cellDuration(t, tb, i+1, 3)
+		if dbTime >= sqlTime {
+			t.Fatalf("task %s: dbtouch %v not faster than sql %v", task, dbTime, sqlTime)
+		}
+		dbTuples := cellInt(t, tb, i, 5)
+		sqlTuples := cellInt(t, tb, i+1, 5)
+		if dbTuples*10 > sqlTuples {
+			t.Fatalf("task %s: dbtouch read %d tuples, sql %d; want ≥10x less", task, dbTuples, sqlTuples)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package explorer
+
+import (
+	"time"
+
+	"dbtouch/internal/core"
+	"dbtouch/internal/gesture"
+	"dbtouch/internal/operator"
+	"dbtouch/internal/storage"
+	"dbtouch/internal/touchos"
+)
+
+// DBTouchAgent explores a task by gesturing at a dbTouch kernel: a fast
+// coarse pass over the whole object, then progressively slower passes
+// zoomed around the most anomalous summaries — exactly the
+// coarse-to-fine, react-to-what-you-see loop the paper's exploration
+// story describes.
+type DBTouchAgent struct {
+	// GestureDecideTime is the analyst pause between gestures (looking at
+	// the fading results and choosing the next move).
+	GestureDecideTime time.Duration
+	// PassDuration is the slide time for the coarse pass.
+	PassDuration time.Duration
+	// MaxRounds bounds refinement rounds.
+	MaxRounds int
+	// ZThreshold is the anomaly trigger on summary z-scores.
+	ZThreshold float64
+}
+
+// DefaultDBTouchAgent matches a practiced tablet user: half a second of
+// looking between gestures, two-second sweeps.
+func DefaultDBTouchAgent() DBTouchAgent {
+	return DBTouchAgent{
+		GestureDecideTime: 500 * time.Millisecond,
+		PassDuration:      2 * time.Second,
+		MaxRounds:         5,
+		ZThreshold:        3,
+	}
+}
+
+// Run explores the task and reports the discovery.
+func (a DBTouchAgent) Run(task Task, cfg core.Config) (Discovery, error) {
+	k := core.NewKernel(cfg)
+	m, err := storage.NewMatrix(task.Name, task.Column)
+	if err != nil {
+		return Discovery{}, err
+	}
+	frame := touchos.NewRect(2, 2, 2, 10)
+	obj, err := k.CreateColumnObject(m, 0, frame)
+	if err != nil {
+		return Discovery{}, err
+	}
+	obj.SetActions(core.DefaultActions())
+
+	synth := gesture.Synth{}
+	thinkTime := time.Duration(0)
+	clock := k.Clock()
+	gestures := 0
+
+	// Current focus window in tuple space; starts as everything.
+	lo, hi := 0, task.Rows
+	dur := a.PassDuration
+	sweepActions := core.DefaultActions()
+
+	for round := 0; round < a.MaxRounds; round++ {
+		// Think, then sweep the object top to bottom. Each round the
+		// object is zoomed (logically) onto [lo, hi): we emulate the
+		// zoom+pan by sliding over a fresh object bound to the focus
+		// region when the region shrinks below the full column.
+		clock.Advance(a.GestureDecideTime)
+		thinkTime += a.GestureDecideTime
+
+		sweepObj := obj
+		offset := 0
+		if lo > 0 || hi < task.Rows {
+			sub, err := task.Column.Slice(lo, hi)
+			if err != nil {
+				return Discovery{}, err
+			}
+			subM, err := storage.NewMatrix(task.Name+".zoom", sub)
+			if err != nil {
+				return Discovery{}, err
+			}
+			sweepObj, err = k.CreateColumnObject(subM, 0, touchos.NewRect(6, 2, 2, 10))
+			if err != nil {
+				return Discovery{}, err
+			}
+			offset = lo
+		}
+		sweepObj.SetActions(sweepActions)
+
+		f := sweepObj.View().Frame()
+		start := clock.Now()
+		events := synth.Slide(
+			touchos.Point{X: f.Origin.X + f.Size.W/2, Y: f.Origin.Y + 0.05},
+			touchos.Point{X: f.Origin.X + f.Size.W/2, Y: f.Origin.Y + f.Size.H - 0.05},
+			start, dur,
+		)
+		results := k.Apply(events)
+		gestures++
+		if sweepObj != obj {
+			k.RemoveObject(sweepObj.ID())
+		}
+
+		// React to the summaries: find the most anomalous window.
+		var vals []float64
+		var windows [][2]int
+		for _, r := range results {
+			if r.Kind != core.SummaryValue {
+				continue
+			}
+			vals = append(vals, r.Agg)
+			windows = append(windows, [2]int{r.WindowLo + offset, r.WindowHi + offset})
+		}
+		if len(vals) < 4 {
+			dur *= 2 // too fast to see anything; slow down
+			continue
+		}
+		wLo, wHi, found := anomalousRegion(vals, a.ZThreshold)
+		if !found {
+			// Nothing anomalous at this granularity. A practiced analyst
+			// first switches the summary aggregation to MAX (spikes hide
+			// from averages), then slows down for a finer look.
+			if sweepActions.Agg != operator.Max {
+				sweepActions.Agg = operator.Max
+			} else {
+				dur *= 2
+			}
+			continue
+		}
+		regionLo, regionHi := windows[wLo][0], windows[wHi][1]
+		// Localized tightly enough?
+		if regionHi-regionLo <= maxInt(task.Rows/200, 4*(2*obj.Actions().SummaryK+1)) {
+			elapsed := clock.Now()
+			return Discovery{
+				Found: true, Lo: regionLo, Hi: regionHi,
+				Elapsed:     elapsed,
+				MachineTime: elapsed - thinkTime,
+				TuplesRead:  obj.Hierarchy().TotalStats().ValuesRead,
+				Actions:     gestures,
+			}, nil
+		}
+		// Zoom into the region (with margin) and sweep again slower.
+		margin := (regionHi - regionLo) / 2
+		lo = maxInt(0, regionLo-margin)
+		hi = minInt(task.Rows, regionHi+margin)
+		dur = a.PassDuration
+	}
+	elapsed := clock.Now()
+	return Discovery{
+		Found: lo > 0 || hi < task.Rows, Lo: lo, Hi: hi,
+		Elapsed:     elapsed,
+		MachineTime: elapsed - thinkTime,
+		TuplesRead:  obj.Hierarchy().TotalStats().ValuesRead,
+		Actions:     gestures,
+	}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

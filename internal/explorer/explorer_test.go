@@ -1,0 +1,147 @@
+package explorer
+
+import (
+	"testing"
+
+	"dbtouch/internal/core"
+	"dbtouch/internal/datagen"
+	"dbtouch/internal/iomodel"
+)
+
+func TestNewTaskShape(t *testing.T) {
+	task := NewTask("x", datagen.OutlierRegion, 10000, 3)
+	if task.Rows != 10000 || task.Column.Len() != 10000 || task.IDs.Len() != 10000 {
+		t.Fatal("task columns malformed")
+	}
+	if task.Pattern.End <= task.Pattern.Start {
+		t.Fatalf("pattern = %+v", task.Pattern)
+	}
+	if task.IDs.Int(42) != 42 {
+		t.Fatal("id column must be the identity")
+	}
+}
+
+func TestDiscoveryCorrectness(t *testing.T) {
+	p := datagen.Pattern{Start: 1000, End: 1100}
+	rows := 100000
+	good := Discovery{Found: true, Lo: 950, Hi: 1200}
+	if !good.Correct(p, rows) {
+		t.Fatal("overlapping tight report should be correct")
+	}
+	miss := Discovery{Found: true, Lo: 5000, Hi: 5100}
+	if miss.Correct(p, rows) {
+		t.Fatal("non-overlapping report should be wrong")
+	}
+	vague := Discovery{Found: true, Lo: 0, Hi: rows}
+	if vague.Correct(p, rows) {
+		t.Fatal("reporting the whole column is not a discovery")
+	}
+	notFound := Discovery{Found: false, Lo: 900, Hi: 1200}
+	if notFound.Correct(p, rows) {
+		t.Fatal("unfound discovery cannot be correct")
+	}
+}
+
+func TestAnomalousRegionPointAnomaly(t *testing.T) {
+	vals := make([]float64, 40)
+	for i := range vals {
+		vals[i] = 10
+	}
+	vals[17] = 100
+	lo, hi, found := anomalousRegion(vals, 3)
+	if !found || lo > 17 || hi < 17 {
+		t.Fatalf("point anomaly: [%d,%d] found=%v", lo, hi, found)
+	}
+}
+
+func TestAnomalousRegionChangePoint(t *testing.T) {
+	vals := make([]float64, 40)
+	for i := range vals {
+		if i < 20 {
+			vals[i] = 10
+		} else {
+			vals[i] = 50
+		}
+	}
+	lo, hi, found := anomalousRegion(vals, 3)
+	if !found {
+		t.Fatal("change point not detected")
+	}
+	if lo < 17 || hi > 22 {
+		t.Fatalf("change point localized to [%d,%d], want ≈[19,20]", lo, hi)
+	}
+}
+
+func TestAnomalousRegionCleanData(t *testing.T) {
+	vals := make([]float64, 40)
+	for i := range vals {
+		vals[i] = 10 + float64(i%3)*0.01
+	}
+	if _, _, found := anomalousRegion(vals, 3); found {
+		t.Fatal("clean data should trigger nothing")
+	}
+	if _, _, found := anomalousRegion(vals[:3], 3); found {
+		t.Fatal("too-short series should trigger nothing")
+	}
+}
+
+func TestDBTouchAgentFindsOutliers(t *testing.T) {
+	task := NewTask("outliers", datagen.OutlierRegion, 50000, 3)
+	d, err := DefaultDBTouchAgent().Run(task, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Correct(task.Pattern, task.Rows) {
+		t.Fatalf("dbtouch agent failed: %v (plant [%d,%d))", d, task.Pattern.Start, task.Pattern.End)
+	}
+	if d.TuplesRead >= int64(task.Rows) {
+		t.Fatalf("agent read %d tuples of %d; exploration must not scan everything", d.TuplesRead, task.Rows)
+	}
+}
+
+func TestDBTouchAgentFindsLevelShift(t *testing.T) {
+	task := NewTask("shift", datagen.LevelShift, 50000, 5)
+	d, err := DefaultDBTouchAgent().Run(task, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Correct(task.Pattern, task.Rows) {
+		t.Fatalf("level shift not found: %v", d)
+	}
+}
+
+func TestSQLAgentFindsOutliers(t *testing.T) {
+	task := NewTask("outliers", datagen.OutlierRegion, 50000, 3)
+	d, err := DefaultSQLAgent().Run(task, iomodel.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Correct(task.Pattern, task.Rows) {
+		t.Fatalf("sql agent failed: %v", d)
+	}
+	if d.Actions < 2 {
+		t.Fatal("sql agent should need several queries")
+	}
+}
+
+func TestContestDBTouchWins(t *testing.T) {
+	task := NewTask("outliers", datagen.OutlierRegion, 50000, 3)
+	db, err := DefaultDBTouchAgent().Run(task, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql, err := DefaultSQLAgent().Run(task, iomodel.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Correct(task.Pattern, task.Rows) || !sql.Correct(task.Pattern, task.Rows) {
+		t.Fatalf("agents: db=%v sql=%v", db, sql)
+	}
+	// The paper's claim: touch exploration reaches the insight first.
+	if db.Elapsed >= sql.Elapsed {
+		t.Fatalf("dbtouch %v not faster than sql %v", db.Elapsed, sql.Elapsed)
+	}
+	if db.TuplesRead >= sql.TuplesRead {
+		t.Fatalf("dbtouch read %d tuples, sql %d; dbtouch must touch less data", db.TuplesRead, sql.TuplesRead)
+	}
+}

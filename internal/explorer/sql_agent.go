@@ -1,0 +1,124 @@
+package explorer
+
+import (
+	"fmt"
+	"time"
+
+	"dbtouch/internal/baseline"
+	"dbtouch/internal/iomodel"
+	"dbtouch/internal/storage"
+	"dbtouch/internal/vclock"
+)
+
+// SQLAgent explores a task through the traditional DBMS: global
+// aggregates first, then recursive bucketed drill-down with WHERE range
+// predicates — the natural strategy at a SQL prompt. Every query is a
+// monolithic full scan (the engine has no index on id), and every query
+// costs analyst compose time: the two contest handicaps the paper's
+// Appendix A pits against each other.
+type SQLAgent struct {
+	// QueryComposeTime is the analyst time to think up and type one
+	// query.
+	QueryComposeTime time.Duration
+	// Buckets is the drill-down fan-out per round.
+	Buckets int
+	// MaxRounds bounds the drill-down depth.
+	MaxRounds int
+	// ZThreshold is the anomaly trigger on bucket means.
+	ZThreshold float64
+}
+
+// DefaultSQLAgent models a fluent SQL analyst: ten seconds per query,
+// eight buckets per round.
+func DefaultSQLAgent() SQLAgent {
+	return SQLAgent{
+		QueryComposeTime: 10 * time.Second,
+		Buckets:          8,
+		MaxRounds:        8,
+		ZThreshold:       2.5,
+	}
+}
+
+// Run explores the task and reports the discovery.
+func (a SQLAgent) Run(task Task, params iomodel.Params) (Discovery, error) {
+	clock := vclock.New()
+	eng := baseline.New(clock, params)
+	m, err := storage.NewMatrix("t", task.IDs, task.Column)
+	if err != nil {
+		return Discovery{}, err
+	}
+	if err := eng.Register(m); err != nil {
+		return Discovery{}, err
+	}
+
+	thinkTime := time.Duration(0)
+	queries := 0
+	ask := func(sql string) (*baseline.ResultSet, error) {
+		clock.Advance(a.QueryComposeTime)
+		thinkTime += a.QueryComposeTime
+		queries++
+		return eng.Query(sql)
+	}
+
+	// Global picture first.
+	if _, err := ask("SELECT AVG(v), STDDEV(v), MIN(v), MAX(v) FROM t"); err != nil {
+		return Discovery{}, err
+	}
+
+	lo, hi := 0, task.Rows
+	for round := 0; round < a.MaxRounds; round++ {
+		buckets := a.Buckets
+		width := (hi - lo) / buckets
+		if width < 1 {
+			break
+		}
+		means := make([]float64, 0, buckets)
+		bounds := make([][2]int, 0, buckets)
+		for b := 0; b < buckets; b++ {
+			bLo := lo + b*width
+			bHi := bLo + width
+			if b == buckets-1 {
+				bHi = hi
+			}
+			rs, err := ask(fmt.Sprintf("SELECT AVG(v) FROM t WHERE id >= %d AND id < %d", bLo, bHi))
+			if err != nil {
+				return Discovery{}, err
+			}
+			if len(rs.Rows) == 1 && len(rs.Rows[0]) == 1 {
+				means = append(means, rs.Rows[0][0].AsFloat())
+				bounds = append(bounds, [2]int{bLo, bHi})
+			}
+		}
+		wLo, wHi, found := anomalousRegion(means, a.ZThreshold)
+		if !found {
+			// No bucket stands out at this width; the pattern is thinner
+			// than a bucket — the analyst re-buckets the same range more
+			// finely (up to a sanity bound).
+			if width <= 2 || a.Buckets >= 64 {
+				break
+			}
+			a.Buckets *= 2
+			continue
+		}
+		lo, hi = bounds[wLo][0], bounds[wHi][1]
+		stats := eng.TotalStats()
+		if hi-lo <= maxInt(task.Rows/200, 64) {
+			elapsed := clock.Now()
+			return Discovery{
+				Found: true, Lo: lo, Hi: hi,
+				Elapsed:     elapsed,
+				MachineTime: elapsed - thinkTime,
+				TuplesRead:  stats.ValuesRead,
+				Actions:     queries,
+			}, nil
+		}
+	}
+	elapsed := clock.Now()
+	return Discovery{
+		Found: lo > 0 || hi < task.Rows, Lo: lo, Hi: hi,
+		Elapsed:     elapsed,
+		MachineTime: elapsed - thinkTime,
+		TuplesRead:  eng.TotalStats().ValuesRead,
+		Actions:     queries,
+	}, nil
+}

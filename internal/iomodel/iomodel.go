@@ -1,0 +1,254 @@
+// Package iomodel charges virtual time for data access, simulating the
+// storage hierarchy the dbTouch prototype ran on (paper §2.6 "Storing and
+// Accessing Data"). Data lives in blocks; the first touch of a block is a
+// cold fetch with block latency, later touches are warm per-value reads.
+// A warm-block budget models limited fast memory, and pluggable eviction
+// policies let the caching experiments (§2.6 "Caching Data") compare
+// gesture-aware policies against plain LRU.
+package iomodel
+
+import (
+	"time"
+
+	"dbtouch/internal/vclock"
+)
+
+// Params configures the storage cost model.
+type Params struct {
+	// BlockValues is the number of fixed-width values per storage block.
+	BlockValues int
+	// ColdLatency is charged once when a block is first brought warm.
+	ColdLatency time.Duration
+	// WarmLatency is charged per value read from a warm block.
+	WarmLatency time.Duration
+	// WarmBudget caps the number of simultaneously warm blocks;
+	// 0 means unlimited (no eviction).
+	WarmBudget int
+}
+
+// DefaultParams models a tablet-class device: 1024-value blocks, 50µs cold
+// block fetch, 5ns warm value reads, 4096 warm blocks (~32 MB of 64-bit
+// values).
+func DefaultParams() Params {
+	return Params{
+		BlockValues: 1024,
+		ColdLatency: 50 * time.Microsecond,
+		WarmLatency: 5 * time.Nanosecond,
+		WarmBudget:  4096,
+	}
+}
+
+// EvictionPolicy decides which warm block to drop when the budget is
+// exceeded. Implementations live in internal/cache; iomodel ships plain
+// LRU as the default.
+type EvictionPolicy interface {
+	// Touched notifies the policy of an access to block b at virtual time
+	// now, moving in direction dir (-1 backward, 0 unknown, +1 forward).
+	Touched(b int, now time.Duration, dir int)
+	// Victim picks the block to evict from the warm set. lastUse maps
+	// warm blocks to their last access time.
+	Victim(lastUse map[int]time.Duration) int
+	// Forgot notifies the policy that block b was evicted.
+	Forgot(b int)
+	// Name identifies the policy in benchmark output.
+	Name() string
+}
+
+// Stats counts cost-model activity.
+type Stats struct {
+	ColdFetches int64 // blocks fetched cold on the touch path
+	WarmHits    int64 // values served from warm blocks
+	ValuesRead  int64 // total values charged
+	Prefetched  int64 // blocks warmed off the touch path
+	Evictions   int64 // blocks evicted
+	BytesRead   int64 // bytes moved from cold storage (block fetches)
+}
+
+// Tracker charges access costs against a virtual clock for one backing
+// array (a column, a sample level, or a row-major slab).
+type Tracker struct {
+	params Params
+	clock  *vclock.Clock
+	warm   map[int]time.Duration
+	policy EvictionPolicy
+	stats  Stats
+	dir    int
+}
+
+// New returns a tracker with the given params. A nil policy selects LRU.
+func New(clock *vclock.Clock, params Params, policy EvictionPolicy) *Tracker {
+	if params.BlockValues <= 0 {
+		params.BlockValues = 1
+	}
+	if policy == nil {
+		policy = LRU{}
+	}
+	return &Tracker{
+		params: params,
+		clock:  clock,
+		warm:   make(map[int]time.Duration),
+		policy: policy,
+	}
+}
+
+// Params returns the tracker's cost parameters.
+func (t *Tracker) Params() Params { return t.params }
+
+// Policy exposes the eviction policy (gesture-aware policies also feed
+// hot-range detection for cache-to-sample promotion).
+func (t *Tracker) Policy() EvictionPolicy { return t.policy }
+
+// SetDirection records the current gesture movement direction, forwarded
+// to the eviction policy on each touch.
+func (t *Tracker) SetDirection(dir int) { t.dir = dir }
+
+// Block returns the block index holding value idx.
+func (t *Tracker) Block(idx int) int { return idx / t.params.BlockValues }
+
+// IsWarm reports whether the block holding value idx is warm.
+func (t *Tracker) IsWarm(idx int) bool {
+	_, ok := t.warm[t.Block(idx)]
+	return ok
+}
+
+// Access charges the cost of reading the value at idx, advances the clock,
+// and returns the charged duration.
+func (t *Tracker) Access(idx int) time.Duration {
+	cost := t.accessCost(idx, false)
+	t.clock.Advance(cost)
+	return cost
+}
+
+// AccessRange charges the cost of reading values [lo, hi), advances the
+// clock, and returns the total charged duration.
+func (t *Tracker) AccessRange(lo, hi int) time.Duration {
+	var total time.Duration
+	for i := lo; i < hi; i++ {
+		total += t.accessCost(i, false)
+	}
+	t.clock.Advance(total)
+	return total
+}
+
+// accessCost computes and records the cost of one value read. When
+// prefetching is true the warm hit is not counted against touch stats.
+func (t *Tracker) accessCost(idx int, prefetching bool) time.Duration {
+	b := t.Block(idx)
+	now := t.clock.Now()
+	cost := t.params.WarmLatency
+	if _, ok := t.warm[b]; !ok {
+		cost += t.params.ColdLatency
+		t.warmBlock(b, now)
+		if prefetching {
+			t.stats.Prefetched++
+		} else {
+			t.stats.ColdFetches++
+		}
+		t.stats.BytesRead += int64(t.params.BlockValues) * 8
+	} else {
+		t.warm[b] = now
+		if !prefetching {
+			t.stats.WarmHits++
+		}
+	}
+	if !prefetching {
+		t.stats.ValuesRead++
+	}
+	t.policy.Touched(b, now, t.dir)
+	return cost
+}
+
+// warmBlock marks b warm and evicts if over budget.
+func (t *Tracker) warmBlock(b int, now time.Duration) {
+	t.warm[b] = now
+	if t.params.WarmBudget > 0 && len(t.warm) > t.params.WarmBudget {
+		victim := t.policy.Victim(t.warm)
+		if _, ok := t.warm[victim]; !ok {
+			// Defensive: a policy returning a non-warm block falls back
+			// to oldest-first so eviction always makes progress.
+			victim = oldestBlock(t.warm)
+		}
+		delete(t.warm, victim)
+		t.policy.Forgot(victim)
+		t.stats.Evictions++
+	}
+}
+
+// PrefetchBlock warms the block containing idx without advancing the
+// clock, consuming from budget instead. It returns the cost consumed
+// (zero when the block was already warm or the budget is insufficient).
+func (t *Tracker) PrefetchBlock(idx int, budget time.Duration) time.Duration {
+	b := t.Block(idx)
+	if _, ok := t.warm[b]; ok {
+		return 0
+	}
+	if budget < t.params.ColdLatency {
+		return 0
+	}
+	t.warmBlock(b, t.clock.Now())
+	t.stats.Prefetched++
+	t.stats.BytesRead += int64(t.params.BlockValues) * 8
+	return t.params.ColdLatency
+}
+
+// PrefetchRange warms blocks covering values [lo, hi) front to back within
+// budget. It returns the total cost consumed and the frontier: the first
+// value index not yet processed when the budget ran out (>= hi when the
+// whole range was covered).
+func (t *Tracker) PrefetchRange(lo, hi int, budget time.Duration) (time.Duration, int) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	var used time.Duration
+	b := t.Block(lo)
+	for ; b <= t.Block(hi); b++ {
+		if budget-used < t.params.ColdLatency && !t.IsWarm(b*t.params.BlockValues) {
+			break
+		}
+		used += t.PrefetchBlock(b*t.params.BlockValues, budget-used)
+	}
+	return used, b * t.params.BlockValues
+}
+
+// WarmBlocks reports how many blocks are currently warm.
+func (t *Tracker) WarmBlocks() int { return len(t.warm) }
+
+// Stats returns a snapshot of the counters.
+func (t *Tracker) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the counters, keeping warmth state.
+func (t *Tracker) ResetStats() { t.stats = Stats{} }
+
+// Cool drops all warm blocks, returning the store to a cold start.
+func (t *Tracker) Cool() {
+	for b := range t.warm {
+		t.policy.Forgot(b)
+	}
+	t.warm = make(map[int]time.Duration)
+}
+
+// LRU is the default eviction policy: evict the least recently used block.
+type LRU struct{}
+
+// Touched implements EvictionPolicy (LRU keeps no extra state; recency
+// lives in the tracker's lastUse map).
+func (LRU) Touched(int, time.Duration, int) {}
+
+// Victim returns the least recently used warm block.
+func (LRU) Victim(lastUse map[int]time.Duration) int { return oldestBlock(lastUse) }
+
+// Forgot implements EvictionPolicy.
+func (LRU) Forgot(int) {}
+
+// Name implements EvictionPolicy.
+func (LRU) Name() string { return "lru" }
+
+func oldestBlock(lastUse map[int]time.Duration) int {
+	victim, oldest := -1, time.Duration(1<<62)
+	for b, t := range lastUse {
+		if t < oldest || (t == oldest && b < victim) {
+			victim, oldest = b, t
+		}
+	}
+	return victim
+}

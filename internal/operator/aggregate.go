@@ -1,0 +1,176 @@
+// Package operator implements dbTouch's incremental query operators. In a
+// traditional kernel, operators pull tuples under the engine's control; in
+// dbTouch every user touch pushes exactly one step of work through an
+// operator (paper §2.3: the slide gesture is "equivalent to the next
+// operation where an operator requests the next tuple to process", except
+// the user triggers the next actions). Operators here are therefore
+// incremental: they absorb one tuple (or one small window) at a time and
+// always have a current answer ready.
+package operator
+
+import (
+	"fmt"
+	"math"
+)
+
+// AggKind selects an aggregation function.
+type AggKind uint8
+
+// Supported aggregates.
+const (
+	Count AggKind = iota
+	Sum
+	Avg
+	Min
+	Max
+	Var
+	Stddev
+)
+
+// String names the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Avg:
+		return "avg"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case Var:
+		return "var"
+	case Stddev:
+		return "stddev"
+	default:
+		return fmt.Sprintf("AggKind(%d)", uint8(k))
+	}
+}
+
+// ParseAggKind resolves an aggregate by name (case-sensitive SQL-ish).
+func ParseAggKind(s string) (AggKind, error) {
+	switch s {
+	case "count", "COUNT":
+		return Count, nil
+	case "sum", "SUM":
+		return Sum, nil
+	case "avg", "AVG":
+		return Avg, nil
+	case "min", "MIN":
+		return Min, nil
+	case "max", "MAX":
+		return Max, nil
+	case "var", "VAR":
+		return Var, nil
+	case "stddev", "STDDEV":
+		return Stddev, nil
+	default:
+		return 0, fmt.Errorf("operator: unknown aggregate %q", s)
+	}
+}
+
+// RunningAgg maintains a running aggregate that can absorb one value per
+// touch and report the current answer at any time — the "running aggregate
+// continuously updated" of paper §2.3. Variance uses Welford's online
+// algorithm so a single pass stays numerically stable however long the
+// gesture wanders.
+type RunningAgg struct {
+	kind AggKind
+	n    int64
+	sum  float64
+	min  float64
+	max  float64
+	mean float64
+	m2   float64
+}
+
+// NewRunningAgg returns an empty running aggregate of the given kind.
+func NewRunningAgg(kind AggKind) *RunningAgg {
+	return &RunningAgg{kind: kind, min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Kind reports the aggregate function.
+func (a *RunningAgg) Kind() AggKind { return a.kind }
+
+// Add absorbs one value.
+func (a *RunningAgg) Add(v float64) {
+	a.n++
+	a.sum += v
+	if v < a.min {
+		a.min = v
+	}
+	if v > a.max {
+		a.max = v
+	}
+	delta := v - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (v - a.mean)
+}
+
+// AddN absorbs a pre-aggregated group of n values with the given sum,
+// minimum and maximum (used when feeding from coarser sample levels).
+// Variance absorbs the group mean n times, a standard approximation for
+// merged sketches.
+func (a *RunningAgg) AddN(n int64, sum, min, max float64) {
+	if n <= 0 {
+		return
+	}
+	groupMean := sum / float64(n)
+	for i := int64(0); i < n; i++ {
+		a.Add(groupMean)
+	}
+	if min < a.min {
+		a.min = min
+	}
+	if max > a.max {
+		a.max = max
+	}
+}
+
+// N reports how many values have been absorbed.
+func (a *RunningAgg) N() int64 { return a.n }
+
+// Value reports the current aggregate answer. Aggregates over zero values
+// report NaN for min/max/avg/var and 0 for count/sum.
+func (a *RunningAgg) Value() float64 {
+	switch a.kind {
+	case Count:
+		return float64(a.n)
+	case Sum:
+		return a.sum
+	case Avg:
+		if a.n == 0 {
+			return math.NaN()
+		}
+		return a.sum / float64(a.n)
+	case Min:
+		if a.n == 0 {
+			return math.NaN()
+		}
+		return a.min
+	case Max:
+		if a.n == 0 {
+			return math.NaN()
+		}
+		return a.max
+	case Var:
+		if a.n < 2 {
+			return math.NaN()
+		}
+		return a.m2 / float64(a.n-1)
+	case Stddev:
+		if a.n < 2 {
+			return math.NaN()
+		}
+		return math.Sqrt(a.m2 / float64(a.n-1))
+	default:
+		return math.NaN()
+	}
+}
+
+// Reset clears the aggregate for reuse.
+func (a *RunningAgg) Reset() {
+	*a = RunningAgg{kind: a.kind, min: math.Inf(1), max: math.Inf(-1)}
+}

@@ -1,0 +1,74 @@
+package operator
+
+import (
+	"sort"
+
+	"dbtouch/internal/iomodel"
+	"dbtouch/internal/storage"
+)
+
+// IncrementalGroupBy maintains per-group running aggregates fed one tuple
+// per touch. Like the symmetric join, it is non-blocking: the current
+// group table is always presentable, refining as the gesture covers more
+// tuples (paper §2.9: "the same is true for hash-based grouping").
+type IncrementalGroupBy struct {
+	keyCol *storage.Column
+	valCol *storage.Column
+	kind   AggKind
+	groups map[string]*RunningAgg
+	seen   map[int]bool
+}
+
+// NewIncrementalGroupBy groups valCol by keyCol with the given aggregate.
+func NewIncrementalGroupBy(keyCol, valCol *storage.Column, kind AggKind) *IncrementalGroupBy {
+	return &IncrementalGroupBy{
+		keyCol: keyCol,
+		valCol: valCol,
+		kind:   kind,
+		groups: make(map[string]*RunningAgg),
+		seen:   make(map[int]bool),
+	}
+}
+
+// Push absorbs tuple id (idempotent for revisited tuples), charging both
+// the key and value reads, and returns the group key's current aggregate.
+func (g *IncrementalGroupBy) Push(id int, keyTracker, valTracker *iomodel.Tracker) (key string, value float64, ok bool) {
+	if id < 0 || id >= g.keyCol.Len() || g.seen[id] {
+		return "", 0, false
+	}
+	g.seen[id] = true
+	if keyTracker != nil {
+		keyTracker.Access(id)
+	}
+	if valTracker != nil {
+		valTracker.Access(id)
+	}
+	key = g.keyCol.Value(id).String()
+	agg, okGroup := g.groups[key]
+	if !okGroup {
+		agg = NewRunningAgg(g.kind)
+		g.groups[key] = agg
+	}
+	agg.Add(g.valCol.Float(id))
+	return key, agg.Value(), true
+}
+
+// Group reports one group's current state.
+type Group struct {
+	Key   string
+	Value float64
+	N     int64
+}
+
+// Groups returns the current group table sorted by key.
+func (g *IncrementalGroupBy) Groups() []Group {
+	out := make([]Group, 0, len(g.groups))
+	for k, agg := range g.groups {
+		out = append(out, Group{Key: k, Value: agg.Value(), N: agg.N()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// SeenTuples reports how many distinct tuples have been absorbed.
+func (g *IncrementalGroupBy) SeenTuples() int { return len(g.seen) }

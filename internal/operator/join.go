@@ -1,0 +1,138 @@
+package operator
+
+import (
+	"dbtouch/internal/iomodel"
+	"dbtouch/internal/storage"
+)
+
+// JoinMatch reports one joined pair of tuple identifiers.
+type JoinMatch struct {
+	LeftID  int
+	RightID int
+	// Key is the join key value the pair matched on.
+	Key storage.Value
+}
+
+// SymmetricHashJoin is the non-blocking join dbTouch needs (paper §2.9
+// "Joins"): because the gesture — not the engine — decides which tuples
+// arrive, neither input can be designated the build side up front. The
+// operator keeps a hash table per side; each pushed tuple is inserted
+// into its own side's table and probed against the other, so matches
+// stream out as touches arrive and the user never waits for a build
+// phase.
+type SymmetricHashJoin struct {
+	left     *storage.Column
+	right    *storage.Column
+	leftTab  map[float64][]int
+	rightTab map[float64][]int
+	// seenLeft/seenRight avoid double-inserting a tuple the gesture
+	// revisits (back-and-forth slides walk the same ids repeatedly).
+	seenLeft  map[int]bool
+	seenRight map[int]bool
+	matches   int64
+}
+
+// NewSymmetricHashJoin joins left and right on value equality.
+func NewSymmetricHashJoin(left, right *storage.Column) *SymmetricHashJoin {
+	return &SymmetricHashJoin{
+		left:      left,
+		right:     right,
+		leftTab:   make(map[float64][]int),
+		rightTab:  make(map[float64][]int),
+		seenLeft:  make(map[int]bool),
+		seenRight: make(map[int]bool),
+	}
+}
+
+// PushLeft feeds tuple id of the left input, charging the read to
+// tracker, and returns any new matches against right tuples seen so far.
+func (j *SymmetricHashJoin) PushLeft(id int, tracker *iomodel.Tracker) []JoinMatch {
+	return j.push(id, j.left, j.seenLeft, j.leftTab, j.rightTab, tracker, true)
+}
+
+// PushRight feeds tuple id of the right input.
+func (j *SymmetricHashJoin) PushRight(id int, tracker *iomodel.Tracker) []JoinMatch {
+	return j.push(id, j.right, j.seenRight, j.rightTab, j.leftTab, tracker, false)
+}
+
+func (j *SymmetricHashJoin) push(id int, col *storage.Column, seen map[int]bool, own, other map[float64][]int, tracker *iomodel.Tracker, isLeft bool) []JoinMatch {
+	if id < 0 || id >= col.Len() || seen[id] {
+		return nil
+	}
+	seen[id] = true
+	if tracker != nil {
+		tracker.Access(id)
+	}
+	key := col.Float(id)
+	own[key] = append(own[key], id)
+	partners := other[key]
+	if len(partners) == 0 {
+		return nil
+	}
+	out := make([]JoinMatch, 0, len(partners))
+	for _, p := range partners {
+		m := JoinMatch{Key: col.Value(id)}
+		if isLeft {
+			m.LeftID, m.RightID = id, p
+		} else {
+			m.LeftID, m.RightID = p, id
+		}
+		out = append(out, m)
+	}
+	j.matches += int64(len(out))
+	return out
+}
+
+// Matches reports the total matches emitted so far.
+func (j *SymmetricHashJoin) Matches() int64 { return j.matches }
+
+// SeenLeft reports how many distinct left tuples have been pushed.
+func (j *SymmetricHashJoin) SeenLeft() int { return len(j.seenLeft) }
+
+// SeenRight reports how many distinct right tuples have been pushed.
+func (j *SymmetricHashJoin) SeenRight() int { return len(j.seenRight) }
+
+// BlockingHashJoin is the classic build-then-probe hash join used by the
+// traditional baseline: it consumes the entire build side before emitting
+// anything — exactly the behaviour the paper argues breaks interactivity.
+type BlockingHashJoin struct {
+	table map[float64][]int
+	built bool
+}
+
+// NewBlockingHashJoin returns an empty blocking join.
+func NewBlockingHashJoin() *BlockingHashJoin {
+	return &BlockingHashJoin{table: make(map[float64][]int)}
+}
+
+// Build consumes the whole build column, charging every read.
+func (j *BlockingHashJoin) Build(build *storage.Column, tracker *iomodel.Tracker) {
+	for i := 0; i < build.Len(); i++ {
+		if tracker != nil {
+			tracker.Access(i)
+		}
+		key := build.Float(i)
+		j.table[key] = append(j.table[key], i)
+	}
+	j.built = true
+}
+
+// Built reports whether the build phase has completed.
+func (j *BlockingHashJoin) Built() bool { return j.built }
+
+// Probe matches one probe-side tuple; it must not be called before Build
+// completes (the blocking property under test) and returns the matching
+// build-side ids.
+func (j *BlockingHashJoin) Probe(probe *storage.Column, id int, tracker *iomodel.Tracker) []int {
+	if !j.built {
+		return nil
+	}
+	if tracker != nil {
+		tracker.Access(id)
+	}
+	return j.table[probe.Float(id)]
+}
+
+// TableSize reports the number of distinct keys in the build table — used
+// by the hash-table cache to report reuse value.
+func (j *BlockingHashJoin) TableSize() int { return len(j.table) }

@@ -1,0 +1,139 @@
+package operator
+
+import (
+	"fmt"
+
+	"dbtouch/internal/iomodel"
+	"dbtouch/internal/storage"
+)
+
+// CmpOp is a comparison operator for predicates.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// String renders the operator in SQL syntax.
+func (op CmpOp) String() string {
+	switch op {
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", uint8(op))
+	}
+}
+
+// Apply evaluates "left op right" under Value.Compare semantics.
+func (op CmpOp) Apply(left, right storage.Value) bool {
+	c := left.Compare(right)
+	switch op {
+	case Eq:
+		return c == 0
+	case Ne:
+		return c != 0
+	case Lt:
+		return c < 0
+	case Le:
+		return c <= 0
+	case Gt:
+		return c > 0
+	case Ge:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// Predicate is one conjunct of a WHERE restriction over a matrix column.
+type Predicate struct {
+	// Col is the attribute index the predicate reads.
+	Col int
+	Op  CmpOp
+	// Operand is the constant compared against.
+	Operand storage.Value
+}
+
+// String renders the predicate.
+func (p Predicate) String() string {
+	return fmt.Sprintf("col%d %s %s", p.Col, p.Op, p.Operand)
+}
+
+// Eval tests the predicate against tuple row of m, charging one value
+// read per evaluation to the per-column tracker (trackers indexed by
+// column; nil entries skip accounting).
+func (p Predicate) Eval(m *storage.Matrix, row int, trackers []*iomodel.Tracker) (bool, error) {
+	v, err := m.At(row, p.Col)
+	if err != nil {
+		return false, err
+	}
+	if p.Col < len(trackers) && trackers[p.Col] != nil {
+		trackers[p.Col].Access(row)
+	}
+	return p.Op.Apply(v, p.Operand), nil
+}
+
+// ConjunctStats tracks the observed selectivity and cost of one predicate
+// over a sliding window of recent touches. The adaptive optimizer
+// (paper §2.9 "Optimization") reorders conjuncts as gestures wander into
+// data regions with different properties, so the statistics must forget:
+// a decayed counter halves the weight of history every window.
+type ConjunctStats struct {
+	// window is the decay period in evaluations.
+	window  int
+	evals   float64
+	passes  float64
+	samples int
+}
+
+// NewConjunctStats returns stats with the given decay window (values
+// <= 0 select 64).
+func NewConjunctStats(window int) *ConjunctStats {
+	if window <= 0 {
+		window = 64
+	}
+	return &ConjunctStats{window: window}
+}
+
+// Observe records one evaluation outcome.
+func (s *ConjunctStats) Observe(passed bool) {
+	s.evals++
+	if passed {
+		s.passes++
+	}
+	s.samples++
+	if s.samples >= s.window {
+		// Exponential decay: keep half the weight.
+		s.evals /= 2
+		s.passes /= 2
+		s.samples = 0
+	}
+}
+
+// Selectivity estimates the probability a tuple passes. With no
+// observations it returns 0.5 (uninformative prior).
+func (s *ConjunctStats) Selectivity() float64 {
+	if s.evals == 0 {
+		return 0.5
+	}
+	return s.passes / s.evals
+}
+
+// Observations reports the (decayed) evaluation weight.
+func (s *ConjunctStats) Observations() float64 { return s.evals }

@@ -1,0 +1,232 @@
+// Package prefetch implements gesture extrapolation and data prefetching
+// (paper §2.6 "Prefetching Data"): "dbTouch can extrapolate the gesture
+// progression (speed and direction) and fetch the expected entries such
+// that they are readily available if the gesture resumes."
+//
+// The Extrapolator tracks tuple-id velocity with exponential smoothing;
+// the Prefetcher spends kernel idle time (gaps between delivered touches,
+// reported by the dispatcher) warming the blocks the gesture is predicted
+// to reach next.
+package prefetch
+
+import (
+	"time"
+
+	"dbtouch/internal/iomodel"
+)
+
+// Extrapolator estimates where a slide gesture is heading in tuple-id
+// space.
+type Extrapolator struct {
+	// Alpha is the EMA smoothing factor in (0, 1]; zero selects 0.4.
+	Alpha float64
+
+	lastID     int
+	lastTime   time.Duration
+	velocity   float64 // tuples per second, signed
+	interTouch time.Duration
+	observed   int
+}
+
+// Observe records that the gesture touched tuple id at virtual time t.
+func (e *Extrapolator) Observe(id int, t time.Duration) {
+	alpha := e.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.4
+	}
+	if e.observed > 0 {
+		dt := t - e.lastTime
+		if dt > 0 {
+			inst := float64(id-e.lastID) / dt.Seconds()
+			e.velocity = alpha*inst + (1-alpha)*e.velocity
+			e.interTouch = time.Duration(alpha*float64(dt) + (1-alpha)*float64(e.interTouch))
+		}
+	}
+	e.lastID = id
+	e.lastTime = t
+	e.observed++
+}
+
+// Velocity reports the smoothed tuple velocity (tuples/second, signed by
+// direction).
+func (e *Extrapolator) Velocity() float64 { return e.velocity }
+
+// Direction reports the current movement direction: -1, 0, or +1.
+func (e *Extrapolator) Direction() int {
+	switch {
+	case e.velocity > 1:
+		return 1
+	case e.velocity < -1:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Predict extrapolates the tuple range the gesture will cover during the
+// next horizon, starting from the last observed id. The range is ordered
+// (from <= to); a zero-velocity gesture predicts a small symmetric
+// neighborhood (the user paused and may go either way).
+func (e *Extrapolator) Predict(horizon time.Duration) (from, to int) {
+	if e.observed == 0 {
+		return 0, 0
+	}
+	delta := int(e.velocity * horizon.Seconds())
+	if delta == 0 {
+		// Paused: prepare both directions a little.
+		return e.lastID - 64, e.lastID + 64
+	}
+	if delta > 0 {
+		return e.lastID, e.lastID + delta
+	}
+	return e.lastID + delta, e.lastID
+}
+
+// Observed reports how many touches have been observed.
+func (e *Extrapolator) Observed() int { return e.observed }
+
+// LastID reports the most recently observed tuple id.
+func (e *Extrapolator) LastID() int { return e.lastID }
+
+// InterTouch reports the smoothed time between processed touches.
+func (e *Extrapolator) InterTouch() time.Duration { return e.interTouch }
+
+// StepSize reports the expected tuple-id distance between consecutive
+// touches (signed). Prefetching warms these positions, not the contiguous
+// range — the gesture skips everything in between.
+func (e *Extrapolator) StepSize() float64 {
+	return e.velocity * e.interTouch.Seconds()
+}
+
+// Reset clears gesture history (call between gestures).
+func (e *Extrapolator) Reset() {
+	v := e.Alpha
+	*e = Extrapolator{Alpha: v}
+}
+
+// Stats counts prefetcher activity.
+type Stats struct {
+	// IdleSpent is virtual idle time consumed warming blocks.
+	IdleSpent time.Duration
+	// Invocations counts idle windows used.
+	Invocations int
+}
+
+// Prefetcher converts idle windows into warm blocks along the predicted
+// path.
+type Prefetcher struct {
+	// Enabled gates the whole mechanism (the ablation switch).
+	Enabled bool
+	// Horizon is how far ahead (virtual time) to extrapolate; zero
+	// selects 500ms.
+	Horizon time.Duration
+	// Slack is the relative velocity-estimate error budget: each
+	// predicted position k steps ahead is warmed with a halo of
+	// ±Slack·|step|·k tuples. Zero selects 0.08.
+	Slack float64
+	// Extrapolator supplies predictions.
+	Extrapolator *Extrapolator
+
+	stats Stats
+	// anchor and frontier extend prefetching across consecutive idle
+	// windows of one pause: while the gesture stays at anchor, each
+	// window continues from where the previous one stopped instead of
+	// re-walking the already-warm prediction.
+	anchor     int
+	frontier   int
+	haveAnchor bool
+}
+
+// New returns an enabled prefetcher over the given extrapolator.
+func New(e *Extrapolator) *Prefetcher {
+	return &Prefetcher{Enabled: true, Extrapolator: e}
+}
+
+// OnIdle spends the idle window [from, to) warming predicted blocks in
+// tracker. The clamp function (optional) bounds predicted tuple ids to
+// the valid range.
+func (p *Prefetcher) OnIdle(from, to time.Duration, tracker *iomodel.Tracker, clamp func(int) int) {
+	if p == nil || !p.Enabled || p.Extrapolator == nil || tracker == nil {
+		return
+	}
+	budget := to - from
+	if budget <= 0 {
+		return
+	}
+	horizon := p.Horizon
+	if horizon <= 0 {
+		horizon = 500 * time.Millisecond
+	}
+	last := p.Extrapolator.LastID()
+	if p.haveAnchor && p.anchor != last {
+		p.frontier = 0
+	}
+	p.anchor, p.haveAnchor = last, true
+
+	step := p.Extrapolator.StepSize()
+	interTouch := p.Extrapolator.InterTouch()
+	var used time.Duration
+	stepMag := step
+	if stepMag < 0 {
+		stepMag = -stepMag
+	}
+	if stepMag < 1 || interTouch <= 0 {
+		// No reliable stride (gesture barely started): warm the
+		// immediate neighborhood symmetrically.
+		lo, hi := p.Extrapolator.Predict(horizon)
+		if clamp != nil {
+			lo, hi = clamp(lo), clamp(hi)
+		}
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		used, _ = tracker.PrefetchRange(lo, hi, budget)
+		p.account(used)
+		return
+	}
+	// Warm the predicted touch positions: the gesture skips the tuples
+	// in between, so contiguous-range warming would waste the idle
+	// budget many times over. Velocity estimates carry error, so each
+	// position k steps out gets a halo proportional to the distance.
+	slack := p.Slack
+	if slack <= 0 {
+		slack = 0.08
+	}
+	steps := int(float64(horizon) / float64(interTouch))
+	if steps < 1 {
+		steps = 1
+	}
+	start := p.frontier
+	for k := start + 1; k <= start+steps; k++ {
+		id := last + int(step*float64(k))
+		margin := int(slack * stepMag * float64(k))
+		if margin < 64 {
+			margin = 64 // always cover a summary window
+		}
+		lo, hi := id-margin, id+margin
+		center := id
+		if clamp != nil {
+			lo, hi, center = clamp(lo), clamp(hi), clamp(id)
+		}
+		if budget-used <= 0 {
+			break
+		}
+		// The predicted center is the most likely touch: warm it first
+		// so a tight budget still covers it before the halo.
+		used += tracker.PrefetchBlock(center, budget-used)
+		cost, _ := tracker.PrefetchRange(lo, hi, budget-used)
+		used += cost
+		p.frontier = k
+	}
+	p.account(used)
+}
+
+func (p *Prefetcher) account(used time.Duration) {
+	if used > 0 {
+		p.stats.IdleSpent += used
+		p.stats.Invocations++
+	}
+}
+
+// Stats returns a snapshot of prefetch activity.
+func (p *Prefetcher) Stats() Stats { return p.stats }

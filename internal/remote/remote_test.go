@@ -1,0 +1,143 @@
+package remote
+
+import (
+	"testing"
+	"time"
+
+	"dbtouch/internal/iomodel"
+	"dbtouch/internal/storage"
+	"dbtouch/internal/vclock"
+)
+
+func buildPair(t *testing.T, n, offset int) (*vclock.Clock, *Server, *Device) {
+	t.Helper()
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	server, err := NewServer(storage.NewIntColumn("v", vals), 12, iomodel.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := vclock.New()
+	dev, err := NewDevice(clock, server, offset, 3, iomodel.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clock, server, dev
+}
+
+func TestLocalAnswerImmediate(t *testing.T) {
+	clock, _, dev := buildPair(t, 1<<16, 4)
+	ans := dev.Touch(1000, 4) // want == local finest: no remote request
+	if ans.Level != 4 {
+		t.Fatalf("answer level = %d", ans.Level)
+	}
+	// Local stride 16: represented id snaps down.
+	if ans.BaseID != (1000/16)*16 {
+		t.Fatalf("answer base id = %d", ans.BaseID)
+	}
+	if ans.Value != float64(ans.BaseID) {
+		t.Fatalf("answer value = %v", ans.Value)
+	}
+	if dev.Stats().RoundTrips != 0 || dev.InFlight() != 0 {
+		t.Fatal("no remote traffic expected")
+	}
+	_ = clock
+}
+
+func TestRefinementArrivesAfterRTT(t *testing.T) {
+	clock, _, dev := buildPair(t, 1<<16, 4)
+	dev.BatchWindow = 0 // per-touch requests
+	dev.Touch(1000, 0)  // wants base-level detail
+	if dev.Stats().RoundTrips != 1 {
+		t.Fatalf("round trips = %d", dev.Stats().RoundTrips)
+	}
+	if got := dev.Poll(); len(got) != 0 {
+		t.Fatal("refinement cannot arrive instantly")
+	}
+	clock.Advance(500 * time.Millisecond)
+	got := dev.Poll()
+	if len(got) != 1 {
+		t.Fatalf("refinements = %v", got)
+	}
+	r := got[0]
+	if r.BaseID != 1000 || r.Value != 1000 || r.Level != 0 {
+		t.Fatalf("refinement = %+v", r)
+	}
+	if r.ArrivesAt <= r.RequestedAt {
+		t.Fatal("arrival must be after request")
+	}
+}
+
+func TestBatchingCutsRoundTrips(t *testing.T) {
+	run := func(window time.Duration) Stats {
+		clock, _, dev := buildPair(t, 1<<16, 4)
+		dev.BatchWindow = window
+		for i := 0; i < 30; i++ {
+			dev.Touch(i*1000, 0)
+			clock.Advance(20 * time.Millisecond)
+			dev.Poll()
+		}
+		dev.Flush()
+		clock.Advance(time.Second)
+		dev.Poll()
+		return dev.Stats()
+	}
+	batched := run(200 * time.Millisecond)
+	perTouch := run(0)
+	if batched.RoundTrips >= perTouch.RoundTrips {
+		t.Fatalf("batched %d round trips vs per-touch %d", batched.RoundTrips, perTouch.RoundTrips)
+	}
+	if batched.Refinements != perTouch.Refinements {
+		t.Fatalf("batching lost refinements: %d vs %d", batched.Refinements, perTouch.Refinements)
+	}
+}
+
+func TestBatchDeduplicatesSnappedIDs(t *testing.T) {
+	clock, _, dev := buildPair(t, 1<<16, 8)
+	dev.BatchWindow = 100 * time.Millisecond
+	// Two touches that snap to the same level-2 entry.
+	dev.Touch(1000, 2)
+	dev.Touch(1001, 2)
+	dev.Flush()
+	clock.Advance(time.Second)
+	got := dev.Poll()
+	if len(got) != 1 {
+		t.Fatalf("refinements = %d, want 1 (deduplicated)", len(got))
+	}
+}
+
+func TestServerReadRange(t *testing.T) {
+	_, server, _ := buildPair(t, 1024, 2)
+	values, ids, cost := server.ReadRange(100, 110, 0)
+	if len(values) != 10 || ids[0] != 100 {
+		t.Fatalf("read = %v at %v", values, ids)
+	}
+	if cost <= 0 {
+		t.Fatal("server read should cost server time")
+	}
+}
+
+func TestNewDeviceValidation(t *testing.T) {
+	_, server, _ := buildPair(t, 1024, 2)
+	clock := vclock.New()
+	if _, err := NewDevice(clock, server, -1, 2, iomodel.DefaultParams()); err == nil {
+		t.Fatal("negative offset should error")
+	}
+	if _, err := NewDevice(clock, server, 99, 2, iomodel.DefaultParams()); err == nil {
+		t.Fatal("excessive offset should error")
+	}
+}
+
+func TestBytesMovedAccounting(t *testing.T) {
+	clock, _, dev := buildPair(t, 1<<16, 4)
+	dev.BatchWindow = 0
+	dev.Touch(0, 0)
+	dev.Touch(5000, 0)
+	clock.Advance(time.Second)
+	dev.Poll()
+	if got := dev.Stats().BytesMoved; got != 16 {
+		t.Fatalf("bytes moved = %d, want 16 (two values)", got)
+	}
+}

@@ -1,0 +1,233 @@
+// Package sample implements sample-based storage (paper §2.6 "Sample-based
+// Storage", after Sciborg's hierarchies of samples): instead of always
+// feeding from base data, dbTouch keeps a hierarchy of progressively
+// coarser stored samples and serves each touch from the level matched to
+// the object size and gesture speed, "minimizing the auxiliary data
+// reads". Level 0 is base data; level i keeps every 2^i-th value as its
+// own dense column with its own access tracker, so reading at a coarse
+// granularity touches a physically small array.
+package sample
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dbtouch/internal/iomodel"
+	"dbtouch/internal/storage"
+	"dbtouch/internal/vclock"
+)
+
+// Level is one stored sample of the base column.
+type Level struct {
+	// Stride is the base-tuple distance between consecutive sample
+	// entries (2^level).
+	Stride int
+	// Col holds the sample values densely.
+	Col *storage.Column
+	// Tracker charges access costs for this level's array.
+	Tracker *iomodel.Tracker
+}
+
+// BaseLen reports how many base tuples the level spans.
+func (l *Level) BaseLen() int { return l.Col.Len() * l.Stride }
+
+// Hierarchy is a column plus its stored sample levels.
+type Hierarchy struct {
+	levels []*Level // levels[0] is base data (stride 1)
+}
+
+// Build constructs a hierarchy over base with maxLevels levels above the
+// base (so maxLevels=0 means base only). Each level halves the previous
+// one; construction stops early when a level would drop below minLen
+// entries (default 64). Every level gets its own tracker with params.
+func Build(base *storage.Column, maxLevels int, clock *vclock.Clock, params iomodel.Params, policy func() iomodel.EvictionPolicy) (*Hierarchy, error) {
+	if base == nil || base.Len() == 0 {
+		return nil, fmt.Errorf("sample: empty base column")
+	}
+	const minLen = 64
+	newPolicy := func() iomodel.EvictionPolicy {
+		if policy == nil {
+			return nil
+		}
+		return policy()
+	}
+	h := &Hierarchy{}
+	h.levels = append(h.levels, &Level{
+		Stride:  1,
+		Col:     base,
+		Tracker: iomodel.New(clock, params, newPolicy()),
+	})
+	prev := base
+	for lvl := 1; lvl <= maxLevels; lvl++ {
+		if prev.Len()/2 < minLen {
+			break
+		}
+		col := prev.Strided(0, 2)
+		h.levels = append(h.levels, &Level{
+			Stride:  1 << lvl,
+			Col:     col,
+			Tracker: iomodel.New(clock, params, newPolicy()),
+		})
+		prev = col
+	}
+	return h, nil
+}
+
+// NumLevels reports the number of stored levels including base.
+func (h *Hierarchy) NumLevels() int { return len(h.levels) }
+
+// Level returns stored level i (0 = base).
+func (h *Hierarchy) Level(i int) (*Level, error) {
+	if i < 0 || i >= len(h.levels) {
+		return nil, fmt.Errorf("sample: no level %d (have %d)", i, len(h.levels))
+	}
+	return h.levels[i], nil
+}
+
+// Base returns the base column.
+func (h *Hierarchy) Base() *storage.Column { return h.levels[0].Col }
+
+// SelectLevel picks the coarsest level whose stride does not exceed the
+// expected base-tuple gap between consecutive touches, so consecutive
+// touches land on adjacent-ish sample entries and no finer data is pulled
+// than the gesture can observe.
+//
+// The expected gap follows from the paper's granularity model: an object
+// of extent cm moving under a gesture whose touches arrive every
+// interTouch seconds at speed cmPerSec covers (cmPerSec·interTouch) cm per
+// touch, i.e. gap = rows · cmPerSec · interTouch / extent base tuples.
+func (h *Hierarchy) SelectLevel(extentCm, cmPerSec float64, interTouch time.Duration) int {
+	if extentCm <= 0 || cmPerSec <= 0 || interTouch <= 0 {
+		return 0
+	}
+	rows := h.levels[0].Col.Len()
+	gap := float64(rows) * cmPerSec * interTouch.Seconds() / extentCm
+	if gap < 1 {
+		return 0
+	}
+	level := int(math.Floor(math.Log2(gap)))
+	if level < 0 {
+		level = 0
+	}
+	if level >= len(h.levels) {
+		level = len(h.levels) - 1
+	}
+	return level
+}
+
+// ValueAt reads the sample value nearest base tuple baseID from level,
+// charging that level's tracker, and returns the value with the base id
+// it actually represents.
+func (h *Hierarchy) ValueAt(baseID, level int) (float64, int, error) {
+	l, err := h.Level(level)
+	if err != nil {
+		return 0, 0, err
+	}
+	idx := baseID / l.Stride
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= l.Col.Len() {
+		idx = l.Col.Len() - 1
+	}
+	l.Tracker.Access(idx)
+	return l.Col.Float(idx), idx * l.Stride, nil
+}
+
+// ScanAt reads the typed value nearest base tuple baseID from level,
+// charging that level's tracker, and returns the value with the base id it
+// actually represents (plain-scan path; ValueAt is the aggregation path).
+func (h *Hierarchy) ScanAt(baseID, level int) (storage.Value, int, error) {
+	l, err := h.Level(level)
+	if err != nil {
+		return storage.Value{}, 0, err
+	}
+	idx := baseID / l.Stride
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= l.Col.Len() {
+		idx = l.Col.Len() - 1
+	}
+	l.Tracker.Access(idx)
+	return l.Col.Value(idx), idx * l.Stride, nil
+}
+
+// WindowAgg aggregates sample entries of level covering base range
+// [lo, hi), charging per entry, and returns (sum, count, min, max).
+func (h *Hierarchy) WindowAgg(lo, hi, level int) (sum float64, n int, min, max float64, err error) {
+	l, err := h.Level(level)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	from := lo / l.Stride
+	to := (hi + l.Stride - 1) / l.Stride
+	if from < 0 {
+		from = 0
+	}
+	if to > l.Col.Len() {
+		to = l.Col.Len()
+	}
+	min, max = math.Inf(1), math.Inf(-1)
+	for i := from; i < to; i++ {
+		l.Tracker.Access(i)
+		v := l.Col.Float(i)
+		sum += v
+		n++
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return sum, n, min, max, nil
+}
+
+// Promote adds a stored sample covering base range [lo, hi) at base
+// resolution as a new finest-of-region level. It models §2.6 "Caching
+// Data": heavily revisited regions get their own materialized copy so
+// future queries at similar granularity feed from it. The returned column
+// is also registered as an extra level with stride 1 offset lo — callers
+// address it directly.
+func (h *Hierarchy) Promote(lo, hi int, clock *vclock.Clock, params iomodel.Params) (*storage.Column, error) {
+	base := h.Base()
+	if lo < 0 || hi > base.Len() || lo >= hi {
+		return nil, fmt.Errorf("sample: promote range [%d,%d) out of bounds for %d", lo, hi, base.Len())
+	}
+	col, err := base.Slice(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return col.Clone(), nil
+}
+
+// TotalStats sums tracker stats across levels.
+func (h *Hierarchy) TotalStats() iomodel.Stats {
+	var total iomodel.Stats
+	for _, l := range h.levels {
+		s := l.Tracker.Stats()
+		total.ColdFetches += s.ColdFetches
+		total.WarmHits += s.WarmHits
+		total.ValuesRead += s.ValuesRead
+		total.Prefetched += s.Prefetched
+		total.Evictions += s.Evictions
+		total.BytesRead += s.BytesRead
+	}
+	return total
+}
+
+// Cool drops warmth on every level (cold-start for experiments).
+func (h *Hierarchy) Cool() {
+	for _, l := range h.levels {
+		l.Tracker.Cool()
+	}
+}
+
+// ResetStats zeroes counters on every level.
+func (h *Hierarchy) ResetStats() {
+	for _, l := range h.levels {
+		l.Tracker.ResetStats()
+	}
+}

@@ -1,0 +1,224 @@
+package sample
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dbtouch/internal/iomodel"
+	"dbtouch/internal/storage"
+	"dbtouch/internal/vclock"
+)
+
+func buildHierarchy(t *testing.T, n, levels int) (*Hierarchy, *vclock.Clock) {
+	t.Helper()
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	clock := vclock.New()
+	h, err := Build(storage.NewIntColumn("v", vals), levels, clock, iomodel.DefaultParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, clock
+}
+
+func TestBuildLevels(t *testing.T) {
+	h, _ := buildHierarchy(t, 1024, 3)
+	if h.NumLevels() != 4 {
+		t.Fatalf("levels = %d, want 4 (base + 3)", h.NumLevels())
+	}
+	for i := 0; i < h.NumLevels(); i++ {
+		l, err := h.Level(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Stride != 1<<i {
+			t.Fatalf("level %d stride = %d", i, l.Stride)
+		}
+		wantLen := 1024 >> i
+		if l.Col.Len() != wantLen {
+			t.Fatalf("level %d len = %d, want %d", i, l.Col.Len(), wantLen)
+		}
+	}
+}
+
+func TestBuildStopsAtMinLen(t *testing.T) {
+	h, _ := buildHierarchy(t, 200, 20)
+	// 200 → 100 → stop (next would be 50 < 64 after the check prev/2 < 64).
+	if h.NumLevels() > 3 {
+		t.Fatalf("levels = %d; hierarchy should stop shrinking near 64 entries", h.NumLevels())
+	}
+}
+
+func TestBuildRejectsEmpty(t *testing.T) {
+	clock := vclock.New()
+	if _, err := Build(storage.NewIntColumn("v", nil), 3, clock, iomodel.DefaultParams(), nil); err == nil {
+		t.Fatal("empty base should error")
+	}
+	if _, err := Build(nil, 3, clock, iomodel.DefaultParams(), nil); err == nil {
+		t.Fatal("nil base should error")
+	}
+}
+
+// Property: a sample value at any level equals the base value at the
+// represented position (strided sampling, not aggregation).
+func TestLevelValueConsistency(t *testing.T) {
+	h, _ := buildHierarchy(t, 4096, 6)
+	f := func(baseIDRaw uint16, levelRaw uint8) bool {
+		level := int(levelRaw) % h.NumLevels()
+		baseID := int(baseIDRaw) % 4096
+		v, repID, err := h.ValueAt(baseID, level)
+		if err != nil {
+			return false
+		}
+		// The represented id must be the stride-aligned neighbor.
+		l, _ := h.Level(level)
+		if repID != (baseID/l.Stride)*l.Stride {
+			return false
+		}
+		return v == float64(repID) // data is identity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanAtTyped(t *testing.T) {
+	h, _ := buildHierarchy(t, 256, 2)
+	v, rep, err := h.ScanAt(130, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != 130 || v.I != 130 {
+		t.Fatalf("ScanAt = %v at %d", v, rep)
+	}
+	v, rep, err = h.ScanAt(131, 1) // stride 2: snaps to 130
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != 130 || v.I != 130 {
+		t.Fatalf("snapped ScanAt = %v at %d", v, rep)
+	}
+}
+
+func TestSelectLevelSlowGestureUsesBase(t *testing.T) {
+	h, _ := buildHierarchy(t, 1<<14, 10)
+	// Tiny gap: expected inter-touch movement under one tuple.
+	level := h.SelectLevel(1000, 0.001, time.Millisecond)
+	if level != 0 {
+		t.Fatalf("slow gesture level = %d, want 0", level)
+	}
+}
+
+func TestSelectLevelFastGestureUsesCoarse(t *testing.T) {
+	h, _ := buildHierarchy(t, 1<<20, 12)
+	// 10cm object, 10cm/s, 60ms between touches: gap ≈ 1M*0.6/10 = 63k
+	// tuples → level ≈ 15, clamped to max.
+	level := h.SelectLevel(10, 10, 60*time.Millisecond)
+	if level != h.NumLevels()-1 {
+		t.Fatalf("fast gesture level = %d, want max %d", level, h.NumLevels()-1)
+	}
+}
+
+func TestSelectLevelMonotoneInSpeed(t *testing.T) {
+	h, _ := buildHierarchy(t, 1<<20, 12)
+	prev := -1
+	for _, speed := range []float64{0.01, 0.1, 1, 10, 100} {
+		level := h.SelectLevel(10, speed, 60*time.Millisecond)
+		if level < prev {
+			t.Fatalf("level decreased with speed: %d after %d", level, prev)
+		}
+		prev = level
+	}
+}
+
+func TestSelectLevelDegenerateInputs(t *testing.T) {
+	h, _ := buildHierarchy(t, 1024, 4)
+	if h.SelectLevel(0, 1, time.Millisecond) != 0 {
+		t.Fatal("zero extent should select base")
+	}
+	if h.SelectLevel(10, 0, time.Millisecond) != 0 {
+		t.Fatal("zero speed should select base")
+	}
+	if h.SelectLevel(10, 1, 0) != 0 {
+		t.Fatal("zero inter-touch should select base")
+	}
+}
+
+func TestWindowAgg(t *testing.T) {
+	h, _ := buildHierarchy(t, 1024, 4)
+	sum, n, min, max, err := h.WindowAgg(10, 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 || min != 10 || max != 19 || sum != 145 {
+		t.Fatalf("window agg = sum %v n %d min %v max %v", sum, n, min, max)
+	}
+	// At level 2 (stride 4) the same window covers entries 8..20 step 4.
+	sum, n, _, _, err = h.WindowAgg(10, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || sum != 8+12+16 {
+		t.Fatalf("level-2 window = sum %v n %d", sum, n)
+	}
+}
+
+func TestWindowAggChargesOnlyTouchedLevel(t *testing.T) {
+	h, _ := buildHierarchy(t, 1024, 4)
+	_, _, _, _, err := h.WindowAgg(0, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0, _ := h.Level(0)
+	l3, _ := h.Level(3)
+	if l0.Tracker.Stats().ValuesRead != 0 {
+		t.Fatal("base level charged for a level-3 read")
+	}
+	if l3.Tracker.Stats().ValuesRead == 0 {
+		t.Fatal("level 3 not charged")
+	}
+}
+
+func TestPromote(t *testing.T) {
+	h, clock := buildHierarchy(t, 1024, 2)
+	col, err := h.Promote(100, 200, clock, iomodel.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Len() != 100 || col.Int(0) != 100 {
+		t.Fatalf("promoted region = len %d first %d", col.Len(), col.Int(0))
+	}
+	if _, err := h.Promote(200, 100, clock, iomodel.DefaultParams()); err == nil {
+		t.Fatal("inverted promote range should error")
+	}
+}
+
+func TestTotalStatsAndCool(t *testing.T) {
+	h, _ := buildHierarchy(t, 1024, 2)
+	h.ValueAt(5, 0)
+	h.ValueAt(5, 1)
+	st := h.TotalStats()
+	if st.ValuesRead != 2 {
+		t.Fatalf("total values read = %d", st.ValuesRead)
+	}
+	h.ResetStats()
+	if h.TotalStats().ValuesRead != 0 {
+		t.Fatal("ResetStats incomplete")
+	}
+	h.Cool()
+	l0, _ := h.Level(0)
+	if l0.Tracker.WarmBlocks() != 0 {
+		t.Fatal("Cool incomplete")
+	}
+}
+
+func TestBaseLen(t *testing.T) {
+	h, _ := buildHierarchy(t, 1000, 2)
+	l1, _ := h.Level(1)
+	if l1.BaseLen() != 1000 {
+		t.Fatalf("BaseLen = %d", l1.BaseLen())
+	}
+}

@@ -1,0 +1,156 @@
+package script
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dbtouch"
+)
+
+func newDB(t *testing.T) *dbtouch.DB {
+	t.Helper()
+	db := dbtouch.Open()
+	vals := make([]int64, 100000)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	keys := make([]string, len(vals))
+	for i := range keys {
+		keys[i] = "k"
+	}
+	db.NewTable("t").Int("v", vals).String("k", keys).MustCreate()
+	return db
+}
+
+func TestParse(t *testing.T) {
+	src := `
+# a comment
+column c t v 2 2 2 10
+slide c 2s   # trailing comment
+
+tap c 0.5
+`
+	cmds, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 3 {
+		t.Fatalf("commands = %v", cmds)
+	}
+	if cmds[0].Op != "column" || len(cmds[0].Args) != 7 {
+		t.Fatalf("first = %+v", cmds[0])
+	}
+	if cmds[1].Line != 4 {
+		t.Fatalf("line tracking = %d", cmds[1].Line)
+	}
+}
+
+func runScript(t *testing.T, src string) (*Runner, string) {
+	t.Helper()
+	cmds, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	r := NewRunner(newDB(t), &out)
+	if err := r.Run(cmds); err != nil {
+		t.Fatal(err)
+	}
+	return r, out.String()
+}
+
+func TestFullSession(t *testing.T) {
+	_, out := runScript(t, `
+column c t v 2 2 2 10
+summarize c avg 10
+slide c 2s
+tap c 0.5
+zoomin c 2
+moveto c 2 2
+slide c 1s 0.4 0.6
+render
+`)
+	if !strings.Contains(out, "slide:") || !strings.Contains(out, "tap:") {
+		t.Fatalf("output missing gesture reports:\n%s", out)
+	}
+	if !strings.Contains(out, "t.v") {
+		t.Fatalf("render missing object label:\n%s", out)
+	}
+}
+
+func TestScanWhereAggregate(t *testing.T) {
+	r, _ := runScript(t, `
+column c t v 2 2 2 10
+scan c
+where c v >= 50000
+slide c 2s
+aggregate c max
+slide c 1s
+`)
+	obj, ok := r.Object("c")
+	if !ok {
+		t.Fatal("object lost")
+	}
+	for _, res := range obj.Inner().Matrix().Schema() {
+		_ = res
+	}
+}
+
+func TestPinCommand(t *testing.T) {
+	r, out := runScript(t, `
+column c t v 2 2 2 10
+summarize c avg 10
+slide c 1s 0.4 0.6
+slide c 1s 0.6 0.4
+slide c 1s 0.4 0.6
+pin c hot 6 2 2 10
+slide hot 1s
+`)
+	if _, ok := r.Object("hot"); !ok {
+		t.Fatal("pinned object not registered")
+	}
+	if !strings.Contains(out, "pin: hot") {
+		t.Fatalf("pin output missing:\n%s", out)
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	cmds, err := Parse(strings.NewReader("column c t v 2 2 2 10\nslide ghost 2s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(newDB(t), nil)
+	err = r.Run(cmds)
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error = %v, want line 2 reference", err)
+	}
+}
+
+func TestBadCommands(t *testing.T) {
+	cases := []string{
+		"bogus x",
+		"column c t v 2 2",      // arity
+		"slide c nope",          // duration (also unknown object first)
+		"summarize c median 10", // aggregate
+		"tap c notafrac",
+		"idle xyz",
+	}
+	for _, src := range cases {
+		cmds, err := Parse(strings.NewReader("column c t v 2 2 2 10\n" + src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := NewRunner(newDB(t), nil)
+		if err := r.Run(cmds); err == nil {
+			t.Errorf("script %q should fail", src)
+		}
+	}
+}
+
+func TestIdleAdvancesTime(t *testing.T) {
+	r, _ := runScript(t, "column c t v 2 2 2 10\nidle 3s\n")
+	if r.DB.Now() < 3_000_000_000 {
+		t.Fatalf("idle did not advance time: %v", r.DB.Now())
+	}
+}

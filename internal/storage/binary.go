@@ -1,0 +1,230 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary matrix format:
+//
+//	magic "DBT1" | layout u8 | ncols u32 | nrows u64
+//	per column: name | type u8 | (STRING: dict size u32 + strings)
+//	column-major: per column, nrows fixed-width words
+//	row-major:    nrows*ncols words, row interleaved
+//
+// Strings and names are length-prefixed (u32 + bytes). All integers are
+// little endian. The format keeps the fixed-width invariant on disk so a
+// future mmap-style loader could address tuples positionally.
+const binaryMagic = "DBT1"
+
+// WriteBinary serializes m in the dbTouch binary format.
+func WriteBinary(m *Matrix, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(byte(m.layout)); err != nil {
+		return err
+	}
+	if err := writeString(bw, m.name); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(m.schema))); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(m.rows)); err != nil {
+		return err
+	}
+	for i, cm := range m.schema {
+		if err := writeString(bw, cm.Name); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(cm.Type)); err != nil {
+			return err
+		}
+		if cm.Type == String {
+			dict := m.dictFor(i)
+			if err := binary.Write(bw, binary.LittleEndian, uint32(dict.Len())); err != nil {
+				return err
+			}
+			for code := int32(0); int(code) < dict.Len(); code++ {
+				if err := writeString(bw, dict.Lookup(code)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if m.layout == ColumnMajor {
+		for c := range m.schema {
+			for r := 0; r < m.rows; r++ {
+				if err := binary.Write(bw, binary.LittleEndian, m.wordAt(r, c)); err != nil {
+					return err
+				}
+			}
+		}
+	} else {
+		for _, w64 := range m.slab {
+			if err := binary.Write(bw, binary.LittleEndian, w64); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a matrix written by WriteBinary.
+func ReadBinary(r io.Reader) (*Matrix, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("storage: reading binary magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("storage: bad magic %q, want %q", magic, binaryMagic)
+	}
+	layoutByte, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	layout := Layout(layoutByte)
+	if layout != ColumnMajor && layout != RowMajor {
+		return nil, fmt.Errorf("storage: bad layout byte %d", layoutByte)
+	}
+	name, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	var ncols uint32
+	if err := binary.Read(br, binary.LittleEndian, &ncols); err != nil {
+		return nil, err
+	}
+	var nrows uint64
+	if err := binary.Read(br, binary.LittleEndian, &nrows); err != nil {
+		return nil, err
+	}
+	if ncols == 0 {
+		return nil, fmt.Errorf("storage: binary matrix %q has zero columns", name)
+	}
+	schema := make([]ColumnMeta, ncols)
+	dicts := make([]*Dictionary, ncols)
+	for i := range schema {
+		colName, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		tb, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		schema[i] = ColumnMeta{Name: colName, Type: Type(tb)}
+		if Type(tb) == String {
+			var dn uint32
+			if err := binary.Read(br, binary.LittleEndian, &dn); err != nil {
+				return nil, err
+			}
+			d := NewDictionary()
+			for j := uint32(0); j < dn; j++ {
+				s, err := readString(br)
+				if err != nil {
+					return nil, err
+				}
+				d.Intern(s)
+			}
+			dicts[i] = d
+		}
+	}
+	m := &Matrix{name: name, layout: layout, schema: schema, rows: int(nrows)}
+	if layout == ColumnMajor {
+		m.cols = make([]*Column, ncols)
+		for c := range schema {
+			col := NewEmptyColumn(schema[c].Name, schema[c].Type)
+			if schema[c].Type == String {
+				col.dict = dicts[c]
+			}
+			for r := uint64(0); r < nrows; r++ {
+				var w uint64
+				if err := binary.Read(br, binary.LittleEndian, &w); err != nil {
+					return nil, fmt.Errorf("storage: reading column %d word %d: %w", c, r, err)
+				}
+				col.appendWord(w)
+			}
+			m.cols[c] = col
+		}
+	} else {
+		m.dicts = dicts
+		m.slab = make([]uint64, nrows*uint64(ncols))
+		for i := range m.slab {
+			if err := binary.Read(br, binary.LittleEndian, &m.slab[i]); err != nil {
+				return nil, fmt.Errorf("storage: reading slab word %d: %w", i, err)
+			}
+		}
+	}
+	return m, nil
+}
+
+// wordAt encodes the cell at (row, col) of a column-major matrix as a
+// 64-bit word.
+func (m *Matrix) wordAt(row, col int) uint64 {
+	c := m.cols[col]
+	switch c.typ {
+	case Int64:
+		return uint64(c.ints[row])
+	case Float64:
+		return math.Float64bits(c.flts[row])
+	case Bool:
+		return uint64(c.bools[row])
+	case String:
+		return uint64(c.codes[row])
+	default:
+		return 0
+	}
+}
+
+// dictFor returns the dictionary for column i under either layout.
+func (m *Matrix) dictFor(i int) *Dictionary {
+	if m.layout == ColumnMajor {
+		return m.cols[i].dict
+	}
+	return m.dicts[i]
+}
+
+// appendWord appends a raw 64-bit word decoded per the column type; string
+// columns append the code directly (the dictionary must already hold it).
+func (c *Column) appendWord(w uint64) {
+	switch c.typ {
+	case Int64:
+		c.ints = append(c.ints, int64(w))
+	case Float64:
+		c.flts = append(c.flts, math.Float64frombits(w))
+	case Bool:
+		c.bools = append(c.bools, byte(w&1))
+	case String:
+		c.codes = append(c.codes, int32(w))
+	}
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<24 {
+		return "", fmt.Errorf("storage: unreasonable string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,67 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Catalog is the schema-lite registry of matrixes. dbTouch deliberately
+// exposes only "what objects exist" (paper §2.2 "Schema-less Querying");
+// detailed schema discovery happens through exploration gestures.
+type Catalog struct {
+	mu       sync.RWMutex
+	matrixes map[string]*Matrix
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{matrixes: make(map[string]*Matrix)}
+}
+
+// Register adds m under its name, replacing any previous entry with the
+// same name.
+func (c *Catalog) Register(m *Matrix) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.matrixes[m.Name()] = m
+}
+
+// Drop removes the named matrix and reports whether it existed.
+func (c *Catalog) Drop(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.matrixes[name]
+	delete(c.matrixes, name)
+	return ok
+}
+
+// Get resolves a matrix by name.
+func (c *Catalog) Get(name string) (*Matrix, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.matrixes[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: no matrix named %q", name)
+	}
+	return m, nil
+}
+
+// List returns the registered matrix names in sorted order.
+func (c *Catalog) List() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.matrixes))
+	for name := range c.matrixes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len reports the number of registered matrixes.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.matrixes)
+}

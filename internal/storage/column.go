@@ -1,0 +1,270 @@
+package storage
+
+import "fmt"
+
+// Column is a dense, fixed-width array of values of one type — the basic
+// dbTouch data object backing store. Int and float columns store native
+// slices; bool columns store bytes; string columns store dictionary codes.
+type Column struct {
+	name  string
+	typ   Type
+	ints  []int64
+	flts  []float64
+	bools []byte
+	codes []int32
+	dict  *Dictionary
+}
+
+// NewIntColumn builds an INT column over vals (the slice is adopted, not
+// copied).
+func NewIntColumn(name string, vals []int64) *Column {
+	return &Column{name: name, typ: Int64, ints: vals}
+}
+
+// NewFloatColumn builds a FLOAT column over vals (adopted, not copied).
+func NewFloatColumn(name string, vals []float64) *Column {
+	return &Column{name: name, typ: Float64, flts: vals}
+}
+
+// NewBoolColumn builds a BOOL column over vals.
+func NewBoolColumn(name string, vals []bool) *Column {
+	b := make([]byte, len(vals))
+	for i, v := range vals {
+		if v {
+			b[i] = 1
+		}
+	}
+	return &Column{name: name, typ: Bool, bools: b}
+}
+
+// NewStringColumn builds a dictionary-encoded STRING column over vals.
+func NewStringColumn(name string, vals []string) *Column {
+	d := NewDictionary()
+	codes := make([]int32, len(vals))
+	for i, v := range vals {
+		codes[i] = d.Intern(v)
+	}
+	return &Column{name: name, typ: String, codes: codes, dict: d}
+}
+
+// NewEmptyColumn builds a zero-length column of the given type, ready for
+// Append.
+func NewEmptyColumn(name string, typ Type) *Column {
+	c := &Column{name: name, typ: typ}
+	if typ == String {
+		c.dict = NewDictionary()
+	}
+	return c
+}
+
+// Name reports the column name.
+func (c *Column) Name() string { return c.name }
+
+// Rename sets the column name (used when projecting a column out of a
+// table into its own object).
+func (c *Column) Rename(name string) { c.name = name }
+
+// Type reports the column type.
+func (c *Column) Type() Type { return c.typ }
+
+// Len reports the number of values.
+func (c *Column) Len() int {
+	switch c.typ {
+	case Int64:
+		return len(c.ints)
+	case Float64:
+		return len(c.flts)
+	case Bool:
+		return len(c.bools)
+	case String:
+		return len(c.codes)
+	default:
+		return 0
+	}
+}
+
+// Dict exposes the dictionary of a STRING column (nil otherwise).
+func (c *Column) Dict() *Dictionary { return c.dict }
+
+// Value returns the cell at i. It panics if i is out of range, matching
+// slice semantics.
+func (c *Column) Value(i int) Value {
+	switch c.typ {
+	case Int64:
+		return IntValue(c.ints[i])
+	case Float64:
+		return FloatValue(c.flts[i])
+	case Bool:
+		return BoolValue(c.bools[i] != 0)
+	case String:
+		return StringValue(c.dict.Lookup(c.codes[i]))
+	default:
+		return Value{}
+	}
+}
+
+// Float returns the cell at i coerced to float64 — the hot path for
+// aggregation, avoiding Value boxing.
+func (c *Column) Float(i int) float64 {
+	switch c.typ {
+	case Int64:
+		return float64(c.ints[i])
+	case Float64:
+		return c.flts[i]
+	case Bool:
+		return float64(c.bools[i])
+	case String:
+		return float64(c.codes[i])
+	default:
+		return 0
+	}
+}
+
+// Int returns the cell at i as int64 (float cells truncate).
+func (c *Column) Int(i int) int64 {
+	switch c.typ {
+	case Int64:
+		return c.ints[i]
+	case Float64:
+		return int64(c.flts[i])
+	case Bool:
+		return int64(c.bools[i])
+	case String:
+		return int64(c.codes[i])
+	default:
+		return 0
+	}
+}
+
+// Append adds v to the end of the column, coercing to the column type.
+func (c *Column) Append(v Value) {
+	switch c.typ {
+	case Int64:
+		if v.Type == Float64 {
+			c.ints = append(c.ints, int64(v.F))
+		} else {
+			c.ints = append(c.ints, v.I)
+		}
+	case Float64:
+		c.flts = append(c.flts, v.AsFloat())
+	case Bool:
+		if v.B {
+			c.bools = append(c.bools, 1)
+		} else {
+			c.bools = append(c.bools, 0)
+		}
+	case String:
+		c.codes = append(c.codes, c.dict.Intern(v.S))
+	}
+}
+
+// Set overwrites the cell at i with v, coercing to the column type.
+func (c *Column) Set(i int, v Value) {
+	switch c.typ {
+	case Int64:
+		if v.Type == Float64 {
+			c.ints[i] = int64(v.F)
+		} else {
+			c.ints[i] = v.I
+		}
+	case Float64:
+		c.flts[i] = v.AsFloat()
+	case Bool:
+		if v.B {
+			c.bools[i] = 1
+		} else {
+			c.bools[i] = 0
+		}
+	case String:
+		c.codes[i] = c.dict.Intern(v.S)
+	}
+}
+
+// Slice returns a new column sharing c's backing arrays over [lo, hi).
+func (c *Column) Slice(lo, hi int) (*Column, error) {
+	if lo < 0 || hi > c.Len() || lo > hi {
+		return nil, fmt.Errorf("storage: slice [%d,%d) out of range for column %q of length %d", lo, hi, c.name, c.Len())
+	}
+	s := &Column{name: c.name, typ: c.typ, dict: c.dict}
+	switch c.typ {
+	case Int64:
+		s.ints = c.ints[lo:hi]
+	case Float64:
+		s.flts = c.flts[lo:hi]
+	case Bool:
+		s.bools = c.bools[lo:hi]
+	case String:
+		s.codes = c.codes[lo:hi]
+	}
+	return s, nil
+}
+
+// Gather builds a new column from the cells of c at the given positions.
+// Positions out of range are skipped.
+func (c *Column) Gather(positions []int) *Column {
+	out := NewEmptyColumn(c.name, c.typ)
+	n := c.Len()
+	for _, p := range positions {
+		if p < 0 || p >= n {
+			continue
+		}
+		out.Append(c.Value(p))
+	}
+	return out
+}
+
+// Strided builds a new column containing every stride-th value of c
+// starting at offset — the building block for sample hierarchies.
+func (c *Column) Strided(offset, stride int) *Column {
+	out := NewEmptyColumn(c.name, c.typ)
+	if stride <= 0 {
+		return out
+	}
+	n := c.Len()
+	if offset < 0 {
+		offset = 0
+	}
+	switch c.typ {
+	case Int64:
+		vals := make([]int64, 0, (n-offset+stride-1)/stride)
+		for i := offset; i < n; i += stride {
+			vals = append(vals, c.ints[i])
+		}
+		out.ints = vals
+	case Float64:
+		vals := make([]float64, 0, (n-offset+stride-1)/stride)
+		for i := offset; i < n; i += stride {
+			vals = append(vals, c.flts[i])
+		}
+		out.flts = vals
+	default:
+		for i := offset; i < n; i += stride {
+			out.Append(c.Value(i))
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the column.
+func (c *Column) Clone() *Column {
+	out := &Column{name: c.name, typ: c.typ}
+	switch c.typ {
+	case Int64:
+		out.ints = append([]int64(nil), c.ints...)
+	case Float64:
+		out.flts = append([]float64(nil), c.flts...)
+	case Bool:
+		out.bools = append([]byte(nil), c.bools...)
+	case String:
+		out.codes = append([]int32(nil), c.codes...)
+		out.dict = c.dict.Clone()
+	}
+	return out
+}
+
+// Ints exposes the backing int64 slice of an INT column (nil otherwise).
+// Callers must not resize it.
+func (c *Column) Ints() []int64 { return c.ints }
+
+// Floats exposes the backing float64 slice of a FLOAT column.
+func (c *Column) Floats() []float64 { return c.flts }

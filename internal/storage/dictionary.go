@@ -1,0 +1,54 @@
+package storage
+
+// Dictionary maps strings to dense int32 codes so string columns can be
+// stored as fixed-width words, the invariant dbTouch relies on for direct
+// positional addressing (paper §2.6).
+type Dictionary struct {
+	values []string
+	index  map[string]int32
+}
+
+// NewDictionary returns an empty dictionary ready for interning.
+func NewDictionary() *Dictionary {
+	return &Dictionary{index: make(map[string]int32)}
+}
+
+// Intern returns the code for s, assigning a new code on first sight.
+func (d *Dictionary) Intern(s string) int32 {
+	if code, ok := d.index[s]; ok {
+		return code
+	}
+	code := int32(len(d.values))
+	d.values = append(d.values, s)
+	d.index[s] = code
+	return code
+}
+
+// Code returns the code for s and whether it is present, without interning.
+func (d *Dictionary) Code(s string) (int32, bool) {
+	code, ok := d.index[s]
+	return code, ok
+}
+
+// Lookup returns the string for a code; unknown codes decode to "".
+func (d *Dictionary) Lookup(code int32) string {
+	if code < 0 || int(code) >= len(d.values) {
+		return ""
+	}
+	return d.values[code]
+}
+
+// Len reports the number of distinct strings interned.
+func (d *Dictionary) Len() int { return len(d.values) }
+
+// Clone returns an independent copy of the dictionary.
+func (d *Dictionary) Clone() *Dictionary {
+	c := &Dictionary{
+		values: append([]string(nil), d.values...),
+		index:  make(map[string]int32, len(d.index)),
+	}
+	for s, code := range d.index {
+		c.index[s] = code
+	}
+	return c
+}

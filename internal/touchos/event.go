@@ -1,0 +1,55 @@
+package touchos
+
+import (
+	"fmt"
+	"time"
+)
+
+// TouchPhase is the lifecycle stage of a touch event.
+type TouchPhase uint8
+
+// Touch phases, mirroring UITouchPhase.
+const (
+	TouchBegan TouchPhase = iota
+	TouchMoved
+	TouchEnded
+	TouchCancelled
+)
+
+// String names the phase.
+func (p TouchPhase) String() string {
+	switch p {
+	case TouchBegan:
+		return "began"
+	case TouchMoved:
+		return "moved"
+	case TouchEnded:
+		return "ended"
+	case TouchCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("TouchPhase(%d)", uint8(p))
+	}
+}
+
+// TouchEvent is one digitizer sample: a finger at a screen location at a
+// virtual time.
+type TouchEvent struct {
+	// Finger distinguishes simultaneous touches (0 and 1 for a pinch).
+	Finger int
+	Phase  TouchPhase
+	// Loc is the touch location in screen (root view) coordinates.
+	Loc Point
+	// Time is the virtual timestamp the digitizer sampled the touch.
+	Time time.Duration
+}
+
+// String renders the event for debugging.
+func (e TouchEvent) String() string {
+	return fmt.Sprintf("touch{f%d %s (%.2f,%.2f) @%v}", e.Finger, e.Phase, e.Loc.X, e.Loc.Y, e.Time)
+}
+
+// DigitizerHz is the default raw touch sampling rate. Capacitive panels of
+// the iPad 1 era sampled at about 60 Hz; what limits dbTouch throughput is
+// not this rate but how fast the kernel drains the queue (see Dispatcher).
+const DigitizerHz = 60.0

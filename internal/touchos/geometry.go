@@ -1,0 +1,64 @@
+// Package touchos simulates the touch operating-system layer the dbTouch
+// prototype builds on (paper §2.4 "Object Views" and Figure 3). It
+// provides a view hierarchy with hit testing, touch events carrying
+// virtual timestamps, and an event dispatcher that coalesces move events
+// while the kernel is busy — the iOS behaviour responsible for "a faster
+// slide results in fewer tuples processed".
+package touchos
+
+import "math"
+
+// Point is a screen location in centimeters. Physical units keep the
+// touch-granularity math identical to the paper's (object heights are
+// quoted in centimeters).
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p minus q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Size is a width/height extent in centimeters.
+type Size struct {
+	W, H float64
+}
+
+// Rect is an axis-aligned rectangle.
+type Rect struct {
+	Origin Point
+	Size   Size
+}
+
+// NewRect builds a rectangle from origin and extent.
+func NewRect(x, y, w, h float64) Rect {
+	return Rect{Origin: Point{x, y}, Size: Size{w, h}}
+}
+
+// Contains reports whether p lies inside r (inclusive of the top/left
+// edge, exclusive of bottom/right, matching pixel hit-test semantics).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Origin.X && p.X < r.Origin.X+r.Size.W &&
+		p.Y >= r.Origin.Y && p.Y < r.Origin.Y+r.Size.H
+}
+
+// Center returns the midpoint of r.
+func (r Rect) Center() Point {
+	return Point{r.Origin.X + r.Size.W/2, r.Origin.Y + r.Size.H/2}
+}
+
+// ScaledAbout returns r scaled by factor around its center — the geometry
+// of a pinch zoom gesture.
+func (r Rect) ScaledAbout(factor float64) Rect {
+	c := r.Center()
+	w, h := r.Size.W*factor, r.Size.H*factor
+	return Rect{Origin: Point{c.X - w/2, c.Y - h/2}, Size: Size{w, h}}
+}

@@ -1,0 +1,61 @@
+// Package vclock provides a virtual clock for deterministic simulation.
+//
+// All dbTouch latency accounting runs on virtual time: touch events carry
+// virtual timestamps, the kernel charges simulated processing time per data
+// access, and benchmarks measure virtual durations. This removes the host
+// machine from the measurements and makes every experiment reproducible.
+package vclock
+
+import "time"
+
+// Clock is a manually advanced virtual clock. The zero value is a clock at
+// time zero, ready to use. Clock is not safe for concurrent use; the
+// simulation is single-threaded by design (one touch at a time, as on a
+// real digitizer).
+type Clock struct {
+	now time.Duration
+}
+
+// New returns a clock starting at virtual time zero.
+func New() *Clock { return &Clock{} }
+
+// Now reports the current virtual time as an offset from session start.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d. Negative durations are ignored:
+// virtual time never goes backwards.
+func (c *Clock) Advance(d time.Duration) {
+	if d > 0 {
+		c.now += d
+	}
+}
+
+// AdvanceTo moves the clock forward to t if t is in the future; it is a
+// no-op otherwise and reports whether the clock moved.
+func (c *Clock) AdvanceTo(t time.Duration) bool {
+	if t > c.now {
+		c.now = t
+		return true
+	}
+	return false
+}
+
+// Reset rewinds the clock to zero for reuse across experiment repetitions.
+func (c *Clock) Reset() { c.now = 0 }
+
+// Stopwatch measures elapsed virtual time between Start and Elapsed calls.
+type Stopwatch struct {
+	clock *Clock
+	start time.Duration
+}
+
+// NewStopwatch returns a stopwatch bound to clock, already started.
+func NewStopwatch(clock *Clock) *Stopwatch {
+	return &Stopwatch{clock: clock, start: clock.Now()}
+}
+
+// Restart resets the stopwatch origin to the current virtual time.
+func (s *Stopwatch) Restart() { s.start = s.clock.Now() }
+
+// Elapsed reports virtual time since the last Restart (or construction).
+func (s *Stopwatch) Elapsed() time.Duration { return s.clock.Now() - s.start }

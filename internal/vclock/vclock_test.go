@@ -1,0 +1,71 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := New()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v, want 0", c.Now())
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	c := New()
+	c.Advance(3 * time.Second)
+	c.Advance(2 * time.Second)
+	if got := c.Now(); got != 5*time.Second {
+		t.Fatalf("Now() = %v, want 5s", got)
+	}
+}
+
+func TestAdvanceNegativeIgnored(t *testing.T) {
+	c := New()
+	c.Advance(time.Second)
+	c.Advance(-10 * time.Second)
+	if got := c.Now(); got != time.Second {
+		t.Fatalf("Now() = %v after negative advance, want 1s", got)
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	c := New()
+	if !c.AdvanceTo(4 * time.Second) {
+		t.Fatal("AdvanceTo future returned false")
+	}
+	if c.AdvanceTo(2 * time.Second) {
+		t.Fatal("AdvanceTo past returned true")
+	}
+	if got := c.Now(); got != 4*time.Second {
+		t.Fatalf("Now() = %v, want 4s", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New()
+	c.Advance(time.Minute)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("Now() = %v after Reset, want 0", c.Now())
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	c := New()
+	c.Advance(time.Second)
+	sw := NewStopwatch(c)
+	c.Advance(3 * time.Second)
+	if got := sw.Elapsed(); got != 3*time.Second {
+		t.Fatalf("Elapsed() = %v, want 3s", got)
+	}
+	sw.Restart()
+	if got := sw.Elapsed(); got != 0 {
+		t.Fatalf("Elapsed() after Restart = %v, want 0", got)
+	}
+	c.Advance(time.Second)
+	if got := sw.Elapsed(); got != time.Second {
+		t.Fatalf("Elapsed() = %v, want 1s", got)
+	}
+}

@@ -1,0 +1,171 @@
+// Package viz renders the dbTouch front-end in ASCII: data objects appear
+// as rectangles on the screen grid, and results pop up in place and fade
+// with age, approximating the interactive feel of Figure 2 in a terminal.
+// The kernel is fully independent of rendering; examples and the demo CLI
+// use this package to show what the user would see.
+package viz
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dbtouch/internal/core"
+	"dbtouch/internal/touchos"
+)
+
+// CellsPerCmX and CellsPerCmY map screen centimeters to character cells.
+const (
+	CellsPerCmX = 4
+	CellsPerCmY = 2
+)
+
+// Canvas is a character grid.
+type Canvas struct {
+	w, h  int
+	cells [][]rune
+}
+
+// NewCanvas allocates a canvas for a screen of the given size in cm.
+func NewCanvas(screenW, screenH float64) *Canvas {
+	w := int(screenW*CellsPerCmX) + 1
+	h := int(screenH*CellsPerCmY) + 1
+	cells := make([][]rune, h)
+	for i := range cells {
+		cells[i] = make([]rune, w)
+		for j := range cells[i] {
+			cells[i][j] = ' '
+		}
+	}
+	return &Canvas{w: w, h: h, cells: cells}
+}
+
+// set writes a rune, ignoring out-of-range coordinates.
+func (c *Canvas) set(x, y int, r rune) {
+	if x < 0 || y < 0 || x >= c.w || y >= c.h {
+		return
+	}
+	c.cells[y][x] = r
+}
+
+// text writes a string horizontally.
+func (c *Canvas) text(x, y int, s string) {
+	for i, r := range s {
+		c.set(x+i, y, r)
+	}
+}
+
+// String renders the canvas.
+func (c *Canvas) String() string {
+	var sb strings.Builder
+	for _, row := range c.cells {
+		sb.WriteString(strings.TrimRight(string(row), " "))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// drawRect draws a bordered rectangle for a view frame (cm coords).
+func (c *Canvas) drawRect(f touchos.Rect, label string) {
+	x0 := int(f.Origin.X * CellsPerCmX)
+	y0 := int(f.Origin.Y * CellsPerCmY)
+	x1 := int((f.Origin.X + f.Size.W) * CellsPerCmX)
+	y1 := int((f.Origin.Y + f.Size.H) * CellsPerCmY)
+	for x := x0; x <= x1; x++ {
+		c.set(x, y0, '-')
+		c.set(x, y1, '-')
+	}
+	for y := y0; y <= y1; y++ {
+		c.set(x0, y, '|')
+		c.set(x1, y, '|')
+	}
+	c.set(x0, y0, '+')
+	c.set(x1, y0, '+')
+	c.set(x0, y1, '+')
+	c.set(x1, y1, '+')
+	if label != "" && x1-x0 > 2 {
+		max := x1 - x0 - 1
+		if len(label) > max {
+			label = label[:max]
+		}
+		c.text(x0+1, y0, label)
+	}
+}
+
+// Render draws the screen's data objects plus the results still visible
+// at virtual time now. Results render next to their object at the height
+// proportional to their tuple id; freshly produced values print in full,
+// aging ones dim to '·' before vanishing at FadeAt.
+func Render(screen *touchos.View, objects []*core.Object, results []core.Result, now time.Duration) string {
+	c := NewCanvas(screen.Frame().Size.W, screen.Frame().Size.H)
+	byID := make(map[int]*core.Object, len(objects))
+	for _, o := range objects {
+		byID[o.ID()] = o
+		c.drawRect(o.View().Frame(), o.View().Name())
+	}
+	for _, r := range results {
+		if r.FadeAt <= now || r.Time > now {
+			continue
+		}
+		o, ok := byID[r.ObjectID]
+		if !ok {
+			continue
+		}
+		f := o.View().Frame()
+		rows := o.Rows()
+		frac := 0.5
+		if rows > 1 {
+			frac = float64(r.TupleID) / float64(rows-1)
+		}
+		x := int((f.Origin.X + f.Size.W + 0.3) * CellsPerCmX)
+		y := int((f.Origin.Y + frac*f.Size.H) * CellsPerCmY)
+		age := float64(now-r.Time) / float64(r.FadeAt-r.Time)
+		label := resultLabel(r)
+		switch {
+		case age < 0.5:
+			c.text(x, y, label)
+		case age < 0.8:
+			c.text(x, y, dim(label))
+		default:
+			c.text(x, y, strings.Repeat("·", minInt(3, len(label))))
+		}
+	}
+	return c.String()
+}
+
+func resultLabel(r core.Result) string {
+	switch r.Kind {
+	case core.ScanValue:
+		return r.Value.String()
+	case core.SummaryValue, core.AggregateValue, core.GroupValue:
+		return fmt.Sprintf("%.4g", r.Agg)
+	case core.JoinMatches:
+		return fmt.Sprintf("⋈%d", len(r.Matches))
+	case core.TuplePeek:
+		parts := make([]string, 0, len(r.Tuple))
+		for _, v := range r.Tuple {
+			parts = append(parts, v.String())
+		}
+		return "(" + strings.Join(parts, ",") + ")"
+	default:
+		return "?"
+	}
+}
+
+// dim replaces half the characters with middle dots to suggest fading.
+func dim(s string) string {
+	out := []rune(s)
+	for i := range out {
+		if i%2 == 1 {
+			out[i] = '·'
+		}
+	}
+	return string(out)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,106 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dbtouch/internal/core"
+	"dbtouch/internal/storage"
+	"dbtouch/internal/touchos"
+)
+
+func renderSetup(t *testing.T) (*core.Kernel, *core.Object) {
+	t.Helper()
+	k := core.NewKernel(core.DefaultConfig())
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	m, err := storage.NewMatrix("col", storage.NewIntColumn("v", vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := k.CreateColumnObject(m, 0, touchos.NewRect(2, 2, 2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, obj
+}
+
+func TestRenderDrawsObjectRectangle(t *testing.T) {
+	k, _ := renderSetup(t)
+	out := Render(k.Screen(), k.Objects(), nil, 0)
+	if !strings.Contains(out, "+") || !strings.Contains(out, "|") {
+		t.Fatalf("no rectangle in render:\n%s", out)
+	}
+	if !strings.Contains(out, "col.v") {
+		t.Fatalf("object label missing:\n%s", out)
+	}
+}
+
+func TestRenderShowsFreshResultThenFades(t *testing.T) {
+	k, obj := renderSetup(t)
+	r := core.Result{
+		Kind: core.ScanValue, ObjectID: obj.ID(), TupleID: 500,
+		Value: storage.IntValue(42),
+		Time:  0, FadeAt: core.FadeAfter,
+	}
+	fresh := Render(k.Screen(), k.Objects(), []core.Result{r}, 100*time.Millisecond)
+	if !strings.Contains(fresh, "42") {
+		t.Fatalf("fresh result missing:\n%s", fresh)
+	}
+	gone := Render(k.Screen(), k.Objects(), []core.Result{r}, 2*time.Second)
+	if strings.Contains(gone, "42") {
+		t.Fatal("faded result still visible")
+	}
+}
+
+func TestRenderDimsAgingResult(t *testing.T) {
+	k, obj := renderSetup(t)
+	r := core.Result{
+		Kind: core.ScanValue, ObjectID: obj.ID(), TupleID: 500,
+		Value: storage.IntValue(777777),
+		Time:  0, FadeAt: core.FadeAfter,
+	}
+	aging := Render(k.Screen(), k.Objects(), []core.Result{r}, core.FadeAfter*7/10)
+	if strings.Contains(aging, "777777") {
+		t.Fatal("aging result should be dimmed")
+	}
+	if !strings.Contains(aging, "·") {
+		t.Fatalf("dimmed glyphs missing:\n%s", aging)
+	}
+}
+
+func TestRenderSummaryAndJoinLabels(t *testing.T) {
+	k, obj := renderSetup(t)
+	results := []core.Result{
+		{Kind: core.SummaryValue, ObjectID: obj.ID(), TupleID: 100, Agg: 3.5, FadeAt: core.FadeAfter},
+		{Kind: core.TuplePeek, ObjectID: obj.ID(), TupleID: 900,
+			Tuple: []storage.Value{storage.IntValue(1), storage.StringValue("x")}, FadeAt: core.FadeAfter},
+	}
+	out := Render(k.Screen(), k.Objects(), results, time.Millisecond)
+	if !strings.Contains(out, "3.5") {
+		t.Fatalf("summary label missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(1,x)") {
+		t.Fatalf("tuple label missing:\n%s", out)
+	}
+}
+
+func TestRenderSkipsUnknownObject(t *testing.T) {
+	k, _ := renderSetup(t)
+	r := core.Result{Kind: core.ScanValue, ObjectID: 999, Value: storage.IntValue(5), FadeAt: core.FadeAfter}
+	out := Render(k.Screen(), k.Objects(), []core.Result{r}, time.Millisecond)
+	if strings.Contains(out, "5\n") {
+		t.Fatal("result for unknown object rendered")
+	}
+}
+
+func TestCanvasBounds(t *testing.T) {
+	c := NewCanvas(5, 5)
+	c.set(-1, -1, 'x') // must not panic
+	c.set(1000, 1000, 'x')
+	c.text(-5, 2, "clipped")
+	_ = c.String()
+}

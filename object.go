@@ -1,0 +1,297 @@
+package dbtouch
+
+import (
+	"fmt"
+	"time"
+
+	"dbtouch/internal/core"
+	"dbtouch/internal/operator"
+	"dbtouch/internal/storage"
+	"dbtouch/internal/touchos"
+)
+
+// Object is the handle to one on-screen data object. Its methods both
+// configure the touch actions and synthesize the gestures of Figure 1.
+type Object struct {
+	db    *DB
+	inner *core.Object
+}
+
+// ID returns the kernel object id.
+func (o *Object) ID() int { return o.inner.ID() }
+
+// Rows reports the tuple count of the backing data.
+func (o *Object) Rows() int { return o.inner.Rows() }
+
+// Frame reports the object's on-screen rectangle (centimeters).
+func (o *Object) Frame() (x, y, w, h float64) {
+	f := o.inner.View().Frame()
+	return f.Origin.X, f.Origin.Y, f.Size.W, f.Size.H
+}
+
+// Inner exposes the kernel object (advanced use).
+func (o *Object) Inner() *core.Object { return o.inner }
+
+// SetActions replaces the full touch configuration.
+func (o *Object) SetActions(a Actions) { o.inner.SetActions(a) }
+
+// Actions returns the current touch configuration.
+func (o *Object) Actions() Actions { return o.inner.Actions() }
+
+// Scan configures touches to reveal raw values.
+func (o *Object) Scan() *Object {
+	a := o.inner.Actions()
+	a.Mode = core.ModeScan
+	o.inner.SetActions(a)
+	return o
+}
+
+// Aggregate configures touches to maintain a running aggregate.
+func (o *Object) Aggregate(kind AggKind) *Object {
+	a := o.inner.Actions()
+	a.Mode = core.ModeAggregate
+	a.Agg = kind
+	o.inner.SetActions(a)
+	return o
+}
+
+// Summarize configures interactive summaries: each touch aggregates the
+// 2k+1 entries around the touched tuple.
+func (o *Object) Summarize(kind AggKind, k int) *Object {
+	a := o.inner.Actions()
+	a.Mode = core.ModeSummary
+	a.Agg = kind
+	a.SummaryK = k
+	o.inner.SetActions(a)
+	return o
+}
+
+// Where adds a WHERE conjunct on the named column of the object's
+// backing table. op is one of = <> < <= > >=.
+func (o *Object) Where(column, op string, operand any) error {
+	m := o.inner.Matrix()
+	idx := m.ColumnIndex(column)
+	if idx < 0 {
+		return fmt.Errorf("dbtouch: no column %q", column)
+	}
+	cmp, err := parseOp(op)
+	if err != nil {
+		return err
+	}
+	a := o.inner.Actions()
+	a.Filters = append(a.Filters, operator.Predicate{Col: idx, Op: cmp, Operand: toValue(operand)})
+	o.inner.SetActions(a)
+	return nil
+}
+
+// ValueOrder toggles index-backed value-order slides (slide position maps
+// to rank, not storage position).
+func (o *Object) ValueOrder(on bool) *Object {
+	a := o.inner.Actions()
+	a.ValueOrder = on
+	o.inner.SetActions(a)
+	return o
+}
+
+// GroupBy configures incremental grouping of valColumn by keyColumn.
+func (o *Object) GroupBy(keyColumn, valColumn string, kind AggKind) error {
+	m := o.inner.Matrix()
+	k, v := m.ColumnIndex(keyColumn), m.ColumnIndex(valColumn)
+	if k < 0 || v < 0 {
+		return fmt.Errorf("dbtouch: group columns %q/%q not found", keyColumn, valColumn)
+	}
+	a := o.inner.Actions()
+	a.Group = &core.GroupSpec{KeyCol: k, ValCol: v, Agg: kind}
+	o.inner.SetActions(a)
+	return nil
+}
+
+// JoinWith wires a symmetric (non-blocking) equi-join between this
+// object's column and other's column; touches on either object stream
+// matches out.
+func (o *Object) JoinWith(other *Object) {
+	a := o.inner.Actions()
+	a.Join = &core.JoinSpec{OtherObject: other.ID(), Side: core.JoinLeft}
+	o.inner.SetActions(a)
+}
+
+// centerX returns the object's horizontal center in screen coordinates.
+func (o *Object) centerX() float64 {
+	f := o.inner.View().Frame()
+	return f.Origin.X + f.Size.W/2
+}
+
+// Slide sweeps a single finger top-to-bottom over the object in dur and
+// returns the results the gesture produced.
+func (o *Object) Slide(dur time.Duration) []Result {
+	return o.SlideRange(0, 1, dur)
+}
+
+// SlideUp sweeps bottom-to-top.
+func (o *Object) SlideUp(dur time.Duration) []Result {
+	return o.SlideRange(1, 0, dur)
+}
+
+// SlideRange sweeps between two fractional heights of the object (0 =
+// top, 1 = bottom) in dur.
+func (o *Object) SlideRange(fromFrac, toFrac float64, dur time.Duration) []Result {
+	f := o.inner.View().Frame()
+	const inset = 0.02
+	yAt := func(frac float64) float64 {
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return f.Origin.Y + inset + frac*(f.Size.H-2*inset)
+	}
+	start := o.db.gestureStart()
+	events := o.db.synth.Slide(
+		touchos.Point{X: o.centerX(), Y: yAt(fromFrac)},
+		touchos.Point{X: o.centerX(), Y: yAt(toFrac)},
+		start, dur,
+	)
+	return o.db.Apply(events)
+}
+
+// SlideWithPause sweeps top-to-bottom pausing at pauseFrac for pauseDur —
+// the prefetching scenario of §2.6.
+func (o *Object) SlideWithPause(dur time.Duration, pauseFrac float64, pauseDur time.Duration) []Result {
+	f := o.inner.View().Frame()
+	start := o.db.gestureStart()
+	events := o.db.synth.PauseResume(
+		touchos.Point{X: o.centerX(), Y: f.Origin.Y + 0.02},
+		touchos.Point{X: o.centerX(), Y: f.Origin.Y + f.Size.H - 0.02},
+		start, dur, pauseFrac, pauseDur,
+	)
+	return o.db.Apply(events)
+}
+
+// SlideBackAndForth sweeps down and back up `passes` times, legDur per
+// leg — the revisit scenario caching exploits.
+func (o *Object) SlideBackAndForth(legDur time.Duration, passes int) []Result {
+	f := o.inner.View().Frame()
+	start := o.db.gestureStart()
+	events := o.db.synth.BackAndForth(
+		touchos.Point{X: o.centerX(), Y: f.Origin.Y + 0.02},
+		touchos.Point{X: o.centerX(), Y: f.Origin.Y + f.Size.H - 0.02},
+		start, legDur, passes,
+	)
+	return o.db.Apply(events)
+}
+
+// Tap touches the object at the given fractional height once.
+func (o *Object) Tap(frac float64) []Result {
+	f := o.inner.View().Frame()
+	start := o.db.gestureStart()
+	events := o.db.synth.Tap(touchos.Point{
+		X: o.centerX(),
+		Y: f.Origin.Y + 0.02 + frac*(f.Size.H-0.04),
+	}, start)
+	return o.db.Apply(events)
+}
+
+// MoveTo repositions the object's top-left corner (the pan gesture of
+// §2.8, applied directly).
+func (o *Object) MoveTo(x, y float64) {
+	f := o.inner.View().Frame()
+	f.Origin = touchos.Point{X: x, Y: y}
+	o.inner.View().SetFrame(f)
+}
+
+// ZoomIn grows the object by factor (> 1) with a pinch gesture, raising
+// the granularity a slide can address.
+func (o *Object) ZoomIn(factor float64) {
+	o.pinch(factor)
+}
+
+// ZoomOut shrinks the object by factor (> 1).
+func (o *Object) ZoomOut(factor float64) {
+	if factor > 0 {
+		o.pinch(1 / factor)
+	}
+}
+
+func (o *Object) pinch(scale float64) {
+	if scale <= 0 {
+		return
+	}
+	f := o.inner.View().Frame()
+	center := f.Center()
+	spread0 := f.Size.H / 3
+	start := o.db.gestureStart()
+	events := o.db.synth.Pinch(center, spread0, spread0*scale, start, 300*time.Millisecond)
+	o.db.Apply(events)
+}
+
+// RotateQuarter applies a two-finger quarter-turn rotation: the view
+// rotates, and multi-column objects start an incremental row↔column
+// layout conversion with a sample-first preview.
+func (o *Object) RotateQuarter() {
+	f := o.inner.View().Frame()
+	radius := f.Size.W / 2
+	if f.Size.H < f.Size.W {
+		radius = f.Size.H / 2
+	}
+	if radius <= 0.2 {
+		radius = 0.2
+	}
+	start := o.db.gestureStart()
+	events := o.db.synth.Rotate(f.Center(), radius*0.9, 1.65, start, 400*time.Millisecond)
+	o.db.Apply(events)
+}
+
+// Converting reports whether a layout conversion is running, with its
+// progress in [0,1].
+func (o *Object) Converting() (bool, float64) { return o.inner.Converting() }
+
+// PinHotRegion materializes the most revisited region of this column as
+// its own data object at (x, y, w, h) — cache-to-sample promotion
+// (paper §2.6): future queries at this granularity feed from the copy.
+// Requires the gesture-aware cache policy (the default).
+func (o *Object) PinHotRegion(x, y, w, h float64) (*Object, error) {
+	inner, err := o.db.kernel.PromoteHotRegion(o.inner, touchos.NewRect(x, y, w, h))
+	if err != nil {
+		return nil, err
+	}
+	return &Object{db: o.db, inner: inner}, nil
+}
+
+// parseOp maps SQL comparison syntax to operator.CmpOp.
+func parseOp(op string) (operator.CmpOp, error) {
+	switch op {
+	case "=", "==":
+		return operator.Eq, nil
+	case "<>", "!=":
+		return operator.Ne, nil
+	case "<":
+		return operator.Lt, nil
+	case "<=":
+		return operator.Le, nil
+	case ">":
+		return operator.Gt, nil
+	case ">=":
+		return operator.Ge, nil
+	default:
+		return 0, fmt.Errorf("dbtouch: unknown comparison %q", op)
+	}
+}
+
+// toValue coerces a Go value into a storage.Value.
+func toValue(v any) storage.Value {
+	switch x := v.(type) {
+	case int:
+		return storage.IntValue(int64(x))
+	case int64:
+		return storage.IntValue(x)
+	case float64:
+		return storage.FloatValue(x)
+	case bool:
+		return storage.BoolValue(x)
+	case string:
+		return storage.StringValue(x)
+	default:
+		return storage.StringValue(fmt.Sprint(v))
+	}
+}

@@ -1,0 +1,64 @@
+package dbtouch
+
+import (
+	"fmt"
+
+	"dbtouch/internal/storage"
+)
+
+// TableBuilder assembles an in-memory table column by column.
+type TableBuilder struct {
+	db   *DB
+	name string
+	cols []*storage.Column
+	err  error
+}
+
+// NewTable starts building a table with the given name.
+func (db *DB) NewTable(name string) *TableBuilder {
+	return &TableBuilder{db: db, name: name}
+}
+
+// Int adds an INT column.
+func (b *TableBuilder) Int(name string, vals []int64) *TableBuilder {
+	b.cols = append(b.cols, storage.NewIntColumn(name, vals))
+	return b
+}
+
+// Float adds a FLOAT column.
+func (b *TableBuilder) Float(name string, vals []float64) *TableBuilder {
+	b.cols = append(b.cols, storage.NewFloatColumn(name, vals))
+	return b
+}
+
+// Bool adds a BOOL column.
+func (b *TableBuilder) Bool(name string, vals []bool) *TableBuilder {
+	b.cols = append(b.cols, storage.NewBoolColumn(name, vals))
+	return b
+}
+
+// String adds a dictionary-encoded STRING column.
+func (b *TableBuilder) String(name string, vals []string) *TableBuilder {
+	b.cols = append(b.cols, storage.NewStringColumn(name, vals))
+	return b
+}
+
+// Create registers the table and returns an error if columns mismatch.
+func (b *TableBuilder) Create() error {
+	if b.err != nil {
+		return b.err
+	}
+	m, err := storage.NewMatrix(b.name, b.cols...)
+	if err != nil {
+		return fmt.Errorf("dbtouch: creating table %q: %w", b.name, err)
+	}
+	b.db.kernel.Catalog().Register(m)
+	return nil
+}
+
+// MustCreate registers the table, panicking on error (examples/tests).
+func (b *TableBuilder) MustCreate() {
+	if err := b.Create(); err != nil {
+		panic(err)
+	}
+}
