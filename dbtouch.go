@@ -182,7 +182,9 @@ func (db *DB) Tables() []string { return db.kernel.Catalog().List() }
 // TouchLatency returns the per-touch latency histogram.
 func (db *DB) TouchLatency() *metrics.Histogram { return db.kernel.TouchLatency() }
 
-// Results returns every result emitted so far.
+// Results returns the retained results: everything still visible on
+// screen plus all results of the latest gesture. Faded results are
+// pruned between gestures; use OnResult to observe the full stream.
 func (db *DB) Results() []Result { return db.kernel.Results() }
 
 // OnResult registers a live result callback (front-end hook).

@@ -39,7 +39,7 @@ func TestOpenAndSlide(t *testing.T) {
 		t.Fatal("latency histogram empty")
 	}
 	if len(db.Results()) != len(results) {
-		t.Fatal("Results() should retain everything")
+		t.Fatal("Results() should retain the whole latest gesture")
 	}
 }
 

@@ -1,0 +1,3 @@
+module dbtouch
+
+go 1.24

@@ -45,6 +45,16 @@ func (g *GestureAware) Touched(b int, _ time.Duration, dir int) {
 	}
 }
 
+// TouchedN implements iomodel.RangePolicy: one call absorbs a whole
+// block's worth of span accesses, keeping ranged charging O(blocks).
+func (g *GestureAware) TouchedN(b, n int, _ time.Duration, dir int) {
+	g.counts[b] += n
+	g.lastB = b
+	if dir != 0 {
+		g.dir = dir
+	}
+}
+
 // Forgot implements iomodel.EvictionPolicy.
 func (g *GestureAware) Forgot(b int) { delete(g.counts, b) }
 
@@ -93,6 +103,9 @@ type None struct{}
 
 // Touched implements iomodel.EvictionPolicy.
 func (None) Touched(int, time.Duration, int) {}
+
+// TouchedN implements iomodel.RangePolicy.
+func (None) TouchedN(int, int, time.Duration, int) {}
 
 // Forgot implements iomodel.EvictionPolicy.
 func (None) Forgot(int) {}

@@ -129,17 +129,28 @@ func TestAggregateModeRuns(t *testing.T) {
 	results := k.Apply(slideEvents(obj, time.Second, 0))
 	var last Result
 	n := 0
+	prev := 0.0
 	for _, r := range results {
 		if r.Kind == AggregateValue {
-			if r.Agg != float64(n+1) {
-				t.Fatalf("running count = %v at step %d", r.Agg, n)
+			if r.Agg < prev {
+				t.Fatalf("running count decreased: %v after %v", r.Agg, prev)
 			}
+			if r.Agg != float64(r.N) {
+				t.Fatalf("count %v != N %d", r.Agg, r.N)
+			}
+			prev = r.Agg
 			n++
 			last = r
 		}
 	}
-	if n == 0 || last.N != int64(n) {
-		t.Fatalf("aggregate results: n=%d last.N=%d", n, last.N)
+	if n == 0 {
+		t.Fatal("no aggregate results")
+	}
+	// Span execution absorbs every entry the slide swept over, not only
+	// the sampled touch positions, so the final count covers at least one
+	// entry per emitted touch and typically many more.
+	if last.N < int64(n) {
+		t.Fatalf("aggregate absorbed %d entries over %d touches", last.N, n)
 	}
 }
 
@@ -321,9 +332,10 @@ func TestFiltersGateResults(t *testing.T) {
 	v := mkInts(n, 0)
 	flag := make([]int64, n)
 	for i := range flag {
-		// Bands of 50 tuples alternate pass/fail, wide enough that the
-		// touch-position grid cannot alias with the pattern.
-		flag[i] = int64((i / 50) % 2)
+		// Bands of 2000 tuples alternate pass/fail — wider than the
+		// ~300-tuple spans between consecutive touches, so some spans
+		// fall entirely inside a fail band and get filtered whole.
+		flag[i] = int64((i / 2000) % 2)
 	}
 	m, _ := storage.NewMatrix("t", storage.NewIntColumn("v", v), storage.NewIntColumn("flag", flag))
 	obj, err := k.CreateColumnObject(m, 0, touchos.NewRect(2, 2, 2, 10))
@@ -336,7 +348,7 @@ func TestFiltersGateResults(t *testing.T) {
 	obj.SetActions(a)
 	results := k.Apply(slideEvents(obj, 2*time.Second, 0))
 	for _, r := range results {
-		if r.Kind == ScanValue && (r.TupleID/50)%2 == 0 {
+		if r.Kind == ScanValue && (r.TupleID/2000)%2 == 0 {
 			t.Fatalf("filtered slide returned non-matching tuple %d", r.TupleID)
 		}
 	}
@@ -592,5 +604,31 @@ func TestAdaptiveOptimizerUnit(t *testing.T) {
 	}
 	if fixed.Reorders() != 0 {
 		t.Fatal("disabled optimizer reordered")
+	}
+}
+
+// TestValueOrderFilteredGatesOnTouchedTuple: value-order slides interpret
+// the touch as a rank, so the WHERE restriction gates on the touched
+// tuple itself — a touch whose tuple fails the filter emits nothing even
+// when the covered span contains qualifying tuples (the boundary-crossing
+// step would otherwise reveal a non-matching tuple).
+func TestValueOrderFilteredGatesOnTouchedTuple(t *testing.T) {
+	n := 10000
+	k, obj := testKernel(t, n, DefaultConfig())
+	a := obj.Actions()
+	a.Mode = ModeScan
+	a.ValueOrder = true
+	a.Filters = []operator.Predicate{{Col: 0, Op: operator.Lt, Operand: storage.IntValue(int64(n / 2))}}
+	obj.SetActions(a)
+	results := k.Apply(slideEvents(obj, 1500*time.Millisecond, 0))
+	if countResults(results, ScanValue) == 0 {
+		t.Fatal("qualifying half emitted nothing")
+	}
+	// Identity column at base level: the emitted tuple is the touched
+	// rank, so every revealed tuple must satisfy the filter.
+	for _, r := range results {
+		if r.Kind == ScanValue && r.TupleID >= n/2 {
+			t.Fatalf("revealed non-qualifying tuple %d", r.TupleID)
+		}
 	}
 }

@@ -66,6 +66,12 @@ type Config struct {
 	CachePolicy PolicyKind
 	// AdaptiveOpt gates on-the-fly predicate reordering.
 	AdaptiveOpt bool
+	// ScalarSlide executes slide spans tuple-at-a-time through the scalar
+	// reference path instead of the vectorized span kernels. Both paths
+	// emit identical result streams (asserted by the span-equivalence
+	// suite); the flag exists for differential testing and ablation
+	// benchmarks.
+	ScalarSlide bool
 	// ResponseBound caps the per-touch data-processing estimate; the
 	// kernel degrades to coarser sample levels to respect it. Zero
 	// disables the bound.
@@ -179,11 +185,15 @@ func (k *Kernel) TouchLatency() *metrics.Histogram { return &k.touchHist }
 func (k *Kernel) DispatchStats() touchos.DispatchStats { return k.dispatcher.Stats() }
 
 // OnResult registers a callback invoked for every emitted result (the
-// front-end hook). Results are also retained; see Results.
+// front-end hook, and the way to observe the full unbounded stream).
+// Results are also retained while visible; see Results.
 func (k *Kernel) OnResult(fn func(Result)) { k.onResult = fn }
 
-// Results returns all results emitted so far (shared slice; treat as
-// read-only).
+// Results returns the retained results: everything still visible on
+// screen (not yet faded) plus all results emitted since the last Apply
+// call (shared slice; treat as read-only). Faded results are pruned at
+// the next Apply, bounding kernel memory for long-running sessions;
+// subscribe with OnResult to observe the complete stream.
 func (k *Kernel) Results() []Result { return k.results }
 
 // ResetResults clears retained results (between experiment runs).
@@ -337,9 +347,29 @@ func (k *Kernel) wireJoin(o *Object, spec *JoinSpec) {
 // Apply pushes a batch of raw touch events through the dispatcher and
 // returns the results emitted during the batch.
 func (k *Kernel) Apply(events []touchos.TouchEvent) []Result {
+	k.pruneFaded()
 	mark := len(k.results)
 	k.dispatcher.Dispatch(events, k.handleTouch, k.onIdle)
 	return k.results[mark:]
+}
+
+// pruneFaded drops results that have already faded from the screen, so
+// the retained window is bounded by the fade horizon instead of the
+// session length. Results are emitted in nondecreasing virtual time, so
+// the faded ones form a prefix. The live suffix moves to a fresh backing
+// array: slices returned by earlier Apply calls keep their data.
+func (k *Kernel) pruneFaded() {
+	now := k.clock.Now()
+	faded := 0
+	for faded < len(k.results) && k.results[faded].FadeAt <= now {
+		faded++
+	}
+	if faded == 0 {
+		return
+	}
+	live := make([]Result, len(k.results)-faded)
+	copy(live, k.results[faded:])
+	k.results = live
 }
 
 // handleTouch is the per-touch pipeline of Figure 3: recognize the

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"dbtouch/internal/gesture"
@@ -179,7 +180,12 @@ func (o *Object) processTap(ev gesture.Event) {
 }
 
 // processSlideStep handles one delivered slide sample — the unit of query
-// processing in dbTouch.
+// processing in dbTouch. A slide step semantically covers every tuple
+// between the previous sample and this one, so the step computes that
+// span and dispatches it as one unit: aggregates, filters, grouping and
+// joins consume the whole span (vectorized through the storage range
+// kernels, or tuple-at-a-time when Config.ScalarSlide selects the
+// reference path), while emission stays one result per touch.
 func (o *Object) processSlideStep(ev gesture.Event) {
 	om := o.objectMap()
 	var id, col int
@@ -201,51 +207,118 @@ func (o *Object) processSlideStep(ev gesture.Event) {
 	level := o.chooseLevel(ev, interTouch)
 	o.extrap.Observe(id, ev.Time)
 	o.setDirection()
+	prevID := o.lastID
 	o.lastID = id
 	o.lastTouch = ev.Time
 	o.lastLevel = level
 	o.recordTouch(id)
 
+	spanLo, spanHi := spanBounds(prevID, id)
+
 	// WHERE conjuncts gate everything else (paper §2.9: the slide drives
-	// the query processing steps; tuples failing the restriction yield no
-	// result).
+	// the query processing steps). Span execution qualifies every covered
+	// tuple: sel holds the ascending qualifying rows; an empty selection
+	// means the touch yields no result.
+	var sel []int32
 	if o.optimizer != nil && o.optimizer.Len() > 0 {
-		pass, err := o.optimizer.Eval(o.matrix, id, o.colTrackers)
-		if err != nil || !pass {
+		sel, err = o.optimizer.EvalSpan(o.matrix, spanLo, spanHi, o.colTrackers, o.kernel.cfg.ScalarSlide)
+		if err != nil {
+			return
+		}
+		if len(sel) == 0 {
 			o.kernel.counters.Add("touch.filtered", 1)
 			return
 		}
 	}
 
 	if o.IsColumn() {
-		o.slideColumn(id, level)
+		o.slideColumn(prevID, id, level, sel)
 	} else {
-		o.slideTable(id, col)
+		o.slideTable(prevID, id, col, sel)
 	}
 
 	if o.grouper != nil {
-		kt := o.trackerFor(o.actions.Group.KeyCol)
-		vt := o.trackerFor(o.actions.Group.ValCol)
-		if key, val, ok := o.grouper.Push(id, kt, vt); ok {
-			o.kernel.emit(Result{
-				Kind: GroupValue, ObjectID: o.id, TupleID: id,
-				GroupKey: key, Agg: val, N: int64(o.grouper.SeenTuples()), Level: level,
-			})
-		}
+		o.pushGroupSpan(spanLo, spanHi, sel, id, level)
 	}
 	if o.join != nil {
-		o.pushJoin(id, level)
+		o.pushJoinSpan(spanLo, spanHi, sel, id, level)
 	}
 }
 
-// slideColumn executes the configured mode against the column hierarchy.
-func (o *Object) slideColumn(id, level int) {
+// spanBounds returns the base-tuple range [lo, hi) a slide step covers:
+// (prev, id] sliding down, [id, prev) sliding up, just the touched tuple
+// on the first step of a gesture.
+func spanBounds(prevID, id int) (int, int) {
+	switch {
+	case prevID < 0:
+		return id, id + 1
+	case id > prevID:
+		return prevID + 1, id + 1
+	default:
+		return id, prevID
+	}
+}
+
+// entrySpan maps a base-tuple slide step onto level entries: the entries
+// newly covered since the previous touch — including the touched entry,
+// excluding the previously consumed one. At coarse levels consecutive
+// touches can land on the same entry; the span is then empty (the touch
+// refines nothing at this granularity).
+func entrySpan(prevID, id, stride, n int) (from, to int) {
+	cur := clampIdx(id/stride, n)
+	if prevID < 0 {
+		return cur, cur + 1
+	}
+	prev := clampIdx(prevID/stride, n)
+	switch {
+	case cur > prev:
+		return prev + 1, cur + 1
+	case cur < prev:
+		return cur, prev
+	default:
+		return cur, cur
+	}
+}
+
+func clampIdx(idx, n int) int {
+	if idx < 0 {
+		return 0
+	}
+	if idx >= n {
+		return n - 1
+	}
+	return idx
+}
+
+// chargeSelRuns charges one read per selected row, batching contiguous
+// runs of the ascending selection through ranged accounting.
+func chargeSelRuns(tr *iomodel.Tracker, sel []int32) {
+	if tr == nil {
+		return
+	}
+	operator.ForEachRun(sel, func(lo, hi int) { tr.AccessRange(lo, hi) })
+}
+
+// slideColumn executes the configured mode against the column hierarchy
+// for the slide span ending at base tuple id.
+func (o *Object) slideColumn(prevID, id, level int, sel []int32) {
 	rows := o.matrix.NumRows()
 	switch o.actions.Mode {
 	case ModeScan:
 		if o.actions.ValueOrder {
-			o.scanValueOrder(id, level)
+			// Value-order slides interpret the touch as a rank, so the
+			// span selection cannot be projected onto it; the WHERE gate
+			// keeps the reference semantics instead — the touched tuple
+			// itself must qualify.
+			if sel == nil || selContains(sel, id) {
+				o.scanValueOrder(id, level)
+			}
 			return
+		}
+		if sel != nil {
+			// Under a WHERE restriction the scan reveals the qualifying
+			// tuple nearest the finger within the covered span.
+			id = nearestSelected(sel, id)
 		}
 		v, baseID, err := o.hierarchy.ScanAt(id, level)
 		if err != nil {
@@ -253,23 +326,29 @@ func (o *Object) slideColumn(id, level int) {
 		}
 		o.kernel.emit(Result{Kind: ScanValue, ObjectID: o.id, TupleID: baseID, Value: v, Level: level})
 	case ModeAggregate:
-		v, baseID, err := o.hierarchy.ScanAt(id, level)
-		if err != nil {
-			return
-		}
-		o.agg.Add(v.AsFloat())
-		o.kernel.emit(Result{
-			Kind: AggregateValue, ObjectID: o.id, TupleID: baseID,
-			Agg: o.agg.Value(), N: o.agg.N(), Level: level,
-		})
+		o.slideAggregateColumn(prevID, id, level, sel)
 	case ModeSummary:
 		if o.actions.ValueOrder {
-			o.summaryValueOrder(id, level)
+			// Same rank-vs-position mismatch as the scan branch: gate on
+			// the touched tuple, not the span selection.
+			if sel == nil || selContains(sel, id) {
+				o.summaryValueOrder(id, level)
+			}
 			return
 		}
 		s := operator.Summarizer{K: o.actions.SummaryK, Kind: o.actions.Agg}
 		lo, hi := s.Window(id, rows)
-		sum, n, min, max, err := o.hierarchy.WindowAgg(lo, hi, level)
+		var (
+			sum      float64
+			n        int
+			min, max float64
+			err      error
+		)
+		if o.kernel.cfg.ScalarSlide {
+			sum, n, min, max, err = o.hierarchy.WindowAgg(lo, hi, level)
+		} else {
+			sum, n, min, max, err = o.hierarchy.SpanAgg(lo, hi, level)
+		}
 		if err != nil || n == 0 {
 			return
 		}
@@ -279,6 +358,77 @@ func (o *Object) slideColumn(id, level int) {
 			Agg: summaryValue(o.actions.Agg, sum, n, min, max),
 		})
 	}
+}
+
+// nearestSelected picks the selection entry closest to the touched tuple:
+// the touched tuple sits at one end of the span, so it is the first or
+// last selected row.
+func nearestSelected(sel []int32, id int) int {
+	if id <= int(sel[0]) {
+		return int(sel[0])
+	}
+	return int(sel[len(sel)-1])
+}
+
+// selContains reports whether the ascending selection contains id.
+func selContains(sel []int32, id int) bool {
+	i := sort.Search(len(sel), func(i int) bool { return sel[i] >= int32(id) })
+	return i < len(sel) && sel[i] == int32(id)
+}
+
+// slideAggregateColumn absorbs the covered span into the running
+// aggregate and emits its current state — the span version of "running
+// aggregate continuously updated" (paper §2.3): every tuple the finger
+// swept over contributes, not only the sampled one.
+func (o *Object) slideAggregateColumn(prevID, id, level int, sel []int32) {
+	lvl, err := o.hierarchy.Level(level)
+	if err != nil {
+		return
+	}
+	scalar := o.kernel.cfg.ScalarSlide
+	if sel != nil {
+		// Filtered slides run at base level (chooseLevel): absorb the
+		// qualifying rows.
+		if scalar {
+			for _, r := range sel {
+				lvl.Tracker.Access(int(r))
+				o.agg.Add(lvl.Col.Float(int(r)))
+			}
+		} else {
+			chargeSelRuns(lvl.Tracker, sel)
+			for _, r := range sel {
+				o.agg.Add(lvl.Col.Float(int(r)))
+			}
+		}
+		o.kernel.emit(Result{
+			Kind: AggregateValue, ObjectID: o.id, TupleID: id,
+			Agg: o.agg.Value(), N: o.agg.N(), Level: level,
+		})
+		return
+	}
+	from, to := entrySpan(prevID, id, lvl.Stride, lvl.Col.Len())
+	switch {
+	case scalar:
+		for e := from; e < to; e++ {
+			lvl.Tracker.Access(e)
+			o.agg.Add(lvl.Col.Float(e))
+		}
+	case o.agg.NeedsPerValue():
+		// Variance-family aggregates are order-sensitive: absorb the span
+		// value by value over the native slice, charged as one range.
+		lvl.Tracker.AccessRange(from, to)
+		lvl.Col.AddRangeTo(from, to, o.agg.Add)
+	default:
+		sum, n, min, max, err := o.hierarchy.SpanEntries(from, to, level)
+		if err != nil {
+			return
+		}
+		o.agg.AddSpan(int64(n), sum, min, max)
+	}
+	o.kernel.emit(Result{
+		Kind: AggregateValue, ObjectID: o.id, TupleID: clampIdx(id/lvl.Stride, lvl.Col.Len()) * lvl.Stride,
+		Agg: o.agg.Value(), N: o.agg.N(), Level: level,
+	})
 }
 
 // scanValueOrder serves a scan touch in value order via the per-level
@@ -321,12 +471,16 @@ func (o *Object) summaryValueOrder(id, level int) {
 		hi = idx.Len()
 	}
 	agg := operator.NewRunningAgg(o.actions.Agg)
-	for r := lo; r < hi; r++ {
-		v, _, err := idx.ValueAtRank(r, lvl.Tracker)
-		if err != nil {
-			continue
+	if o.kernel.cfg.ScalarSlide {
+		for r := lo; r < hi; r++ {
+			v, _, err := idx.ValueAtRank(r, lvl.Tracker)
+			if err != nil {
+				continue
+			}
+			agg.Add(v)
 		}
-		agg.Add(v)
+	} else {
+		idx.AddRankRange(lo, hi, lvl.Tracker, agg.Add)
 	}
 	if agg.N() == 0 {
 		return
@@ -338,11 +492,15 @@ func (o *Object) summaryValueOrder(id, level int) {
 	})
 }
 
-// slideTable executes the configured mode against a table object at
-// (row, col).
-func (o *Object) slideTable(row, col int) {
+// slideTable executes the configured mode against a table object for the
+// row span ending at (row, col).
+func (o *Object) slideTable(prevRow, row, col int, sel []int32) {
+	scalar := o.kernel.cfg.ScalarSlide
 	switch o.actions.Mode {
 	case ModeScan:
+		if sel != nil {
+			row = nearestSelected(sel, row)
+		}
 		o.chargeCell(row, col)
 		v, err := o.matrix.At(row, col)
 		if err != nil {
@@ -350,12 +508,15 @@ func (o *Object) slideTable(row, col int) {
 		}
 		o.kernel.emit(Result{Kind: ScanValue, ObjectID: o.id, TupleID: row, Col: col, Value: v})
 	case ModeAggregate:
-		o.chargeCell(row, col)
-		v, err := o.matrix.At(row, col)
-		if err != nil {
-			return
+		spanLo, spanHi := spanBounds(prevRow, row)
+		if sel != nil {
+			for _, r := range sel {
+				o.chargeCell(int(r), col)
+				o.agg.Add(o.matrix.Float(int(r), col))
+			}
+		} else {
+			o.absorbCellSpan(o.agg, spanLo, spanHi, col, scalar)
 		}
-		o.agg.Add(v.AsFloat())
 		o.kernel.emit(Result{
 			Kind: AggregateValue, ObjectID: o.id, TupleID: row, Col: col,
 			Agg: o.agg.Value(), N: o.agg.N(),
@@ -364,14 +525,7 @@ func (o *Object) slideTable(row, col int) {
 		s := operator.Summarizer{K: o.actions.SummaryK, Kind: o.actions.Agg}
 		lo, hi := s.Window(row, o.matrix.NumRows())
 		agg := operator.NewRunningAgg(o.actions.Agg)
-		for r := lo; r < hi; r++ {
-			o.chargeCell(r, col)
-			v, err := o.matrix.At(r, col)
-			if err != nil {
-				continue
-			}
-			agg.Add(v.AsFloat())
-		}
+		o.absorbCellSpan(agg, lo, hi, col, scalar)
 		if agg.N() == 0 {
 			return
 		}
@@ -382,15 +536,104 @@ func (o *Object) slideTable(row, col int) {
 	}
 }
 
-// pushJoin feeds the touched tuple into the symmetric join and emits any
-// matches.
-func (o *Object) pushJoin(id, level int) {
-	tracker := o.trackerFor(maxInt(o.colIdx, 0))
-	var matches []operator.JoinMatch
-	if o.joinSide == JoinLeft {
-		matches = o.join.PushLeft(id, tracker)
+// absorbCellSpan feeds cells (lo..hi, col) into agg. The scalar path
+// charges and reads cell by cell; the vectorized path charges the strided
+// cell range as one unit and, on column-major layouts, absorbs through
+// the typed column kernels.
+func (o *Object) absorbCellSpan(agg *operator.RunningAgg, lo, hi, col int, scalar bool) {
+	if hi > o.matrix.NumRows() {
+		hi = o.matrix.NumRows()
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= hi {
+		return
+	}
+	if scalar {
+		for r := lo; r < hi; r++ {
+			o.chargeCell(r, col)
+			agg.Add(o.matrix.Float(r, col))
+		}
+		return
+	}
+	if o.cellTracker != nil {
+		ncols := o.matrix.NumCols()
+		o.cellTracker.AccessStrided(lo*ncols+col, (hi-1)*ncols+col+1, ncols)
+	}
+	if c, err := o.matrix.Column(col); err == nil && !agg.NeedsPerValue() {
+		sum, n := c.SumRange(lo, hi)
+		min, max, _ := c.MinMaxRange(lo, hi)
+		agg.AddSpan(int64(n), sum, min, max)
+		return
+	}
+	for r := lo; r < hi; r++ {
+		agg.Add(o.matrix.Float(r, col))
+	}
+}
+
+// pushGroupSpan feeds the covered span (or its qualifying selection)
+// into the incremental group-by and emits the touched tuple's group when
+// the touch absorbed it.
+func (o *Object) pushGroupSpan(spanLo, spanHi int, sel []int32, id, level int) {
+	kt := o.trackerFor(o.actions.Group.KeyCol)
+	vt := o.trackerFor(o.actions.Group.ValCol)
+	wasSeen := o.grouper.Seen(id)
+	if o.kernel.cfg.ScalarSlide {
+		if sel != nil {
+			for _, r := range sel {
+				o.grouper.Push(int(r), kt, vt)
+			}
+		} else {
+			for r := spanLo; r < spanHi; r++ {
+				o.grouper.Push(r, kt, vt)
+			}
+		}
+	} else if sel != nil {
+		operator.ForEachRun(sel, func(lo, hi int) { o.grouper.PushRange(lo, hi, kt, vt) })
 	} else {
-		matches = o.join.PushRight(id, tracker)
+		o.grouper.PushRange(spanLo, spanHi, kt, vt)
+	}
+	if wasSeen || !o.grouper.Seen(id) {
+		return
+	}
+	if key, val, ok := o.grouper.GroupOf(id); ok {
+		o.kernel.emit(Result{
+			Kind: GroupValue, ObjectID: o.id, TupleID: id,
+			GroupKey: key, Agg: val, N: int64(o.grouper.SeenTuples()), Level: level,
+		})
+	}
+}
+
+// pushJoinSpan feeds the covered span (or its qualifying selection) into
+// the symmetric join and emits all new matches as one result.
+func (o *Object) pushJoinSpan(spanLo, spanHi int, sel []int32, id, level int) {
+	tracker := o.trackerFor(maxInt(o.colIdx, 0))
+	isLeft := o.joinSide == JoinLeft
+	var matches []operator.JoinMatch
+	if o.kernel.cfg.ScalarSlide {
+		push := func(r int) {
+			if isLeft {
+				matches = append(matches, o.join.PushLeft(r, tracker)...)
+			} else {
+				matches = append(matches, o.join.PushRight(r, tracker)...)
+			}
+		}
+		if sel != nil {
+			for _, r := range sel {
+				push(int(r))
+			}
+		} else {
+			for r := spanLo; r < spanHi; r++ {
+				push(r)
+			}
+		}
+	} else if sel != nil {
+		operator.ForEachRun(sel, func(lo, hi int) {
+			matches = append(matches, o.join.PushRange(lo, hi, isLeft, tracker)...)
+		})
+	} else {
+		matches = o.join.PushRange(spanLo, spanHi, isLeft, tracker)
 	}
 	if len(matches) > 0 {
 		o.kernel.emit(Result{

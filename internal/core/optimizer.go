@@ -24,6 +24,9 @@ type AdaptiveOptimizer struct {
 	order      []int
 	reorders   int
 	evals      int64
+
+	// selA/selB are reusable selection scratch buffers for EvalSpan.
+	selA, selB []int32
 }
 
 // NewAdaptiveOptimizer wraps the given conjuncts. window is the decay
@@ -62,6 +65,123 @@ func (o *AdaptiveOptimizer) Eval(m *storage.Matrix, row int, trackers []*iomodel
 		o.reorder()
 	}
 	return pass, nil
+}
+
+// EvalSpan evaluates the conjunction over tuple span [lo, hi) of m and
+// returns the qualifying rows in ascending order (a selection vector that
+// aliases internal scratch; callers must consume it before the next
+// call). The vectorized path refines the span conjunct by conjunct
+// through the storage filter kernels; scalar selects the tuple-at-a-time
+// reference path. Both observe identical per-conjunct statistics, charge
+// identical virtual costs, and reconsider the conjunct order only at span
+// boundaries, so they qualify identical tuples.
+func (o *AdaptiveOptimizer) EvalSpan(m *storage.Matrix, lo, hi int, trackers []*iomodel.Tracker, scalar bool) ([]int32, error) {
+	if lo < 0 {
+		lo = 0
+	}
+	if n := m.NumRows(); hi > n {
+		hi = n
+	}
+	if hi < lo {
+		hi = lo
+	}
+	var sel []int32
+	var err error
+	if scalar {
+		sel, err = o.evalSpanScalar(m, lo, hi, trackers)
+	} else {
+		sel, err = o.evalSpanVector(m, lo, hi, trackers)
+	}
+	if err != nil {
+		return nil, err
+	}
+	prev := o.evals
+	o.evals += int64(hi - lo)
+	if o.Enabled && prev/16 != o.evals/16 {
+		o.reorder()
+	}
+	return sel, nil
+}
+
+// evalSpanVector is the column-at-a-time path: each conjunct filters the
+// survivors of the previous ones in one kernel call.
+func (o *AdaptiveOptimizer) evalSpanVector(m *storage.Matrix, lo, hi int, trackers []*iomodel.Tracker) ([]int32, error) {
+	var sel []int32
+	first := true
+	for _, idx := range o.order {
+		out := o.selB[:0]
+		out, _, err := o.predicates[idx].EvalRange(m, lo, hi, sel, trackers, out)
+		if err != nil {
+			return nil, err
+		}
+		o.observeSpan(idx, lo, hi, sel, first, out)
+		o.selA, o.selB = out, o.selA
+		sel, first = out, false
+		if len(sel) == 0 {
+			break
+		}
+	}
+	if first {
+		// No conjuncts: the whole span qualifies.
+		sel = o.selA[:0]
+		for row := lo; row < hi; row++ {
+			sel = append(sel, int32(row))
+		}
+		o.selA = sel
+	}
+	return sel, nil
+}
+
+// evalSpanScalar is the tuple-at-a-time reference: per row, evaluate
+// conjuncts in the current order with short-circuiting.
+func (o *AdaptiveOptimizer) evalSpanScalar(m *storage.Matrix, lo, hi int, trackers []*iomodel.Tracker) ([]int32, error) {
+	sel := o.selA[:0]
+	for row := lo; row < hi; row++ {
+		pass := true
+		for _, idx := range o.order {
+			ok, err := o.predicates[idx].Eval(m, row, trackers)
+			if err != nil {
+				return nil, err
+			}
+			o.stats[idx].Observe(ok)
+			if !ok {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			sel = append(sel, int32(row))
+		}
+	}
+	o.selA = sel
+	return sel, nil
+}
+
+// observeSpan replays conjunct idx's span outcomes into its statistics in
+// row order: evaluated rows are the previous selection (or the whole span
+// for the first conjunct), passing rows the refined one. Row order
+// matters because the decay window halves counters at fixed sample
+// boundaries — this keeps the vectorized statistics bit-identical to the
+// scalar path's.
+func (o *AdaptiveOptimizer) observeSpan(idx, lo, hi int, evaluated []int32, full bool, passing []int32) {
+	s := o.stats[idx]
+	j := 0
+	observe := func(row int32) {
+		passed := j < len(passing) && passing[j] == row
+		if passed {
+			j++
+		}
+		s.Observe(passed)
+	}
+	if full {
+		for row := lo; row < hi; row++ {
+			observe(int32(row))
+		}
+		return
+	}
+	for _, row := range evaluated {
+		observe(row)
+	}
 }
 
 // reorder sorts conjuncts by ascending selectivity: with uniform

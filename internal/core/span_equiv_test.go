@@ -1,0 +1,387 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"dbtouch/internal/gesture"
+	"dbtouch/internal/operator"
+	"dbtouch/internal/storage"
+	"dbtouch/internal/touchos"
+)
+
+// The span-equivalence suite runs identical gesture scripts through two
+// kernels that differ only in Config.ScalarSlide and asserts the emitted
+// Result streams are byte-identical — the vectorized span kernels must be
+// indistinguishable from the tuple-at-a-time reference path, including
+// virtual-time stamps and latencies. Integer-valued data makes every sum
+// exact, so even prefix-sum span aggregation reproduces the scalar
+// stream bit for bit.
+
+// equivPair is one scalar/vector kernel pair under a shared script.
+type equivPair struct {
+	t       *testing.T
+	scalar  *Kernel
+	vector  *Kernel
+	objects [][2]*Object // [i] = {scalar object, vector object}
+}
+
+func newEquivPair(t *testing.T, mutate func(*Config)) *equivPair {
+	t.Helper()
+	mk := func(scalarSlide bool) *Kernel {
+		cfg := DefaultConfig()
+		cfg.ScalarSlide = scalarSlide
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		return NewKernel(cfg)
+	}
+	return &equivPair{t: t, scalar: mk(true), vector: mk(false)}
+}
+
+// addColumn registers the same column object on both kernels.
+func (p *equivPair) addColumn(m func() *storage.Matrix, col int, frame touchos.Rect) int {
+	p.t.Helper()
+	so, err := p.scalar.CreateColumnObject(m(), col, frame)
+	if err != nil {
+		p.t.Fatal(err)
+	}
+	vo, err := p.vector.CreateColumnObject(m(), col, frame)
+	if err != nil {
+		p.t.Fatal(err)
+	}
+	p.objects = append(p.objects, [2]*Object{so, vo})
+	return len(p.objects) - 1
+}
+
+func (p *equivPair) addTable(m func() *storage.Matrix, frame touchos.Rect) int {
+	p.t.Helper()
+	so, err := p.scalar.CreateTableObject(m(), frame)
+	if err != nil {
+		p.t.Fatal(err)
+	}
+	vo, err := p.vector.CreateTableObject(m(), frame)
+	if err != nil {
+		p.t.Fatal(err)
+	}
+	p.objects = append(p.objects, [2]*Object{so, vo})
+	return len(p.objects) - 1
+}
+
+func (p *equivPair) setActions(obj int, a Actions) {
+	p.objects[obj][0].SetActions(a)
+	p.objects[obj][1].SetActions(a)
+}
+
+// slide sweeps both twins between fractional heights of the object.
+func (p *equivPair) slide(obj int, fromFrac, toFrac float64, dur time.Duration) {
+	p.t.Helper()
+	for i, k := range []*Kernel{p.scalar, p.vector} {
+		o := p.objects[obj][i]
+		f := o.View().Frame()
+		synth := gesture.Synth{}
+		y := func(frac float64) float64 { return f.Origin.Y + 0.02 + frac*(f.Size.H-0.04) }
+		events := synth.Slide(
+			touchos.Point{X: f.Origin.X + f.Size.W/2, Y: y(fromFrac)},
+			touchos.Point{X: f.Origin.X + f.Size.W/2, Y: y(toFrac)},
+			k.Clock().Now()+time.Millisecond, dur,
+		)
+		k.Apply(events)
+	}
+	p.check()
+}
+
+// slideAtX sweeps vertically at an absolute X (table objects: picks the
+// touched attribute).
+func (p *equivPair) slideAtX(obj int, x, fromFrac, toFrac float64, dur time.Duration) {
+	p.t.Helper()
+	for i, k := range []*Kernel{p.scalar, p.vector} {
+		o := p.objects[obj][i]
+		f := o.View().Frame()
+		synth := gesture.Synth{}
+		y := func(frac float64) float64 { return f.Origin.Y + 0.02 + frac*(f.Size.H-0.04) }
+		events := synth.Slide(
+			touchos.Point{X: x, Y: y(fromFrac)},
+			touchos.Point{X: x, Y: y(toFrac)},
+			k.Clock().Now()+time.Millisecond, dur,
+		)
+		k.Apply(events)
+	}
+	p.check()
+}
+
+func (p *equivPair) idle(d time.Duration) {
+	for _, k := range []*Kernel{p.scalar, p.vector} {
+		now := k.Clock().Now()
+		k.RunIdle(now, now+d)
+	}
+	p.check()
+}
+
+// resultsEqual is DeepEqual except that two NaN aggregates compare equal
+// (variance of a single sample is NaN on both paths, and NaN != NaN).
+func resultsEqual(a, b Result) bool {
+	if math.IsNaN(a.Agg) && math.IsNaN(b.Agg) {
+		a.Agg, b.Agg = 0, 0
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// check asserts the two kernels are indistinguishable so far.
+func (p *equivPair) check() {
+	p.t.Helper()
+	sr, vr := p.scalar.Results(), p.vector.Results()
+	if len(sr) != len(vr) {
+		p.t.Fatalf("result counts diverge: scalar %d vector %d", len(sr), len(vr))
+	}
+	for i := range sr {
+		if !resultsEqual(sr[i], vr[i]) {
+			p.t.Fatalf("result %d diverges:\n scalar: %+v\n vector: %+v", i, sr[i], vr[i])
+		}
+	}
+	if p.scalar.Clock().Now() != p.vector.Clock().Now() {
+		p.t.Fatalf("virtual clocks diverge: scalar %v vector %v", p.scalar.Clock().Now(), p.vector.Clock().Now())
+	}
+}
+
+// randInts builds a deterministic pseudo-random integer column factory.
+func randInts(seed int64, n int, max int64) func() *storage.Matrix {
+	return func() *storage.Matrix {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = rng.Int63n(max)
+		}
+		m, err := storage.NewMatrix("t", storage.NewIntColumn("v", vals))
+		if err != nil {
+			panic(err)
+		}
+		return m
+	}
+}
+
+func TestSpanEquivalenceAggregateKinds(t *testing.T) {
+	for _, kind := range []operator.AggKind{operator.Count, operator.Sum, operator.Avg, operator.Min, operator.Max, operator.Var, operator.Stddev} {
+		t.Run(kind.String(), func(t *testing.T) {
+			p := newEquivPair(t, nil)
+			obj := p.addColumn(randInts(7, 60000, 1000), 0, touchos.NewRect(2, 2, 2, 10))
+			p.setActions(obj, Actions{Mode: ModeAggregate, Agg: kind})
+			p.slide(obj, 0, 1, 1200*time.Millisecond)
+			p.slide(obj, 1, 0.3, 600*time.Millisecond)
+			p.idle(200 * time.Millisecond)
+			p.slide(obj, 0.3, 0.9, 900*time.Millisecond)
+		})
+	}
+}
+
+func TestSpanEquivalenceVarOnFloats(t *testing.T) {
+	// Variance-family aggregates absorb spans value by value, so even
+	// float data stays bit-identical between the two paths.
+	mkFloats := func() *storage.Matrix {
+		rng := rand.New(rand.NewSource(11))
+		vals := make([]float64, 40000)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 3.7
+		}
+		m, err := storage.NewMatrix("t", storage.NewFloatColumn("v", vals))
+		if err != nil {
+			panic(err)
+		}
+		return m
+	}
+	p := newEquivPair(t, nil)
+	obj := p.addColumn(mkFloats, 0, touchos.NewRect(2, 2, 2, 10))
+	p.setActions(obj, Actions{Mode: ModeAggregate, Agg: operator.Stddev})
+	p.slide(obj, 0, 1, 1500*time.Millisecond)
+	p.slide(obj, 1, 0, 700*time.Millisecond)
+}
+
+func TestSpanEquivalenceSummary(t *testing.T) {
+	for _, k := range []int{0, 3, 25, 400} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			p := newEquivPair(t, nil)
+			obj := p.addColumn(randInts(13, 80000, 500), 0, touchos.NewRect(2, 2, 2, 10))
+			p.setActions(obj, Actions{Mode: ModeSummary, Agg: operator.Avg, SummaryK: k})
+			p.slide(obj, 0, 1, 1500*time.Millisecond)
+			p.setActions(obj, Actions{Mode: ModeSummary, Agg: operator.Max, SummaryK: k})
+			p.slide(obj, 1, 0, 800*time.Millisecond)
+		})
+	}
+}
+
+func TestSpanEquivalenceValueOrder(t *testing.T) {
+	p := newEquivPair(t, nil)
+	obj := p.addColumn(randInts(17, 30000, 100000), 0, touchos.NewRect(2, 2, 2, 10))
+	p.setActions(obj, Actions{Mode: ModeScan, ValueOrder: true})
+	p.slide(obj, 0, 1, 800*time.Millisecond)
+	p.setActions(obj, Actions{Mode: ModeSummary, Agg: operator.Avg, SummaryK: 20, ValueOrder: true})
+	p.slide(obj, 0, 1, 1200*time.Millisecond)
+}
+
+func TestSpanEquivalenceFiltered(t *testing.T) {
+	mk := func() *storage.Matrix {
+		rng := rand.New(rand.NewSource(23))
+		n := 50000
+		v := make([]int64, n)
+		a := make([]int64, n)
+		b := make([]int64, n)
+		for i := range v {
+			v[i] = rng.Int63n(1000)
+			a[i] = int64((i / 4000) % 3)
+			b[i] = rng.Int63n(10)
+		}
+		m, err := storage.NewMatrix("t",
+			storage.NewIntColumn("v", v),
+			storage.NewIntColumn("a", a),
+			storage.NewIntColumn("b", b),
+		)
+		if err != nil {
+			panic(err)
+		}
+		return m
+	}
+	filters := []operator.Predicate{
+		{Col: 1, Op: operator.Eq, Operand: storage.IntValue(1)},
+		{Col: 2, Op: operator.Lt, Operand: storage.IntValue(7)},
+	}
+	for _, mode := range []Mode{ModeScan, ModeAggregate} {
+		t.Run(mode.String(), func(t *testing.T) {
+			p := newEquivPair(t, nil)
+			obj := p.addColumn(mk, 0, touchos.NewRect(2, 2, 2, 10))
+			p.setActions(obj, Actions{Mode: mode, Agg: operator.Sum, Filters: filters})
+			p.slide(obj, 0, 1, 1800*time.Millisecond)
+			p.slide(obj, 1, 0.2, 700*time.Millisecond)
+		})
+	}
+}
+
+func TestSpanEquivalenceGroupBy(t *testing.T) {
+	mk := func() *storage.Matrix {
+		rng := rand.New(rand.NewSource(29))
+		n := 30000
+		vals := make([]int64, n)
+		keys := make([]string, n)
+		for i := range vals {
+			vals[i] = rng.Int63n(1000)
+			keys[i] = string(rune('a' + rng.Intn(5)))
+		}
+		m, err := storage.NewMatrix("t",
+			storage.NewIntColumn("v", vals),
+			storage.NewStringColumn("k", keys),
+		)
+		if err != nil {
+			panic(err)
+		}
+		return m
+	}
+	p := newEquivPair(t, nil)
+	obj := p.addColumn(mk, 0, touchos.NewRect(2, 2, 2, 10))
+	p.setActions(obj, Actions{Mode: ModeSummary, Agg: operator.Avg, SummaryK: 10,
+		Group: &GroupSpec{KeyCol: 1, ValCol: 0, Agg: operator.Sum}})
+	p.slide(obj, 0, 1, 1500*time.Millisecond)
+	p.slide(obj, 1, 0, 900*time.Millisecond)
+}
+
+func TestSpanEquivalenceJoin(t *testing.T) {
+	mkSide := func(seed int64) func() *storage.Matrix {
+		return randInts(seed, 8000, 2000)
+	}
+	p := newEquivPair(t, nil)
+	left := p.addColumn(mkSide(31), 0, touchos.NewRect(2, 2, 2, 8))
+	right := p.addColumn(mkSide(37), 0, touchos.NewRect(6, 2, 2, 8))
+	a := p.objects[left][0].Actions()
+	a.Join = &JoinSpec{OtherObject: p.objects[right][0].ID(), Side: JoinLeft}
+	// Wire the join on each kernel with its own object ids.
+	p.objects[left][0].SetActions(a)
+	av := p.objects[left][1].Actions()
+	av.Join = &JoinSpec{OtherObject: p.objects[right][1].ID(), Side: JoinLeft}
+	p.objects[left][1].SetActions(av)
+
+	p.slide(left, 0, 1, 900*time.Millisecond)
+	p.slide(right, 0, 1, 900*time.Millisecond)
+	p.slide(left, 1, 0, 600*time.Millisecond)
+	p.slide(right, 0.2, 0.8, 600*time.Millisecond)
+}
+
+func TestSpanEquivalenceTableObject(t *testing.T) {
+	mk := func() *storage.Matrix {
+		rng := rand.New(rand.NewSource(41))
+		n := 20000
+		a := make([]int64, n)
+		b := make([]int64, n)
+		for i := range a {
+			a[i] = rng.Int63n(100)
+			b[i] = rng.Int63n(100)
+		}
+		m, err := storage.NewMatrix("t",
+			storage.NewIntColumn("a", a),
+			storage.NewIntColumn("b", b),
+		)
+		if err != nil {
+			panic(err)
+		}
+		return m
+	}
+	for _, mode := range []Mode{ModeScan, ModeAggregate, ModeSummary} {
+		t.Run(mode.String(), func(t *testing.T) {
+			p := newEquivPair(t, nil)
+			obj := p.addTable(mk, touchos.NewRect(2, 2, 6, 10))
+			p.setActions(obj, Actions{Mode: mode, Agg: operator.Avg, SummaryK: 15})
+			p.slideAtX(obj, 3.5, 0, 1, 900*time.Millisecond) // left column
+			p.slideAtX(obj, 6.5, 1, 0, 700*time.Millisecond) // right column
+			p.slideAtX(obj, 3.5, 0.2, 0.9, 500*time.Millisecond)
+		})
+	}
+}
+
+// TestSpanEquivalenceRandomScript is the randomized gesture-script
+// equivalence test: random mode switches, directions, durations, and
+// idle pauses, replayed identically on both kernels.
+func TestSpanEquivalenceRandomScript(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			p := newEquivPair(t, nil)
+			obj := p.addColumn(randInts(seed+100, 50000, 1000), 0, touchos.NewRect(2, 2, 2, 10))
+			kinds := []operator.AggKind{operator.Count, operator.Sum, operator.Avg, operator.Min, operator.Max, operator.Var, operator.Stddev}
+			pos := 0.0
+			for step := 0; step < 12; step++ {
+				if rng.Intn(3) == 0 {
+					mode := []Mode{ModeScan, ModeAggregate, ModeSummary}[rng.Intn(3)]
+					a := Actions{
+						Mode:     mode,
+						Agg:      kinds[rng.Intn(len(kinds))],
+						SummaryK: rng.Intn(60),
+					}
+					if rng.Intn(4) == 0 {
+						a.ValueOrder = true
+					}
+					p.setActions(obj, a)
+				}
+				switch rng.Intn(5) {
+				case 0:
+					p.idle(time.Duration(50+rng.Intn(400)) * time.Millisecond)
+				default:
+					next := rng.Float64()
+					dur := time.Duration(200+rng.Intn(1200)) * time.Millisecond
+					p.slide(obj, pos, next, dur)
+					pos = next
+				}
+			}
+		})
+	}
+}
+
+func TestSpanEquivalenceValueOrderFiltered(t *testing.T) {
+	p := newEquivPair(t, nil)
+	obj := p.addColumn(randInts(43, 30000, 1000), 0, touchos.NewRect(2, 2, 2, 10))
+	filters := []operator.Predicate{{Col: 0, Op: operator.Lt, Operand: storage.IntValue(500)}}
+	p.setActions(obj, Actions{Mode: ModeScan, ValueOrder: true, Filters: filters})
+	p.slide(obj, 0, 1, 900*time.Millisecond)
+	p.setActions(obj, Actions{Mode: ModeSummary, Agg: operator.Avg, SummaryK: 15, ValueOrder: true, Filters: filters})
+	p.slide(obj, 1, 0, 900*time.Millisecond)
+}

@@ -44,8 +44,16 @@ func (s Scale) columnData() []int64 {
 // newDB opens a paper-configured dbTouch instance over the standard
 // column, placing a 2x`heightCm` object at (2,2).
 func (s Scale) newDB(heightCm float64, opts ...dbtouch.Option) (*dbtouch.DB, *dbtouch.Object) {
+	return s.newDBWith(s.columnData(), heightCm, opts...)
+}
+
+// newDBWith is newDB over pre-generated column data. Experiments that
+// reset the engine between data points reuse one generated column — the
+// generator is deterministic, so the data is identical either way and
+// columns adopt the slice without copying.
+func (s Scale) newDBWith(data []int64, heightCm float64, opts ...dbtouch.Option) (*dbtouch.DB, *dbtouch.Object) {
 	db := dbtouch.Open(opts...)
-	db.NewTable("t").Int("v", s.columnData()).MustCreate()
+	db.NewTable("t").Int("v", data).MustCreate()
 	obj, err := db.NewColumnObject("t", "v", 2, 2, 2, heightCm)
 	if err != nil {
 		panic(err)
@@ -77,8 +85,9 @@ func Fig4aGestureSpeed(s Scale) *metrics.Series {
 		XLabel: "gesture-secs",
 		YLabel: "entries",
 	}
+	data := s.columnData()
 	for _, secs := range []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0} {
-		_, obj := s.newDB(10)
+		_, obj := s.newDBWith(data, 10)
 		results := obj.Slide(time.Duration(secs * float64(time.Second)))
 		series.Add(secs, float64(countKind(results, dbtouch.SummaryValue)))
 	}

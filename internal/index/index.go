@@ -123,6 +123,33 @@ func (s *Sorted) Range(lo, hi float64, tracker *iomodel.Tracker) ([]int, error) 
 	return out, nil
 }
 
+// AddRankRange feeds the values at ranks [lo, hi) into add in rank order,
+// charging one read per rank, and reports how many values were fed — the
+// span kernel for value-order slides (one call per rank window instead of
+// a ValueAtRank round trip per rank). Ranks clamp to [0, Len()).
+func (s *Sorted) AddRankRange(lo, hi int, tracker *iomodel.Tracker, add func(float64)) int {
+	if !s.built {
+		return 0
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s.perm) {
+		hi = len(s.perm)
+	}
+	for r := lo; r < hi; r++ {
+		pos := s.perm[r]
+		if tracker != nil {
+			tracker.Access(pos)
+		}
+		add(s.col.Float(pos))
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
 // Registry lazily builds and caches one Sorted per sample level.
 type Registry struct {
 	indexes map[int]*Sorted

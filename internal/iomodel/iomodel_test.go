@@ -172,3 +172,60 @@ func TestUnlimitedBudgetNeverEvicts(t *testing.T) {
 		t.Fatalf("warm blocks = %d", tr.WarmBlocks())
 	}
 }
+
+func TestAccessRangeMatchesScalarLoop(t *testing.T) {
+	// Block-granular ranged charging must match a per-value Access loop
+	// in total cost, stats, and warm state.
+	scalarClock, rangedClock := vclock.New(), vclock.New()
+	scalar := New(scalarClock, testParams(), nil)
+	ranged := New(rangedClock, testParams(), nil)
+	var scalarCost time.Duration
+	for i := 3; i < 28; i++ {
+		scalarCost += scalar.Access(i)
+	}
+	rangedCost := ranged.AccessRange(3, 28)
+	if scalarCost != rangedCost {
+		t.Fatalf("costs diverge: scalar %v ranged %v", scalarCost, rangedCost)
+	}
+	if scalar.Stats() != ranged.Stats() {
+		t.Fatalf("stats diverge: %+v vs %+v", scalar.Stats(), ranged.Stats())
+	}
+	if scalar.WarmBlocks() != ranged.WarmBlocks() {
+		t.Fatal("warm state diverges")
+	}
+	if scalarClock.Now() != rangedClock.Now() {
+		t.Fatal("clocks diverge")
+	}
+	// Re-reading warm data stays equivalent.
+	if scalar.Access(5) != func() time.Duration { return ranged.AccessRange(5, 6) }() {
+		t.Fatal("warm re-read diverges")
+	}
+}
+
+func TestAccessRangeEmpty(t *testing.T) {
+	tr := New(vclock.New(), testParams(), nil)
+	if tr.AccessRange(7, 7) != 0 || tr.AccessRange(9, 2) != 0 {
+		t.Fatal("empty range should be free")
+	}
+	if tr.Stats().ValuesRead != 0 {
+		t.Fatal("empty range charged values")
+	}
+}
+
+func TestAccessStridedMatchesScalarLoop(t *testing.T) {
+	scalar := New(vclock.New(), testParams(), nil)
+	ranged := New(vclock.New(), testParams(), nil)
+	var scalarCost time.Duration
+	for i := 2; i < 40; i += 3 {
+		scalarCost += scalar.Access(i)
+	}
+	if got := ranged.AccessStrided(2, 40, 3); got != scalarCost {
+		t.Fatalf("strided cost = %v, want %v", got, scalarCost)
+	}
+	if scalar.Stats() != ranged.Stats() {
+		t.Fatalf("strided stats diverge: %+v vs %+v", scalar.Stats(), ranged.Stats())
+	}
+	if tr := New(vclock.New(), testParams(), nil); tr.AccessStrided(0, 10, 0) != 0 {
+		t.Fatal("zero stride should be free")
+	}
+}

@@ -129,6 +129,32 @@ func (a *RunningAgg) AddN(n int64, sum, min, max float64) {
 	}
 }
 
+// NeedsPerValue reports whether the aggregate's answer depends on the
+// exact per-value update order (the Welford variance family). Such
+// aggregates must absorb spans value by value (AddRangeTo); the others
+// merge a whole span exactly via AddSpan.
+func (a *RunningAgg) NeedsPerValue() bool { return a.kind == Var || a.kind == Stddev }
+
+// AddSpan merges a span of n values with the given sum, minimum and
+// maximum in O(1). For count/sum/avg/min/max the merged answer is exactly
+// what n sequential Add calls would report (the span sum is accumulated
+// with one addition, so integer-valued data stays bit-identical); the
+// Welford mean/m2 state is not maintained, so variance-family aggregates
+// must use per-value absorption instead (see NeedsPerValue).
+func (a *RunningAgg) AddSpan(n int64, sum, min, max float64) {
+	if n <= 0 {
+		return
+	}
+	a.n += n
+	a.sum += sum
+	if min < a.min {
+		a.min = min
+	}
+	if max > a.max {
+		a.max = max
+	}
+}
+
 // N reports how many values have been absorbed.
 func (a *RunningAgg) N() int64 { return a.n }
 

@@ -25,10 +25,13 @@ type SymmetricHashJoin struct {
 	right    *storage.Column
 	leftTab  map[float64][]int
 	rightTab map[float64][]int
-	// seenLeft/seenRight avoid double-inserting a tuple the gesture
-	// revisits (back-and-forth slides walk the same ids repeatedly).
-	seenLeft  map[int]bool
-	seenRight map[int]bool
+	// seenLeft/seenRight (bitsets over tuple ids) avoid double-inserting
+	// a tuple the gesture revisits (back-and-forth slides walk the same
+	// ids repeatedly).
+	seenLeft  []uint64
+	seenRight []uint64
+	nLeft     int
+	nRight    int
 	matches   int64
 }
 
@@ -39,27 +42,86 @@ func NewSymmetricHashJoin(left, right *storage.Column) *SymmetricHashJoin {
 		right:     right,
 		leftTab:   make(map[float64][]int),
 		rightTab:  make(map[float64][]int),
-		seenLeft:  make(map[int]bool),
-		seenRight: make(map[int]bool),
+		seenLeft:  make([]uint64, (left.Len()+63)/64),
+		seenRight: make([]uint64, (right.Len()+63)/64),
 	}
 }
+
+func seenBit(seen []uint64, id int) bool { return seen[id>>6]&(1<<(uint(id)&63)) != 0 }
 
 // PushLeft feeds tuple id of the left input, charging the read to
 // tracker, and returns any new matches against right tuples seen so far.
 func (j *SymmetricHashJoin) PushLeft(id int, tracker *iomodel.Tracker) []JoinMatch {
-	return j.push(id, j.left, j.seenLeft, j.leftTab, j.rightTab, tracker, true)
+	return j.push(id, true, tracker, nil)
 }
 
 // PushRight feeds tuple id of the right input.
 func (j *SymmetricHashJoin) PushRight(id int, tracker *iomodel.Tracker) []JoinMatch {
-	return j.push(id, j.right, j.seenRight, j.rightTab, j.leftTab, tracker, false)
+	return j.push(id, false, tracker, nil)
 }
 
-func (j *SymmetricHashJoin) push(id int, col *storage.Column, seen map[int]bool, own, other map[float64][]int, tracker *iomodel.Tracker, isLeft bool) []JoinMatch {
-	if id < 0 || id >= col.Len() || seen[id] {
-		return nil
+// PushRange feeds every not-yet-seen tuple of one side in [lo, hi) in
+// ascending order — the span version of Push. Reads are charged per
+// contiguous run of fresh tuples through the tracker's ranged accounting
+// (identical virtual cost to a per-tuple loop), and all new matches are
+// returned in push order. isLeft selects the side.
+func (j *SymmetricHashJoin) PushRange(lo, hi int, isLeft bool, tracker *iomodel.Tracker) []JoinMatch {
+	col := j.right
+	if isLeft {
+		col = j.left
 	}
-	seen[id] = true
+	if lo < 0 {
+		lo = 0
+	}
+	if n := col.Len(); hi > n {
+		hi = n
+	}
+	seen := j.seenRight
+	if isLeft {
+		seen = j.seenLeft
+	}
+	var out []JoinMatch
+	runStart := -1
+	flush := func(end int) {
+		if runStart >= 0 {
+			if tracker != nil {
+				tracker.AccessRange(runStart, end)
+			}
+			runStart = -1
+		}
+	}
+	for id := lo; id < hi; id++ {
+		if seenBit(seen, id) {
+			flush(id)
+			continue
+		}
+		if runStart < 0 {
+			runStart = id
+		}
+		out = j.push(id, isLeft, nil, out)
+	}
+	flush(hi)
+	return out
+}
+
+// push inserts one fresh tuple into its side's table, probes the other
+// side, and appends any matches to out. A non-nil tracker charges the
+// read (per-tuple callers); span callers charge ranges themselves and
+// pass nil.
+func (j *SymmetricHashJoin) push(id int, isLeft bool, tracker *iomodel.Tracker, out []JoinMatch) []JoinMatch {
+	col, seen, own, other := j.right, j.seenRight, j.rightTab, j.leftTab
+	if isLeft {
+		col, seen, own, other = j.left, j.seenLeft, j.leftTab, j.rightTab
+	}
+	if id < 0 || id >= col.Len() || seenBit(seen, id) {
+		return out
+	}
+	seen[id>>6] |= 1 << (uint(id) & 63)
+	if isLeft {
+		j.nLeft++
+	} else {
+		j.nRight++
+	}
 	if tracker != nil {
 		tracker.Access(id)
 	}
@@ -67,9 +129,8 @@ func (j *SymmetricHashJoin) push(id int, col *storage.Column, seen map[int]bool,
 	own[key] = append(own[key], id)
 	partners := other[key]
 	if len(partners) == 0 {
-		return nil
+		return out
 	}
-	out := make([]JoinMatch, 0, len(partners))
 	for _, p := range partners {
 		m := JoinMatch{Key: col.Value(id)}
 		if isLeft {
@@ -79,7 +140,7 @@ func (j *SymmetricHashJoin) push(id int, col *storage.Column, seen map[int]bool,
 		}
 		out = append(out, m)
 	}
-	j.matches += int64(len(out))
+	j.matches += int64(len(partners))
 	return out
 }
 
@@ -87,10 +148,10 @@ func (j *SymmetricHashJoin) push(id int, col *storage.Column, seen map[int]bool,
 func (j *SymmetricHashJoin) Matches() int64 { return j.matches }
 
 // SeenLeft reports how many distinct left tuples have been pushed.
-func (j *SymmetricHashJoin) SeenLeft() int { return len(j.seenLeft) }
+func (j *SymmetricHashJoin) SeenLeft() int { return j.nLeft }
 
 // SeenRight reports how many distinct right tuples have been pushed.
-func (j *SymmetricHashJoin) SeenRight() int { return len(j.seenRight) }
+func (j *SymmetricHashJoin) SeenRight() int { return j.nRight }
 
 // BlockingHashJoin is the classic build-then-probe hash join used by the
 // traditional baseline: it consumes the entire build side before emitting

@@ -89,6 +89,101 @@ func (p Predicate) Eval(m *storage.Matrix, row int, trackers []*iomodel.Tracker)
 	return p.Op.Apply(v, p.Operand), nil
 }
 
+// rangeOp converts to the storage-layer comparison enum. The two enums
+// declare the same operators in the same order (see TestRangeOpMirrors).
+func (op CmpOp) rangeOp() storage.RangeOp { return storage.RangeOp(op) }
+
+// EvalRange evaluates the predicate over a tuple span of m, appending
+// qualifying row ids to out. With sel == nil the span is [lo, hi); with a
+// selection vector only those rows are evaluated (conjunct refinement).
+// One read per evaluated row is charged to the predicate column's
+// tracker, batched through ranged accounting so the virtual cost matches
+// a per-row Eval loop. It returns the refined selection and the number of
+// rows evaluated.
+func (p Predicate) EvalRange(m *storage.Matrix, lo, hi int, sel []int32, trackers []*iomodel.Tracker, out []int32) ([]int32, int, error) {
+	var tracker *iomodel.Tracker
+	if p.Col >= 0 && p.Col < len(trackers) {
+		tracker = trackers[p.Col]
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if n := m.NumRows(); hi > n {
+		hi = n
+	}
+	if col, err := m.Column(p.Col); err == nil {
+		if sel == nil {
+			if tracker != nil {
+				tracker.AccessRange(lo, hi)
+			}
+			return col.FilterRange(lo, hi, p.Op.rangeOp(), p.Operand, out), hi - lo, nil
+		}
+		chargeSelection(tracker, sel)
+		return col.FilterSel(sel, p.Op.rangeOp(), p.Operand, out), len(sel), nil
+	}
+	// Row-major fallback: per-row boxed evaluation, span-charged.
+	eval := func(row int) (bool, error) {
+		v, err := m.At(row, p.Col)
+		if err != nil {
+			return false, err
+		}
+		return p.Op.Apply(v, p.Operand), nil
+	}
+	if sel == nil {
+		if tracker != nil {
+			tracker.AccessRange(lo, hi)
+		}
+		for row := lo; row < hi; row++ {
+			ok, err := eval(row)
+			if err != nil {
+				return out, row - lo, err
+			}
+			if ok {
+				out = append(out, int32(row))
+			}
+		}
+		return out, hi - lo, nil
+	}
+	chargeSelection(tracker, sel)
+	for _, row := range sel {
+		ok, err := eval(int(row))
+		if err != nil {
+			return out, len(sel), err
+		}
+		if ok {
+			out = append(out, row)
+		}
+	}
+	return out, len(sel), nil
+}
+
+// ForEachRun invokes fn for every maximal contiguous run [lo, hi) of the
+// ascending selection vector — the shared primitive behind run-batched
+// charging and span dispatch over selections.
+func ForEachRun(sel []int32, fn func(lo, hi int)) {
+	if len(sel) == 0 {
+		return
+	}
+	runStart, prev := sel[0], sel[0]
+	for _, r := range sel[1:] {
+		if r != prev+1 {
+			fn(int(runStart), int(prev)+1)
+			runStart = r
+		}
+		prev = r
+	}
+	fn(int(runStart), int(prev)+1)
+}
+
+// chargeSelection charges one read per selected row, batching contiguous
+// runs of the (ascending) selection through ranged accounting.
+func chargeSelection(tracker *iomodel.Tracker, sel []int32) {
+	if tracker == nil {
+		return
+	}
+	ForEachRun(sel, func(lo, hi int) { tracker.AccessRange(lo, hi) })
+}
+
 // ConjunctStats tracks the observed selectivity and cost of one predicate
 // over a sliding window of recent touches. The adaptive optimizer
 // (paper §2.9 "Optimization") reorders conjuncts as gestures wander into

@@ -1,0 +1,255 @@
+package operator
+
+import (
+	"testing"
+	"time"
+
+	"dbtouch/internal/iomodel"
+	"dbtouch/internal/storage"
+	"dbtouch/internal/vclock"
+)
+
+func spanTracker() (*iomodel.Tracker, *vclock.Clock) {
+	clock := vclock.New()
+	params := iomodel.Params{BlockValues: 8, ColdLatency: time.Millisecond, WarmLatency: time.Microsecond}
+	return iomodel.New(clock, params, nil), clock
+}
+
+func TestRangeOpMirrors(t *testing.T) {
+	// CmpOp converts to storage.RangeOp by ordinal; the two enums must
+	// stay declared in the same order.
+	pairs := []struct {
+		cmp CmpOp
+		rng storage.RangeOp
+	}{
+		{Eq, storage.RangeEq}, {Ne, storage.RangeNe}, {Lt, storage.RangeLt},
+		{Le, storage.RangeLe}, {Gt, storage.RangeGt}, {Ge, storage.RangeGe},
+	}
+	for _, p := range pairs {
+		if p.cmp.rangeOp() != p.rng {
+			t.Fatalf("CmpOp %v maps to RangeOp %d, want %d", p.cmp, p.cmp.rangeOp(), p.rng)
+		}
+	}
+}
+
+func TestAddSpanMatchesSequentialAdds(t *testing.T) {
+	vals := []float64{5, 1, 9, 3, 7, 2}
+	for _, kind := range []AggKind{Count, Sum, Avg, Min, Max} {
+		seq := NewRunningAgg(kind)
+		span := NewRunningAgg(kind)
+		for _, v := range vals {
+			seq.Add(v)
+		}
+		var sum, min, max float64
+		min, max = vals[0], vals[0]
+		for _, v := range vals {
+			if v != vals[0] {
+				if v < min {
+					min = v
+				}
+				if v > max {
+					max = v
+				}
+			}
+		}
+		sum = 5 + 1 + 9 + 3 + 7 + 2
+		span.AddSpan(int64(len(vals)), sum, min, max)
+		if seq.Value() != span.Value() || seq.N() != span.N() {
+			t.Fatalf("%v: seq (%v,%d) span (%v,%d)", kind, seq.Value(), seq.N(), span.Value(), span.N())
+		}
+		if NewRunningAgg(kind).NeedsPerValue() {
+			t.Fatalf("%v should be span-mergeable", kind)
+		}
+	}
+	for _, kind := range []AggKind{Var, Stddev} {
+		if !NewRunningAgg(kind).NeedsPerValue() {
+			t.Fatalf("%v must require per-value absorption", kind)
+		}
+	}
+	// Empty spans are no-ops.
+	a := NewRunningAgg(Sum)
+	a.AddSpan(0, 99, 0, 0)
+	if a.N() != 0 || a.Value() != 0 {
+		t.Fatal("empty span mutated aggregate")
+	}
+}
+
+func TestGroupByPushRangeMatchesPushLoop(t *testing.T) {
+	keys := []string{"a", "b", "a", "c", "b", "a", "c", "b"}
+	vals := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	mk := func() (*IncrementalGroupBy, *iomodel.Tracker, *iomodel.Tracker, *vclock.Clock) {
+		kc := storage.NewStringColumn("k", keys)
+		vc := storage.NewIntColumn("v", vals)
+		kt, clock := spanTracker()
+		params := iomodel.Params{BlockValues: 8, ColdLatency: time.Millisecond, WarmLatency: time.Microsecond}
+		vt := iomodel.New(clock, params, nil)
+		return NewIncrementalGroupBy(kc, vc, Sum), kt, vt, clock
+	}
+	scalar, skt, svt, sClock := mk()
+	span, vkt, vvt, vClock := mk()
+
+	// Pre-absorb id 3 so the range has a hole.
+	scalar.Push(3, skt, svt)
+	span.Push(3, vkt, vvt)
+
+	for id := 1; id < 7; id++ {
+		scalar.Push(id, skt, svt)
+	}
+	if got := span.PushRange(1, 7, vkt, vvt); got != 5 {
+		t.Fatalf("PushRange absorbed %d, want 5", got)
+	}
+	sg, vg := scalar.Groups(), span.Groups()
+	if len(sg) != len(vg) {
+		t.Fatalf("group tables diverge: %v vs %v", sg, vg)
+	}
+	for i := range sg {
+		if sg[i] != vg[i] {
+			t.Fatalf("group %d diverges: %+v vs %+v", i, sg[i], vg[i])
+		}
+	}
+	if scalar.SeenTuples() != span.SeenTuples() {
+		t.Fatal("seen counts diverge")
+	}
+	if sClock.Now() != vClock.Now() {
+		t.Fatalf("virtual cost diverged: %v vs %v", sClock.Now(), vClock.Now())
+	}
+	// GroupOf reads without absorbing.
+	key, val, ok := span.GroupOf(5)
+	if !ok || key != "a" || val != 3+6 {
+		t.Fatalf("GroupOf = %q %v %v", key, val, ok)
+	}
+	// GroupOf reports group-level state: tuple 7's group ("b") exists even
+	// though tuple 7 itself was never absorbed.
+	if key, _, ok := span.GroupOf(7); !ok || key != "b" {
+		t.Fatalf("GroupOf(7) = %q %v", key, ok)
+	}
+	if _, _, ok := span.GroupOf(-1); ok {
+		t.Fatal("out-of-range GroupOf must fail")
+	}
+	if !span.Seen(3) || span.Seen(7) {
+		t.Fatal("Seen bitset wrong")
+	}
+}
+
+func TestGroupKeyNamesMatchValueString(t *testing.T) {
+	ic := storage.NewIntColumn("k", []int64{42, -7})
+	fc := storage.NewFloatColumn("f", []float64{1.5, 2.25})
+	bc := storage.NewBoolColumn("b", []bool{true, false})
+	vc := storage.NewIntColumn("v", []int64{1, 2})
+	for _, kc := range []*storage.Column{ic, fc, bc} {
+		g := NewIncrementalGroupBy(kc, vc, Count)
+		for id := 0; id < 2; id++ {
+			key, _, ok := g.Push(id, nil, nil)
+			if !ok || key != kc.Value(id).String() {
+				t.Fatalf("%v key %q != %q", kc.Type(), key, kc.Value(id).String())
+			}
+		}
+	}
+}
+
+func TestJoinPushRangeMatchesPushLoop(t *testing.T) {
+	left := storage.NewIntColumn("l", []int64{1, 2, 3, 4, 5, 6})
+	right := storage.NewIntColumn("r", []int64{6, 5, 4, 3, 2, 1})
+	scalar := NewSymmetricHashJoin(left, right)
+	span := NewSymmetricHashJoin(left, right)
+
+	st, sClock := spanTracker()
+	vt, vClock := spanTracker()
+
+	for id := 0; id < 6; id++ {
+		scalar.PushRight(id, st)
+	}
+	span.PushRange(0, 6, false, vt)
+
+	var scalarMatches []JoinMatch
+	for id := 1; id < 5; id++ {
+		scalarMatches = append(scalarMatches, scalar.PushLeft(id, st)...)
+	}
+	spanMatches := span.PushRange(1, 5, true, vt)
+	if len(scalarMatches) != len(spanMatches) {
+		t.Fatalf("matches diverge: %v vs %v", scalarMatches, spanMatches)
+	}
+	for i := range scalarMatches {
+		if scalarMatches[i] != spanMatches[i] {
+			t.Fatalf("match %d diverges: %+v vs %+v", i, scalarMatches[i], spanMatches[i])
+		}
+	}
+	if scalar.Matches() != span.Matches() || scalar.SeenLeft() != span.SeenLeft() || scalar.SeenRight() != span.SeenRight() {
+		t.Fatal("join counters diverge")
+	}
+	if sClock.Now() != vClock.Now() {
+		t.Fatalf("virtual cost diverged: %v vs %v", sClock.Now(), vClock.Now())
+	}
+	// Revisiting a span absorbs nothing new.
+	if got := span.PushRange(0, 6, true, vt); len(got) != 0 && span.SeenLeft() != 6 {
+		t.Fatal("revisit should only absorb fresh tuples")
+	}
+}
+
+func TestEvalRangeMatchesEvalLoop(t *testing.T) {
+	n := 500
+	a := make([]int64, n)
+	b := make([]int64, n)
+	for i := range a {
+		a[i] = int64(i % 97)
+		b[i] = int64(i % 13)
+	}
+	m, err := storage.NewMatrix("t", storage.NewIntColumn("a", a), storage.NewIntColumn("b", b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Predicate{Col: 0, Op: Lt, Operand: storage.IntValue(40)}
+	q := Predicate{Col: 1, Op: Ge, Operand: storage.IntValue(5)}
+
+	mkTrackers := func() ([]*iomodel.Tracker, *vclock.Clock) {
+		clock := vclock.New()
+		params := iomodel.Params{BlockValues: 32, ColdLatency: time.Millisecond, WarmLatency: time.Microsecond}
+		return []*iomodel.Tracker{iomodel.New(clock, params, nil), iomodel.New(clock, params, nil)}, clock
+	}
+	sTr, sClock := mkTrackers()
+	vTr, vClock := mkTrackers()
+
+	// Scalar: conjunct-by-conjunct over the span with short-circuit.
+	var want []int32
+	for row := 100; row < 400; row++ {
+		ok1, err := p.Eval(m, row, sTr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok1 {
+			continue
+		}
+		ok2, err := q.Eval(m, row, sTr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok2 {
+			want = append(want, int32(row))
+		}
+	}
+
+	sel, evaluated, err := p.EvalRange(m, 100, 400, nil, vTr, nil)
+	if err != nil || evaluated != 300 {
+		t.Fatalf("EvalRange: %v evaluated %d", err, evaluated)
+	}
+	got, _, err := q.EvalRange(m, 100, 400, sel, vTr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("selections diverge: %d vs %d rows", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+	if sClock.Now() != vClock.Now() {
+		t.Fatalf("virtual cost diverged: scalar %v vector %v", sClock.Now(), vClock.Now())
+	}
+	for c := range sTr {
+		if sTr[c].Stats() != vTr[c].Stats() {
+			t.Fatalf("tracker %d stats diverge: %+v vs %+v", c, sTr[c].Stats(), vTr[c].Stats())
+		}
+	}
+}

@@ -27,6 +27,61 @@ type Level struct {
 	Col *storage.Column
 	// Tracker charges access costs for this level's array.
 	Tracker *iomodel.Tracker
+
+	// span holds the lazily built span-aggregation metadata (prefix sums
+	// and per-block min/max) backing O(1)-ish span reads.
+	span *spanStats
+}
+
+// spanStats is precomputed aggregation metadata over one level's column:
+// prefix sums make span sums a subtraction, and per-block min/max arrays
+// (zone-map style, aligned to the cost model's block size) reduce span
+// min/max to edge scans plus one comparison per interior block. The
+// metadata is auxiliary (like an index): building it charges no virtual
+// time, and the cost model still charges every span read through the
+// level's tracker as if the entries themselves were scanned.
+type spanStats struct {
+	// prefix[i] is the sum of the float coercion of entries [0, i).
+	// All partial sums are computed left to right, so integer-valued
+	// data yields exact sums and span sums bit-identical to scalar loops.
+	prefix []float64
+	// blockMin/blockMax aggregate entries [b*blockLen, (b+1)*blockLen).
+	blockMin, blockMax []float64
+	blockLen           int
+}
+
+// stats returns the level's span metadata, building it on first use.
+func (l *Level) stats() *spanStats {
+	if l.span != nil {
+		return l.span
+	}
+	n := l.Col.Len()
+	blockLen := l.Tracker.Params().BlockValues
+	if blockLen <= 0 {
+		blockLen = 1024
+	}
+	s := &spanStats{
+		prefix:   make([]float64, n+1),
+		blockMin: make([]float64, (n+blockLen-1)/blockLen),
+		blockMax: make([]float64, (n+blockLen-1)/blockLen),
+		blockLen: blockLen,
+	}
+	for b := range s.blockMin {
+		lo, hi := b*blockLen, (b+1)*blockLen
+		min, max, _ := l.Col.MinMaxRange(lo, hi)
+		s.blockMin[b], s.blockMax[b] = min, max
+	}
+	// Prefix sums accumulate strictly left to right so span sums stay
+	// bit-identical to a scalar loop on integer-valued data.
+	acc := 0.0
+	idx := 1
+	l.Col.AddRangeTo(0, n, func(v float64) {
+		acc += v
+		s.prefix[idx] = acc
+		idx++
+	})
+	l.span = s
+	return s
 }
 
 // BaseLen reports how many base tuples the level spans.
@@ -183,6 +238,74 @@ func (h *Hierarchy) WindowAgg(lo, hi, level int) (sum float64, n int, min, max f
 		}
 	}
 	return sum, n, min, max, nil
+}
+
+// SpanEntries aggregates sample entries [from, to) of level as one unit:
+// the sum comes from the level's prefix-sum array, min/max from the
+// per-block zone maps plus edge scans, and the whole span is charged
+// through the tracker's ranged accounting — identical virtual cost to a
+// per-entry scan, a fraction of the wall-clock work. On integer-valued
+// data the results are bit-identical to WindowAgg's scalar loop over the
+// same entries; float sums may differ in the last ulp (different
+// association order).
+func (h *Hierarchy) SpanEntries(from, to, level int) (sum float64, n int, min, max float64, err error) {
+	l, err := h.Level(level)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if from < 0 {
+		from = 0
+	}
+	if to > l.Col.Len() {
+		to = l.Col.Len()
+	}
+	min, max = math.Inf(1), math.Inf(-1)
+	if from >= to {
+		return 0, 0, min, max, nil
+	}
+	l.Tracker.AccessRange(from, to)
+	s := l.stats()
+	sum = s.prefix[to] - s.prefix[from]
+	n = to - from
+	firstB, lastB := from/s.blockLen, (to-1)/s.blockLen
+	if firstB == lastB {
+		min, max, _ = l.Col.MinMaxRange(from, to)
+		return sum, n, min, max, nil
+	}
+	// Head and tail partial blocks scan natively; interior blocks read
+	// the zone maps.
+	headHi := (firstB + 1) * s.blockLen
+	min, max, _ = l.Col.MinMaxRange(from, headHi)
+	for b := firstB + 1; b < lastB; b++ {
+		if s.blockMin[b] < min {
+			min = s.blockMin[b]
+		}
+		if s.blockMax[b] > max {
+			max = s.blockMax[b]
+		}
+	}
+	tailLo := lastB * s.blockLen
+	tmin, tmax, _ := l.Col.MinMaxRange(tailLo, to)
+	if tmin < min {
+		min = tmin
+	}
+	if tmax > max {
+		max = tmax
+	}
+	return sum, n, min, max, nil
+}
+
+// SpanAgg is the vectorized WindowAgg: it aggregates the sample entries
+// of level covering base range [lo, hi) via SpanEntries, using the exact
+// same base→entry conversion as WindowAgg so the two are interchangeable.
+func (h *Hierarchy) SpanAgg(lo, hi, level int) (sum float64, n int, min, max float64, err error) {
+	l, err := h.Level(level)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	from := lo / l.Stride
+	to := (hi + l.Stride - 1) / l.Stride
+	return h.SpanEntries(from, to, level)
 }
 
 // Promote adds a stored sample covering base range [lo, hi) at base

@@ -222,3 +222,62 @@ func TestBaseLen(t *testing.T) {
 		t.Fatalf("BaseLen = %d", l1.BaseLen())
 	}
 }
+
+func TestSpanAggMatchesWindowAgg(t *testing.T) {
+	// The vectorized span read must match the scalar window loop in
+	// values, stats, and virtual cost on integer data.
+	mk := func() (*Hierarchy, *vclock.Clock) {
+		vals := make([]int64, 5000)
+		for i := range vals {
+			vals[i] = int64((i*2654435761 + 17) % 1000)
+		}
+		clock := vclock.New()
+		params := iomodel.Params{BlockValues: 64, ColdLatency: time.Millisecond, WarmLatency: time.Microsecond}
+		h, err := Build(storage.NewIntColumn("v", vals), 4, clock, params, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h, clock
+	}
+	scalarH, scalarClock := mk()
+	spanH, spanClock := mk()
+	ranges := [][2]int{{0, 5000}, {10, 11}, {100, 612}, {4990, 5600}, {-5, 40}, {70, 70}}
+	for level := 0; level < scalarH.NumLevels(); level++ {
+		for _, r := range ranges {
+			sSum, sN, sMin, sMax, sErr := scalarH.WindowAgg(r[0], r[1], level)
+			vSum, vN, vMin, vMax, vErr := spanH.SpanAgg(r[0], r[1], level)
+			if (sErr == nil) != (vErr == nil) {
+				t.Fatalf("level %d range %v: err %v vs %v", level, r, sErr, vErr)
+			}
+			if sSum != vSum || sN != vN || sMin != vMin || sMax != vMax {
+				t.Fatalf("level %d range %v: scalar (%v,%d,%v,%v) span (%v,%d,%v,%v)",
+					level, r, sSum, sN, sMin, sMax, vSum, vN, vMin, vMax)
+			}
+		}
+	}
+	if scalarClock.Now() != spanClock.Now() {
+		t.Fatalf("virtual cost diverged: scalar %v span %v", scalarClock.Now(), spanClock.Now())
+	}
+	for level := 0; level < scalarH.NumLevels(); level++ {
+		sl, _ := scalarH.Level(level)
+		vl, _ := spanH.Level(level)
+		if sl.Tracker.Stats() != vl.Tracker.Stats() {
+			t.Fatalf("level %d stats diverged: %+v vs %+v", level, sl.Tracker.Stats(), vl.Tracker.Stats())
+		}
+	}
+}
+
+func TestSpanEntriesEmptyAndClamped(t *testing.T) {
+	h, _ := buildHierarchy(t, 256, 1)
+	sum, n, _, _, err := h.SpanEntries(40, 40, 0)
+	if err != nil || n != 0 || sum != 0 {
+		t.Fatalf("empty span = %v,%d,%v", sum, n, err)
+	}
+	if _, _, _, _, err := h.SpanEntries(0, 10, 99); err == nil {
+		t.Fatal("bad level should error")
+	}
+	sum, n, min, max, err := h.SpanEntries(250, 9999, 0)
+	if err != nil || n != 6 || min != 250 || max != 255 || sum != 250+251+252+253+254+255 {
+		t.Fatalf("clamped span = %v,%d,%v,%v,%v", sum, n, min, max, err)
+	}
+}

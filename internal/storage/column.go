@@ -13,6 +13,10 @@ type Column struct {
 	bools []byte
 	codes []int32
 	dict  *Dictionary
+
+	// passCache memoizes FilterRange/FilterSel predicate-outcome tables
+	// per (op, operand); see passByCode.
+	passCache map[passKey][]bool
 }
 
 // NewIntColumn builds an INT column over vals (the slice is adopted, not
@@ -199,16 +203,43 @@ func (c *Column) Slice(lo, hi int) (*Column, error) {
 	return s, nil
 }
 
-// Gather builds a new column from the cells of c at the given positions.
-// Positions out of range are skipped.
+// Gather builds a new column from the cells of c at the given positions,
+// copying typed backing slices directly (no Value boxing). Positions out
+// of range are skipped. String columns share c's dictionary: the gathered
+// codes stay valid and no re-interning pass is needed.
 func (c *Column) Gather(positions []int) *Column {
-	out := NewEmptyColumn(c.name, c.typ)
+	out := &Column{name: c.name, typ: c.typ}
 	n := c.Len()
-	for _, p := range positions {
-		if p < 0 || p >= n {
-			continue
+	switch c.typ {
+	case Int64:
+		out.ints = make([]int64, 0, len(positions))
+		for _, p := range positions {
+			if p >= 0 && p < n {
+				out.ints = append(out.ints, c.ints[p])
+			}
 		}
-		out.Append(c.Value(p))
+	case Float64:
+		out.flts = make([]float64, 0, len(positions))
+		for _, p := range positions {
+			if p >= 0 && p < n {
+				out.flts = append(out.flts, c.flts[p])
+			}
+		}
+	case Bool:
+		out.bools = make([]byte, 0, len(positions))
+		for _, p := range positions {
+			if p >= 0 && p < n {
+				out.bools = append(out.bools, c.bools[p])
+			}
+		}
+	case String:
+		out.dict = c.dict
+		out.codes = make([]int32, 0, len(positions))
+		for _, p := range positions {
+			if p >= 0 && p < n {
+				out.codes = append(out.codes, c.codes[p])
+			}
+		}
 	}
 	return out
 }
@@ -237,10 +268,21 @@ func (c *Column) Strided(offset, stride int) *Column {
 			vals = append(vals, c.flts[i])
 		}
 		out.flts = vals
-	default:
+	case Bool:
+		vals := make([]byte, 0, (n-offset+stride-1)/stride)
 		for i := offset; i < n; i += stride {
-			out.Append(c.Value(i))
+			vals = append(vals, c.bools[i])
 		}
+		out.bools = vals
+	case String:
+		// Share the dictionary: strided codes stay valid and the copy
+		// skips per-cell lookup+re-intern round trips.
+		out.dict = c.dict
+		vals := make([]int32, 0, (n-offset+stride-1)/stride)
+		for i := offset; i < n; i += stride {
+			vals = append(vals, c.codes[i])
+		}
+		out.codes = vals
 	}
 	return out
 }

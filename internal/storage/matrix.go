@@ -1,6 +1,9 @@
 package storage
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Layout identifies the physical order of a Matrix.
 type Layout uint8
@@ -128,6 +131,26 @@ func (m *Matrix) At(row, col int) (Value, error) {
 	}
 	w := m.slab[row*len(m.schema)+col]
 	return valueFromWord(w, m.schema[col].Type, m.dicts[col]), nil
+}
+
+// Float returns the float coercion of cell (row, col) without Value
+// boxing — the span-execution hot path. String cells coerce to their
+// dictionary code (matching Column.Float); out-of-range coordinates
+// return 0.
+func (m *Matrix) Float(row, col int) float64 {
+	if row < 0 || row >= m.rows || col < 0 || col >= len(m.schema) {
+		return 0
+	}
+	if m.layout == ColumnMajor {
+		return m.cols[col].Float(row)
+	}
+	w := m.slab[row*len(m.schema)+col]
+	if m.schema[col].Type == Float64 {
+		return math.Float64frombits(w)
+	}
+	// Int64 words round-trip through their two's-complement bits; bool
+	// and dictionary-code words are small non-negative integers.
+	return float64(int64(w))
 }
 
 // Row materializes tuple row as a slice of values.

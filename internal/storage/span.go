@@ -1,0 +1,314 @@
+package storage
+
+import "math"
+
+// Span kernels: typed range operators over a column's native backing
+// slices. They are the storage half of span-at-a-time slide execution —
+// a slide gesture semantically covers a contiguous tuple range, so the
+// hot path reads that range as one unit instead of round-tripping every
+// cell through Value boxing. All kernels clamp their range to the column
+// and iterate in ascending position order, so their results are
+// bit-identical to a scalar loop over the same positions (for min/max and
+// integer-valued sums, identical on any data; float sums share the same
+// left-to-right addition order).
+
+// clampRange clips [lo, hi) to [0, Len()).
+func (c *Column) clampRange(lo, hi int) (int, int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if n := c.Len(); hi > n {
+		hi = n
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// SumRange sums the float coercion of values [lo, hi) left to right and
+// reports the count, without boxing. String cells coerce to their
+// dictionary code (matching Column.Float).
+func (c *Column) SumRange(lo, hi int) (sum float64, n int) {
+	lo, hi = c.clampRange(lo, hi)
+	switch c.typ {
+	case Int64:
+		for _, v := range c.ints[lo:hi] {
+			sum += float64(v)
+		}
+	case Float64:
+		for _, v := range c.flts[lo:hi] {
+			sum += v
+		}
+	case Bool:
+		for _, v := range c.bools[lo:hi] {
+			sum += float64(v)
+		}
+	case String:
+		for _, v := range c.codes[lo:hi] {
+			sum += float64(v)
+		}
+	}
+	return sum, hi - lo
+}
+
+// MinMaxRange reports the minimum and maximum float coercion over
+// [lo, hi) and the count. Empty ranges report (+Inf, -Inf, 0); NaN values
+// are skipped, matching a scalar `if v < min` loop.
+func (c *Column) MinMaxRange(lo, hi int) (min, max float64, n int) {
+	lo, hi = c.clampRange(lo, hi)
+	min, max = math.Inf(1), math.Inf(-1)
+	switch c.typ {
+	case Int64:
+		for _, raw := range c.ints[lo:hi] {
+			v := float64(raw)
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	case Float64:
+		for _, v := range c.flts[lo:hi] {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	case Bool:
+		for _, raw := range c.bools[lo:hi] {
+			v := float64(raw)
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	case String:
+		for _, raw := range c.codes[lo:hi] {
+			v := float64(raw)
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return min, max, hi - lo
+}
+
+// CountRange reports how many stored values fall in [lo, hi) after
+// clamping.
+func (c *Column) CountRange(lo, hi int) int {
+	lo, hi = c.clampRange(lo, hi)
+	return hi - lo
+}
+
+// AddRangeTo feeds the float coercion of values [lo, hi) in ascending
+// order into add — the per-value span path for order-sensitive consumers
+// (Welford variance) that still avoids Value boxing and per-call type
+// switches.
+func (c *Column) AddRangeTo(lo, hi int, add func(float64)) int {
+	lo, hi = c.clampRange(lo, hi)
+	switch c.typ {
+	case Int64:
+		for _, v := range c.ints[lo:hi] {
+			add(float64(v))
+		}
+	case Float64:
+		for _, v := range c.flts[lo:hi] {
+			add(v)
+		}
+	case Bool:
+		for _, v := range c.bools[lo:hi] {
+			add(float64(v))
+		}
+	case String:
+		for _, v := range c.codes[lo:hi] {
+			add(float64(v))
+		}
+	}
+	return hi - lo
+}
+
+// RangeOp is a comparison operator for FilterRange, mirroring
+// operator.CmpOp (which converts to it) so the storage layer needs no
+// operator import.
+type RangeOp uint8
+
+// Filter comparison operators.
+const (
+	RangeEq RangeOp = iota
+	RangeNe
+	RangeLt
+	RangeLe
+	RangeGt
+	RangeGe
+)
+
+// applyCmp interprets a three-way comparison result under op.
+func (op RangeOp) applyCmp(c int) bool {
+	switch op {
+	case RangeEq:
+		return c == 0
+	case RangeNe:
+		return c != 0
+	case RangeLt:
+		return c < 0
+	case RangeLe:
+		return c <= 0
+	case RangeGt:
+		return c > 0
+	case RangeGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// applyFloat compares a against b under op with Value.Compare's numeric
+// semantics (plain float comparison; NaN fails every ordered test and
+// compares equal-ish the way Compare's default branch does).
+func (op RangeOp) applyFloat(a, b float64) bool {
+	switch {
+	case a < b:
+		return op == RangeLt || op == RangeLe || op == RangeNe
+	case a > b:
+		return op == RangeGt || op == RangeGe || op == RangeNe
+	default:
+		return op == RangeEq || op == RangeLe || op == RangeGe
+	}
+}
+
+// FilterRange appends to sel the positions in [lo, hi) whose value
+// satisfies `value op operand` under Value.Compare semantics, and returns
+// the extended selection vector. Numeric and mixed comparisons coerce
+// both sides to float64 exactly as Value.Compare does; string columns
+// compared against a string operand compare lexicographically, with the
+// per-distinct-code outcome memoized so the scan never re-compares a
+// repeated string.
+func (c *Column) FilterRange(lo, hi int, op RangeOp, operand Value, sel []int32) []int32 {
+	lo, hi = c.clampRange(lo, hi)
+	if c.typ == String && operand.Type == String {
+		pass := c.passByCode(op, operand)
+		for i, code := range c.codes[lo:hi] {
+			if pass[code] {
+				sel = append(sel, int32(lo+i))
+			}
+		}
+		return sel
+	}
+	b := operand.AsFloat()
+	switch c.typ {
+	case Int64:
+		for i, v := range c.ints[lo:hi] {
+			if op.applyFloat(float64(v), b) {
+				sel = append(sel, int32(lo+i))
+			}
+		}
+	case Float64:
+		for i, v := range c.flts[lo:hi] {
+			if op.applyFloat(v, b) {
+				sel = append(sel, int32(lo+i))
+			}
+		}
+	case Bool:
+		for i, v := range c.bools[lo:hi] {
+			if op.applyFloat(float64(v), b) {
+				sel = append(sel, int32(lo+i))
+			}
+		}
+	case String:
+		// Numeric operand against a string column coerces each distinct
+		// string once (Value.Compare parses the string side).
+		pass := c.passByCode(op, operand)
+		for i, code := range c.codes[lo:hi] {
+			if pass[code] {
+				sel = append(sel, int32(lo+i))
+			}
+		}
+	}
+	return sel
+}
+
+// FilterSel appends to out the positions from sel whose value satisfies
+// `value op operand` — the conjunct-refinement kernel (evaluate the next
+// WHERE conjunct only on survivors of the previous ones).
+func (c *Column) FilterSel(sel []int32, op RangeOp, operand Value, out []int32) []int32 {
+	n := c.Len()
+	if c.typ == String {
+		pass := c.passByCode(op, operand)
+		for _, p := range sel {
+			if p >= 0 && int(p) < n && pass[c.codes[p]] {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	b := operand.AsFloat()
+	switch c.typ {
+	case Int64:
+		for _, p := range sel {
+			if p >= 0 && int(p) < n && op.applyFloat(float64(c.ints[p]), b) {
+				out = append(out, p)
+			}
+		}
+	case Float64:
+		for _, p := range sel {
+			if p >= 0 && int(p) < n && op.applyFloat(c.flts[p], b) {
+				out = append(out, p)
+			}
+		}
+	case Bool:
+		for _, p := range sel {
+			if p >= 0 && int(p) < n && op.applyFloat(float64(c.bools[p]), b) {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// passKey identifies one memoized predicate-outcome table.
+type passKey struct {
+	op      RangeOp
+	operand Value
+}
+
+// passByCode evaluates the predicate once per distinct dictionary code of
+// a string column, so the range scan is a table lookup per cell. Tables
+// are memoized per (op, operand) on the column — WHERE conjuncts repeat
+// across the touches of a gesture, and recomputing O(|dict|) outcomes per
+// touch would dwarf the span scan itself. A table built before new
+// strings were interned is extended lazily for the missing codes.
+func (c *Column) passByCode(op RangeOp, operand Value) []bool {
+	n := c.dict.Len()
+	if operand.Type == Float64 && math.IsNaN(operand.F) {
+		// NaN never equals itself as a map key; keep it out of the cache.
+		return c.extendPass(op, operand, nil, n)
+	}
+	key := passKey{op: op, operand: operand}
+	if pass, ok := c.passCache[key]; ok && len(pass) >= n {
+		return pass
+	}
+	pass := c.extendPass(op, operand, c.passCache[key], n)
+	if c.passCache == nil {
+		c.passCache = make(map[passKey][]bool)
+	}
+	c.passCache[key] = pass
+	return pass
+}
+
+// extendPass appends outcomes for dictionary codes [len(pass), n).
+func (c *Column) extendPass(op RangeOp, operand Value, pass []bool, n int) []bool {
+	for code := len(pass); code < n; code++ {
+		v := StringValue(c.dict.Lookup(int32(code)))
+		pass = append(pass, op.applyCmp(v.Compare(operand)))
+	}
+	return pass
+}
