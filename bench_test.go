@@ -1,6 +1,8 @@
 package dbtouch_test
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
 	"time"
 
@@ -137,6 +139,48 @@ func BenchmarkIndexedSlide(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
 		experiments.IndexedSlide(s)
+	}
+}
+
+// BenchmarkConcurrentSessions measures the session layer: N sessions run
+// the identical gesture script over one shared table, each on its own
+// worker goroutine with its own virtual clock, over shared immutable
+// sample hierarchies. Two throughput metrics, two claims:
+// touches/vsec (aggregate over virtual session time) is linear in N by
+// construction and states that sessions never interfere on the
+// virtual-time axis; touches/wallsec (and ns/op) carry the contention
+// signal — a shared lock sneaking onto the span path degrades them, and
+// on a multi-core host they scale with real parallelism. Before timing,
+// each group's per-session result streams are asserted byte-identical to
+// sequential execution of the same script.
+func BenchmarkConcurrentSessions(b *testing.B) {
+	s := benchScale()
+	seq := experiments.RunSequentialSessions(s.Rows, 1)
+	if len(seq.Streams[0]) == 0 {
+		b.Fatal("sequential reference produced no results")
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("sessions=%d", n), func(b *testing.B) {
+			// Fixture outside the timer: data, matrix and the shared
+			// sample hierarchy build once; iterations time session
+			// creation + gesture execution only.
+			fx := experiments.NewSessionBench(s.Rows)
+			defer fx.Close()
+			check := fx.Run(n, true)
+			for i, stream := range check.Streams {
+				if !reflect.DeepEqual(stream, seq.Streams[0]) {
+					b.Fatalf("session %d stream differs from sequential execution", i)
+				}
+			}
+			b.ResetTimer()
+			var r experiments.ConcurrentSessionsResult
+			for i := 0; i < b.N; i++ {
+				r = fx.Run(n, true)
+			}
+			b.ReportMetric(r.AggThroughput, "touches/vsec")
+			b.ReportMetric(r.WallThroughput, "touches/wallsec")
+			b.ReportMetric(float64(r.Touches), "touches")
+		})
 	}
 }
 

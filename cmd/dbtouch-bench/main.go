@@ -8,7 +8,7 @@
 //	dbtouch-bench -small     # everything at test scale
 //	dbtouch-bench -fig 4a    # one experiment: 4a 4b contest samples
 //	                         # prefetch caching summaryk adaptive rotate
-//	                         # join index zoom remote
+//	                         # join index zoom remote sessions
 package main
 
 import (
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment to run (4a, 4b, contest, samples, prefetch, caching, summaryk, adaptive, rotate, join, index, zoom, remote, all)")
+	fig := flag.String("fig", "all", "experiment to run (4a, 4b, contest, samples, prefetch, caching, summaryk, adaptive, rotate, join, index, zoom, remote, sessions, all)")
 	small := flag.Bool("small", false, "run at test scale instead of paper scale")
 	flag.Parse()
 
@@ -50,6 +50,7 @@ func main() {
 		{"remote", "Ext-8: remote processing with request batching", func() { experiments.RemoteProcessing(scale).Fprint(out) }},
 		{"zoom", "Ext-9: zoom granularity bound", func() { experiments.ZoomGranularity(scale).Fprint(out) }},
 		{"index", "Ext-10: per-sample-level indexing", func() { experiments.IndexedSlide(scale).Fprint(out) }},
+		{"sessions", "Ext-11: concurrent exploration sessions over shared storage", func() { experiments.ConcurrentSessions(scale).Fprint(out) }},
 	}
 
 	want := strings.ToLower(*fig)

@@ -9,12 +9,14 @@
 //	dbtouch                  # default session over 1M values
 //	dbtouch -rows 100000 -pattern outliers -mode summary -k 10
 //	dbtouch -csv data.csv -table readings -column temp
+//	dbtouch -sessions 4      # four concurrent users over the same data
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"dbtouch"
@@ -33,6 +35,7 @@ func main() {
 	column := flag.String("column", "v", "column name (with -csv)")
 	seed := flag.Int64("seed", 42, "data seed")
 	scriptPath := flag.String("script", "", "run an exploration script (see internal/script) instead of the default session")
+	sessions := flag.Int("sessions", 1, "run N concurrent exploration sessions over the shared data")
 	flag.Parse()
 
 	db := dbtouch.Open()
@@ -91,6 +94,11 @@ func main() {
 		return
 	}
 
+	if *sessions > 1 {
+		multiUser(db, tblName, colName, *mode, *k, *sessions)
+		return
+	}
+
 	obj, err := db.NewColumnObject(tblName, colName, 2, 2, 2, 10)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dbtouch:", err)
@@ -133,4 +141,55 @@ func main() {
 	st := obj.Inner().Hierarchy().TotalStats()
 	fmt.Printf("values read: %d (of %d total)   cold blocks: %d   bytes: %d\n",
 		st.ValuesRead, obj.Rows(), st.ColdFetches, st.BytesRead)
+}
+
+// multiUser runs n concurrent exploration sessions over the shared table:
+// every user slides a different region at a different speed on their own
+// goroutine, then each session's screen is rendered in turn. The column
+// data and sample hierarchies are shared and immutable; screens, clocks
+// and result logs are per session.
+func multiUser(db *dbtouch.DB, tblName, colName, mode string, k, n int) {
+	fmt.Printf("%d concurrent sessions exploring %q.%s\n\n", n, tblName, colName)
+	users := make([]*dbtouch.DB, n)
+	for i := range users {
+		u, err := db.Session(fmt.Sprintf("user%d", i+1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbtouch:", err)
+			os.Exit(1)
+		}
+		users[i] = u
+	}
+	var wg sync.WaitGroup
+	for i, u := range users {
+		wg.Add(1)
+		go func(i int, u *dbtouch.DB) {
+			defer wg.Done()
+			obj, err := u.NewColumnObject(tblName, colName, 2, 2, 2, 10)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dbtouch:", err)
+				return
+			}
+			switch mode {
+			case "scan":
+				obj.Scan()
+			case "aggregate":
+				obj.Aggregate(dbtouch.Avg)
+			default:
+				obj.Summarize(dbtouch.Avg, k)
+			}
+			// Each user explores their own slice of the data at their own
+			// pace: user i slides over the i-th n-quantile, slower users
+			// see finer granularity.
+			lo := float64(i) / float64(n)
+			hi := float64(i+1) / float64(n)
+			obj.SlideRange(lo, hi, time.Duration(i+1)*time.Second)
+		}(i, u)
+	}
+	wg.Wait()
+	for _, u := range users {
+		fmt.Printf("── %s ── virtual time %v\n", u.SessionID(), u.Now().Round(time.Millisecond))
+		fmt.Print(viz.Render(u.Kernel().Screen(), u.Kernel().Objects(), u.Results(), u.Now()))
+		fmt.Printf("touches handled: %d   results: %d\n\n",
+			u.TouchLatency().Count(), len(u.Results()))
+	}
 }

@@ -22,9 +22,23 @@
 //	obj, _ := db.NewColumnObject("readings", "temp", 2, 2, 2, 10)
 //	obj.Summarize(dbtouch.Avg, 10)
 //	results := obj.Slide(2 * time.Second) // slide top to bottom for 2s
+//
+// Multiple users can explore the same data at once: Session forks a
+// handle bound to a new exploration session over the same storage, with
+// its own screen, virtual clock and result stream. Drive each session
+// handle from its own goroutine; the storage underneath (columns,
+// dictionaries, sample hierarchies) is shared and immutable, so sessions
+// never contend on the hot path. See ARCHITECTURE.md for the ownership
+// contract.
+//
+//	alice, _ := db.Session("alice")
+//	bob, _ := db.Session("bob")
+//	go exploreSensors(alice)
+//	go exploreSensors(bob)
 package dbtouch
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -33,6 +47,7 @@ import (
 	"dbtouch/internal/gesture"
 	"dbtouch/internal/metrics"
 	"dbtouch/internal/operator"
+	"dbtouch/internal/session"
 	"dbtouch/internal/storage"
 	"dbtouch/internal/touchos"
 	"dbtouch/internal/vclock"
@@ -138,22 +153,55 @@ func WithConfig(cfg Config) Option {
 	return func(c *core.Config) { *c = cfg }
 }
 
-// DB is a dbTouch instance: a kernel plus a gesture synthesizer that
-// turns high-level calls (Slide, Tap, ZoomIn...) into digitizer-rate
-// touch streams.
+// DB is a handle to one exploration session of a dbTouch instance: a
+// kernel plus a gesture synthesizer that turns high-level calls (Slide,
+// Tap, ZoomIn...) into digitizer-rate touch streams. Open creates the
+// instance with a default session; Session forks additional handles over
+// the same shared storage. A handle is single-goroutine: drive each
+// session's handle from its own goroutine.
 type DB struct {
-	kernel *core.Kernel
-	synth  gesture.Synth
+	manager *session.Manager
+	sess    *session.Session
+	kernel  *core.Kernel
+	synth   gesture.Synth
 }
 
-// Open creates a dbTouch instance.
+// Open creates a dbTouch instance with one default session.
 func Open(opts ...Option) *DB {
 	cfg := core.DefaultConfig()
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	return &DB{kernel: core.NewKernel(cfg)}
+	mgr := session.NewManager(cfg)
+	sess, err := mgr.Create("main")
+	if err != nil {
+		panic(err) // fresh manager: "main" cannot collide
+	}
+	return &DB{manager: mgr, sess: sess, kernel: sess.Kernel()}
 }
+
+// Session forks a handle bound to a new exploration session with the
+// given id. The new session shares this instance's catalog and sample
+// hierarchies (the immutable layer) but owns its own screen, virtual
+// clock, dispatcher and result log — it starts at virtual time zero,
+// unaffected by gestures on other sessions. Handles for different
+// sessions may run on different goroutines concurrently. If the manager
+// later evicts the session (Manager().Evict or a SetMaxSessions cap),
+// the handle becomes inert: further gestures are dropped.
+func (db *DB) Session(id string) (*DB, error) {
+	s, err := db.manager.Create(id)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{manager: db.manager, sess: s, kernel: s.Kernel()}, nil
+}
+
+// SessionID reports which session this handle drives.
+func (db *DB) SessionID() string { return db.sess.ID() }
+
+// Manager exposes the session manager for advanced multi-user scenarios
+// (eviction, session caps, event routing by id).
+func (db *DB) Manager() *session.Manager { return db.manager }
 
 // Kernel exposes the underlying kernel for advanced scenarios and the
 // benchmark harness.
@@ -192,22 +240,44 @@ func (db *DB) OnResult(fn func(Result)) { db.kernel.OnResult(fn) }
 
 // Idle advances virtual time with no touch activity, letting background
 // machinery (prefetch, layout conversion) use the gap — e.g. the user
-// lifted the finger and is looking at the screen.
+// lifted the finger and is looking at the screen. Same session routing
+// and eviction semantics as Apply.
 func (db *DB) Idle(d time.Duration) {
-	from := db.kernel.Clock().Now()
-	db.kernel.RunIdle(from, from+d)
+	err := db.sess.Idle(d)
+	if errors.Is(err, session.ErrClosed) {
+		return
+	}
+	if err != nil {
+		panic(err)
+	}
 }
 
-// Apply pushes a raw touch-event stream through the kernel (advanced
-// use; the Object methods synthesize streams for you).
+// Apply pushes a raw touch-event stream through the session (advanced
+// use; the Object methods synthesize streams for you). Routing through
+// the session keeps the manager's recently-used ordering honest and
+// serializes against any concurrent driver of the same session.
+//
+// If the session was evicted (manager cap or explicit Evict), the handle
+// is inert: gestures are dropped and Apply returns nil. Mixing a facade
+// handle with a Start()ed worker on the same session is a programming
+// error and panics.
 func (db *DB) Apply(events []touchos.TouchEvent) []Result {
-	return db.kernel.Apply(events)
+	results, err := db.sess.Apply(events)
+	if errors.Is(err, session.ErrClosed) {
+		return nil
+	}
+	if err != nil {
+		panic(err)
+	}
+	return results
 }
 
 // NewColumnObject places column of table on screen at (x, y) with size
-// (w, h) centimeters and returns its handle.
+// (w, h) centimeters and returns its handle. Tables resolve through the
+// session's view: its own derived tables (promotions, projections) shadow
+// the shared catalog.
 func (db *DB) NewColumnObject(table, column string, x, y, w, h float64) (*Object, error) {
-	m, err := db.kernel.Catalog().Get(table)
+	m, err := db.kernel.Lookup(table)
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +294,7 @@ func (db *DB) NewColumnObject(table, column string, x, y, w, h float64) (*Object
 
 // NewTableObject places the whole table on screen as a fat rectangle.
 func (db *DB) NewTableObject(table string, x, y, w, h float64) (*Object, error) {
-	m, err := db.kernel.Catalog().Get(table)
+	m, err := db.kernel.Lookup(table)
 	if err != nil {
 		return nil, err
 	}

@@ -302,3 +302,29 @@ func TestOnResultStreams(t *testing.T) {
 		t.Fatalf("callback %d vs returned %d", n, len(res))
 	}
 }
+
+// TestEvictedSessionHandleInert locks in the facade eviction contract: a
+// handle whose session the manager evicted drops gestures instead of
+// panicking or touching freed state.
+func TestEvictedSessionHandleInert(t *testing.T) {
+	db := Open()
+	db.NewTable("t").Int("v", identityInts(10_000)).MustCreate()
+	user, err := db.Session("u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := user.NewColumnObject("t", "v", 2, 2, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := obj.Slide(500 * time.Millisecond); len(res) == 0 {
+		t.Fatal("live session produced no results")
+	}
+	if !db.Manager().Evict("u1") {
+		t.Fatal("Evict failed")
+	}
+	if res := obj.Slide(500 * time.Millisecond); res != nil {
+		t.Fatalf("evicted handle still produced %d results", len(res))
+	}
+	user.Idle(time.Second) // must not panic
+}

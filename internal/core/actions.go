@@ -4,7 +4,16 @@
 // registered, the kernel maps it to data and executes the configured
 // exploration operators, charging all work to a virtual clock. Contrary to
 // a traditional engine, the flow runs *per touch*, not per query: the user
-// controls the data flow, the kernel reacts.
+// controls the data flow, the kernel reacts. Slide steps execute
+// span-at-a-time — each delivered touch covers the whole tuple range swept
+// since the previous one and dispatches it through the storage range
+// kernels (Config.ScalarSlide selects the tuple-at-a-time reference path).
+//
+// One kernel is one exploration session's mutable world: clock, screen,
+// dispatcher, objects, trackers, result log. The storage it reads
+// (catalog, columns, sample hierarchies) can be shared immutably across
+// many kernels — internal/session builds the multi-user layer on exactly
+// that split.
 package core
 
 import (

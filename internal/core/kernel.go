@@ -102,9 +102,24 @@ func DefaultConfig() Config {
 	}
 }
 
+// SampleSource supplies the shared immutable sample hierarchy for a base
+// column. The session layer installs one (via ShareStorage) that
+// single-flights construction across sessions, so N sessions exploring
+// the same column share one set of sample arrays; a standalone kernel
+// builds privately.
+type SampleSource func(base *storage.Column, levels int) (*sample.Shared, error)
+
 // Kernel is the dbTouch engine: it owns the screen, the dispatcher, the
-// recognizer, the catalog and all data objects, and processes one touch at
-// a time on the virtual clock.
+// recognizer and all data objects, and processes one touch at a time on
+// the virtual clock.
+//
+// Everything a kernel owns is per-session mutable state — the clock, the
+// result log, per-object trackers, prefetchers and cursors — and is
+// confined to one goroutine at a time. The catalog and the sample
+// hierarchies' columns are the shared immutable layer underneath: a
+// standalone kernel makes private ones, while kernels created by the
+// session manager share them (ShareStorage) and may run concurrently
+// with other sessions' kernels.
 type Kernel struct {
 	cfg        Config
 	clock      *vclock.Clock
@@ -112,10 +127,19 @@ type Kernel struct {
 	dispatcher *touchos.Dispatcher
 	recognizer *gesture.Recognizer
 	catalog    *storage.Catalog
+	samples    SampleSource
 
 	objects map[int]*Object
 	byView  map[int]*Object
 	nextID  int
+
+	// derived holds session-private tables (hot-region promotions, column
+	// projections) when storage is shared: they must not leak into the
+	// cross-session catalog or pin entries in the shared sample store.
+	// Standalone kernels (no ShareStorage) keep registering into their own
+	// catalog and the maps stay nil.
+	derived       map[*storage.Matrix]bool
+	derivedByName map[string]*storage.Matrix
 
 	results   []Result
 	onResult  func(Result)
@@ -161,6 +185,56 @@ func NewKernel(cfg Config) *Kernel {
 		byView:     make(map[int]*Object),
 		counters:   metrics.NewCounters(),
 	}
+}
+
+// ShareStorage rewires the kernel onto an explicitly shared storage
+// layer: a catalog common to all sessions and a sample source that
+// deduplicates hierarchy construction across them. It must be called
+// before any objects are created; the session manager calls it at
+// session creation.
+func (k *Kernel) ShareStorage(catalog *storage.Catalog, samples SampleSource) {
+	if len(k.objects) > 0 {
+		panic("core: ShareStorage after objects were created")
+	}
+	if catalog != nil {
+		k.catalog = catalog
+	}
+	k.samples = samples
+	k.derived = make(map[*storage.Matrix]bool)
+	k.derivedByName = make(map[string]*storage.Matrix)
+}
+
+// registerDerived records a session-derived table (promotion, projection):
+// privately when storage is shared, in the kernel's own catalog otherwise.
+func (k *Kernel) registerDerived(m *storage.Matrix) {
+	if k.derived != nil {
+		k.derived[m] = true
+		k.derivedByName[m.Name()] = m
+		return
+	}
+	k.catalog.Register(m)
+}
+
+// Lookup resolves a table by name: the session's own derived tables
+// shadow the shared catalog.
+func (k *Kernel) Lookup(name string) (*storage.Matrix, error) {
+	if m, ok := k.derivedByName[name]; ok {
+		return m, nil
+	}
+	return k.catalog.Get(name)
+}
+
+// sampleShared resolves the sample hierarchy for column base of matrix m:
+// through the installed SampleSource when the matrix genuinely lives in
+// the shared catalog, privately otherwise (standalone kernels, and
+// session-derived tables that must not pin entries in the shared store).
+func (k *Kernel) sampleShared(m *storage.Matrix, base *storage.Column, levels int) (*sample.Shared, error) {
+	if k.samples != nil && !k.derived[m] {
+		if got, err := k.catalog.Get(m.Name()); err == nil && got == m {
+			return k.samples(base, levels)
+		}
+	}
+	return sample.BuildShared(base, levels)
 }
 
 // Clock exposes the virtual clock.
@@ -223,10 +297,11 @@ func (k *Kernel) CreateColumnObject(m *storage.Matrix, col int, frame touchos.Re
 	if k.cfg.UseSamples {
 		levels = k.cfg.SampleLevels
 	}
-	h, err := sample.Build(column, levels, k.clock, k.cfg.IO, k.newPolicy)
+	shared, err := k.sampleShared(m, column, levels)
 	if err != nil {
 		return nil, err
 	}
+	h := shared.Attach(k.clock, k.cfg.IO, k.newPolicy)
 	o := k.newObject(m, col, frame)
 	o.hierarchy = h
 	k.finishObject(o)
@@ -277,7 +352,25 @@ func (k *Kernel) finishObject(o *Object) {
 	_ = k.screen.AddChild(o.view)
 	k.objects[o.id] = o
 	k.byView[o.view.ID()] = o
-	k.catalog.Register(o.matrix)
+	k.registerObjectMatrix(o.matrix)
+}
+
+// registerObjectMatrix makes an object's backing matrix resolvable by
+// name. Standalone kernels register into their own catalog; kernels over
+// shared storage keep anything that is not already the catalog's entry
+// session-private, so per-session tables never leak across sessions.
+func (k *Kernel) registerObjectMatrix(m *storage.Matrix) {
+	if k.derived == nil {
+		k.catalog.Register(m)
+		return
+	}
+	if k.derived[m] {
+		return
+	}
+	if got, err := k.catalog.Get(m.Name()); err == nil && got == m {
+		return
+	}
+	k.registerDerived(m)
 }
 
 // Object resolves an object by id.
@@ -319,7 +412,7 @@ func (k *Kernel) ProjectColumnOut(tableObj *Object, col int, frame touchos.Rect)
 	}
 	// Copying the column costs one pass over it.
 	k.clock.Advance(time.Duration(tableObj.matrix.NumRows()) * 50 * time.Nanosecond)
-	k.catalog.Register(projected)
+	k.registerDerived(projected)
 	k.counters.Add("gesture.projections", 1)
 	return k.CreateColumnObject(projected, 0, frame)
 }

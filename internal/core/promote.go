@@ -91,9 +91,11 @@ func (k *Kernel) PromoteHotRegion(o *Object, frame touchos.Rect) (*Object, error
 	if err != nil {
 		return nil, err
 	}
-	// Copying the region costs one pass over it.
+	// Copying the region costs one pass over it. The promoted table is
+	// session-derived: under shared storage it stays private to this
+	// session instead of entering the cross-session catalog.
 	k.clock.Advance(k.cfg.IO.WarmLatency * time.Duration(2*(r.Hi-r.Lo)))
-	k.catalog.Register(m)
+	k.registerDerived(m)
 	k.counters.Add("cache.promotions", 1)
 	promoted, err := k.CreateColumnObject(m, 0, frame)
 	if err != nil {

@@ -4,8 +4,16 @@
 // operator (paper §2.3: the slide gesture is "equivalent to the next
 // operation where an operator requests the next tuple to process", except
 // the user triggers the next actions). Operators here are therefore
-// incremental: they absorb one tuple (or one small window) at a time and
-// always have a current answer ready.
+// incremental — they always have a current answer ready — and since the
+// span-execution refactor each one absorbs work a *span* at a time: the
+// tuple range a slide step swept arrives as one unit through the batch
+// entry points (RunningAgg.AddSpan, predicate EvalSpan/selection vectors,
+// IncrementalGroupBy.PushRange, SymmetricHashJoin.PushRange), with the
+// tuple-at-a-time calls kept as the scalar reference path.
+//
+// Operator state is per-session: every exploration session owns its own
+// aggregates, group tables and join state, so concurrent sessions never
+// share operator instances (see internal/session).
 package operator
 
 import (

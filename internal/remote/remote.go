@@ -5,11 +5,18 @@
 // Because "sending a new remote request for every single touch input of a
 // long gesture will lead to extensive administration and communication
 // costs", the device batches touch requests into round trips.
+//
+// The split mirrors the session layer's ownership contract: a Device is
+// per-session mutable state (local hierarchy, request pipeline, stats) and
+// belongs to one exploration session, while one Server is the shared side
+// and may serve any number of concurrent devices — its request handling is
+// serialized internally, modeling a single-queue server process.
 package remote
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"dbtouch/internal/iomodel"
@@ -33,8 +40,16 @@ func DefaultNet() NetParams {
 
 // Server owns the base data and the full sample hierarchy, with its own
 // clock: server work overlaps device work, so server read time contributes
-// to response latency without blocking the device.
+// to response latency without blocking the device. One server may be
+// shared by many concurrent device sessions; requests are served one at a
+// time under an internal lock (a single-queue server). Note that server
+// cache state (warm blocks) is shared across devices, so a request's cost
+// depends on what earlier requests — possibly another device's — already
+// warmed, exactly as on a real shared server; with concurrent devices the
+// arrival order, and hence per-device cost, follows the goroutine
+// schedule. Single-device deployments remain fully deterministic.
 type Server struct {
+	mu        sync.Mutex
 	clock     *vclock.Clock
 	hierarchy *sample.Hierarchy
 }
@@ -52,6 +67,8 @@ func NewServer(base *storage.Column, levels int, params iomodel.Params) (*Server
 // ReadRange serves a dense window read at a level, returning the values,
 // the base ids they represent, and the server time consumed.
 func (s *Server) ReadRange(lo, hi, level int) (values []float64, ids []int, cost time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	start := s.clock.Now()
 	l, err := s.hierarchy.Level(level)
 	if err != nil {
@@ -76,6 +93,8 @@ func (s *Server) ReadRange(lo, hi, level int) (values []float64, ids []int, cost
 // after stride snapping are deduplicated), returning the values, the base
 // ids they represent, and the server time consumed.
 func (s *Server) readIDs(baseIDs []int, level int) (values []float64, ids []int, cost time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	start := s.clock.Now()
 	l, err := s.hierarchy.Level(level)
 	if err != nil {

@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -139,5 +140,53 @@ func TestBytesMovedAccounting(t *testing.T) {
 	dev.Poll()
 	if got := dev.Stats().BytesMoved; got != 16 {
 		t.Fatalf("bytes moved = %d, want 16 (two values)", got)
+	}
+}
+
+// TestConcurrentDeviceSessions shares one server across many device
+// sessions, each on its own goroutine with its own clock — the remote
+// half of the session layer's shared-immutable contract. Every device
+// must get correct refinements; `go test -race` proves the server side
+// is safe under the load.
+func TestConcurrentDeviceSessions(t *testing.T) {
+	vals := make([]int64, 1<<16)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	server, err := NewServer(storage.NewIntColumn("v", vals), 12, iomodel.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const devices = 8
+	errs := make(chan error, devices)
+	for d := 0; d < devices; d++ {
+		d := d
+		go func() {
+			clock := vclock.New()
+			dev, err := NewDevice(clock, server, 4, 3, iomodel.DefaultParams())
+			if err != nil {
+				errs <- err
+				return
+			}
+			dev.BatchWindow = 0
+			want := (d*977 + 1000) &^ 15 // stride-16 aligned base id
+			dev.Touch(want, 0)
+			clock.Advance(time.Second)
+			refs := dev.Poll()
+			if len(refs) != 1 {
+				errs <- fmt.Errorf("device %d: %d refinements, want 1", d, len(refs))
+				return
+			}
+			if refs[0].BaseID != want || refs[0].Value != float64(want) {
+				errs <- fmt.Errorf("device %d: refinement (%d, %v), want (%d, %d)", d, refs[0].BaseID, refs[0].Value, want, want)
+				return
+			}
+			errs <- nil
+		}()
+	}
+	for d := 0; d < devices; d++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
 	}
 }

@@ -6,11 +6,20 @@
 // reads". Level 0 is base data; level i keeps every 2^i-th value as its
 // own dense column with its own access tracker, so reading at a coarse
 // granularity touches a physically small array.
+//
+// The hierarchy is split along the shared-immutable vs per-session line:
+// a Shared holds the sample columns and their lazily built span statistics
+// (prefix sums, zone maps) — built once, safe for any number of concurrent
+// exploration sessions — while a Hierarchy is one session's view of a
+// Shared, carrying the mutable access trackers that charge that session's
+// virtual clock. BuildShared + Attach is the multi-session path; Build
+// remains the single-session convenience that does both.
 package sample
 
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"dbtouch/internal/iomodel"
@@ -18,19 +27,56 @@ import (
 	"dbtouch/internal/vclock"
 )
 
-// Level is one stored sample of the base column.
-type Level struct {
-	// Stride is the base-tuple distance between consecutive sample
-	// entries (2^level).
-	Stride int
-	// Col holds the sample values densely.
-	Col *storage.Column
-	// Tracker charges access costs for this level's array.
-	Tracker *iomodel.Tracker
+// sharedLevel is the immutable half of one stored sample level: the
+// sample column plus its lazily built span statistics, shared by every
+// session attached to the same Shared.
+type sharedLevel struct {
+	// stride is the base-tuple distance between consecutive entries.
+	stride int
+	// col holds the sample values densely (immutable once built).
+	col *storage.Column
 
-	// span holds the lazily built span-aggregation metadata (prefix sums
-	// and per-block min/max) backing O(1)-ish span reads.
+	// once guards the single-flight build of span: the first session to
+	// aggregate a span on this level builds the statistics; concurrent
+	// sessions block briefly and then share the result.
+	once sync.Once
 	span *spanStats
+}
+
+// stats returns the level's span metadata, building it on first use.
+// blockValues sizes the zone-map blocks; the first caller's cost-model
+// block size wins, which only affects wall-clock work (correctness and
+// virtual-time charging are independent of the blocking).
+func (sl *sharedLevel) stats(blockValues int) *spanStats {
+	sl.once.Do(func() {
+		n := sl.col.Len()
+		blockLen := blockValues
+		if blockLen <= 0 {
+			blockLen = 1024
+		}
+		s := &spanStats{
+			prefix:   make([]float64, n+1),
+			blockMin: make([]float64, (n+blockLen-1)/blockLen),
+			blockMax: make([]float64, (n+blockLen-1)/blockLen),
+			blockLen: blockLen,
+		}
+		for b := range s.blockMin {
+			lo, hi := b*blockLen, (b+1)*blockLen
+			min, max, _ := sl.col.MinMaxRange(lo, hi)
+			s.blockMin[b], s.blockMax[b] = min, max
+		}
+		// Prefix sums accumulate strictly left to right so span sums stay
+		// bit-identical to a scalar loop on integer-valued data.
+		acc := 0.0
+		idx := 1
+		sl.col.AddRangeTo(0, n, func(v float64) {
+			acc += v
+			s.prefix[idx] = acc
+			idx++
+		})
+		sl.span = s
+	})
+	return sl.span
 }
 
 // spanStats is precomputed aggregation metadata over one level's column:
@@ -50,84 +96,109 @@ type spanStats struct {
 	blockLen           int
 }
 
-// stats returns the level's span metadata, building it on first use.
-func (l *Level) stats() *spanStats {
-	if l.span != nil {
-		return l.span
-	}
-	n := l.Col.Len()
-	blockLen := l.Tracker.Params().BlockValues
-	if blockLen <= 0 {
-		blockLen = 1024
-	}
-	s := &spanStats{
-		prefix:   make([]float64, n+1),
-		blockMin: make([]float64, (n+blockLen-1)/blockLen),
-		blockMax: make([]float64, (n+blockLen-1)/blockLen),
-		blockLen: blockLen,
-	}
-	for b := range s.blockMin {
-		lo, hi := b*blockLen, (b+1)*blockLen
-		min, max, _ := l.Col.MinMaxRange(lo, hi)
-		s.blockMin[b], s.blockMax[b] = min, max
-	}
-	// Prefix sums accumulate strictly left to right so span sums stay
-	// bit-identical to a scalar loop on integer-valued data.
-	acc := 0.0
-	idx := 1
-	l.Col.AddRangeTo(0, n, func(v float64) {
-		acc += v
-		s.prefix[idx] = acc
-		idx++
-	})
-	l.span = s
-	return s
+// Shared is the immutable half of a sample hierarchy: the base column and
+// its stored sample levels, without any per-session state. One Shared is
+// built per (column, depth) and attached by every session exploring that
+// column; all methods are safe for concurrent use.
+type Shared struct {
+	levels []*sharedLevel // levels[0] is base data (stride 1)
 }
 
-// BaseLen reports how many base tuples the level spans.
-func (l *Level) BaseLen() int { return l.Col.Len() * l.Stride }
-
-// Hierarchy is a column plus its stored sample levels.
-type Hierarchy struct {
-	levels []*Level // levels[0] is base data (stride 1)
-}
-
-// Build constructs a hierarchy over base with maxLevels levels above the
-// base (so maxLevels=0 means base only). Each level halves the previous
-// one; construction stops early when a level would drop below minLen
-// entries (default 64). Every level gets its own tracker with params.
-func Build(base *storage.Column, maxLevels int, clock *vclock.Clock, params iomodel.Params, policy func() iomodel.EvictionPolicy) (*Hierarchy, error) {
+// BuildShared constructs the immutable sample levels over base with
+// maxLevels levels above the base (so maxLevels=0 means base only). Each
+// level halves the previous one; construction stops early when a level
+// would drop below minLen entries (default 64).
+func BuildShared(base *storage.Column, maxLevels int) (*Shared, error) {
 	if base == nil || base.Len() == 0 {
 		return nil, fmt.Errorf("sample: empty base column")
 	}
 	const minLen = 64
-	newPolicy := func() iomodel.EvictionPolicy {
-		if policy == nil {
-			return nil
-		}
-		return policy()
-	}
-	h := &Hierarchy{}
-	h.levels = append(h.levels, &Level{
-		Stride:  1,
-		Col:     base,
-		Tracker: iomodel.New(clock, params, newPolicy()),
-	})
+	s := &Shared{}
+	s.levels = append(s.levels, &sharedLevel{stride: 1, col: base})
 	prev := base
 	for lvl := 1; lvl <= maxLevels; lvl++ {
 		if prev.Len()/2 < minLen {
 			break
 		}
 		col := prev.Strided(0, 2)
-		h.levels = append(h.levels, &Level{
-			Stride:  1 << lvl,
-			Col:     col,
-			Tracker: iomodel.New(clock, params, newPolicy()),
-		})
+		s.levels = append(s.levels, &sharedLevel{stride: 1 << lvl, col: col})
 		prev = col
 	}
-	return h, nil
+	return s, nil
 }
+
+// NumLevels reports the number of stored levels including base.
+func (s *Shared) NumLevels() int { return len(s.levels) }
+
+// Attach builds one session's view of the shared hierarchy: every level
+// gets a fresh tracker charging the session's clock with params, so
+// sessions account I/O independently while reading the same arrays.
+func (s *Shared) Attach(clock *vclock.Clock, params iomodel.Params, policy func() iomodel.EvictionPolicy) *Hierarchy {
+	newPolicy := func() iomodel.EvictionPolicy {
+		if policy == nil {
+			return nil
+		}
+		return policy()
+	}
+	h := &Hierarchy{shared: s}
+	for _, sl := range s.levels {
+		h.levels = append(h.levels, &Level{
+			Stride:  sl.stride,
+			Col:     sl.col,
+			Tracker: iomodel.New(clock, params, newPolicy()),
+			shared:  sl,
+		})
+	}
+	return h
+}
+
+// Level is one session's handle on one stored sample level: the shared
+// immutable column plus the session's own access tracker.
+type Level struct {
+	// Stride is the base-tuple distance between consecutive sample
+	// entries (2^level).
+	Stride int
+	// Col holds the sample values densely (shared across sessions;
+	// treat as read-only).
+	Col *storage.Column
+	// Tracker charges access costs for this level's array against the
+	// owning session's clock.
+	Tracker *iomodel.Tracker
+
+	// shared backs the lazily built span statistics.
+	shared *sharedLevel
+}
+
+// stats returns the level's span metadata via the shared single-flight
+// build.
+func (l *Level) stats() *spanStats {
+	return l.shared.stats(l.Tracker.Params().BlockValues)
+}
+
+// BaseLen reports how many base tuples the level spans.
+func (l *Level) BaseLen() int { return l.Col.Len() * l.Stride }
+
+// Hierarchy is one session's view of a column's sample hierarchy: shared
+// immutable sample columns, per-session trackers. It is owned by one
+// session and is not safe for concurrent use (the shared half is).
+type Hierarchy struct {
+	shared *Shared
+	levels []*Level // levels[0] is base data (stride 1)
+}
+
+// Build constructs a single-session hierarchy over base: BuildShared
+// followed by Attach. Multi-session callers build the Shared once and
+// attach per session instead.
+func Build(base *storage.Column, maxLevels int, clock *vclock.Clock, params iomodel.Params, policy func() iomodel.EvictionPolicy) (*Hierarchy, error) {
+	s, err := BuildShared(base, maxLevels)
+	if err != nil {
+		return nil, err
+	}
+	return s.Attach(clock, params, policy), nil
+}
+
+// Shared exposes the immutable half for attaching further sessions.
+func (h *Hierarchy) Shared() *Shared { return h.shared }
 
 // NumLevels reports the number of stored levels including base.
 func (h *Hierarchy) NumLevels() int { return len(h.levels) }

@@ -1,0 +1,105 @@
+package session_test
+
+import (
+	"fmt"
+	"time"
+
+	"dbtouch/internal/core"
+	"dbtouch/internal/gesture"
+	"dbtouch/internal/session"
+	"dbtouch/internal/storage"
+	"dbtouch/internal/touchos"
+)
+
+// sensorTable builds a small deterministic table shared by the examples.
+func sensorTable() *storage.Matrix {
+	data := make([]int64, 20_000)
+	for i := range data {
+		data[i] = int64(i % 100)
+	}
+	m, err := storage.NewMatrix("readings", storage.NewIntColumn("temp", data))
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// slide synthesizes a 1-second top-to-bottom slide over the example
+// object frame, starting at the session's current virtual time.
+func slide(s *session.Session) []touchos.TouchEvent {
+	var synth gesture.Synth
+	start := s.Kernel().Clock().Now()
+	return synth.Slide(
+		touchos.Point{X: 3, Y: 2.02},
+		touchos.Point{X: 3, Y: 11.98},
+		start, time.Second,
+	)
+}
+
+// ExampleManager shows the multi-user shape: one manager owns the shared
+// immutable storage (catalog + sample hierarchies); each user gets a
+// session with its own virtual clock and result stream, and started
+// sessions process their gestures concurrently on worker goroutines.
+func ExampleManager() {
+	mgr := session.NewManager(core.DefaultConfig())
+	mgr.Catalog().Register(sensorTable())
+
+	for _, user := range []string{"alice", "bob"} {
+		s, err := mgr.Create(user)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := s.CreateColumnObject("readings", "temp", touchos.NewRect(2, 2, 2, 10)); err != nil {
+			panic(err)
+		}
+		s.Start() // hand the kernel to a worker goroutine
+	}
+
+	// Route one gesture to each session; batches run concurrently.
+	for _, user := range mgr.Sessions() {
+		s, _ := mgr.Get(user)
+		if _, err := mgr.Dispatch(user, slide(s)); err != nil {
+			panic(err)
+		}
+	}
+	for _, user := range []string{"alice", "bob"} {
+		s, _ := mgr.Get(user)
+		s.Drain() // synchronize before reading results
+		fmt.Printf("%s: %d summaries in %v of virtual session time\n",
+			user, len(s.Results()), s.Kernel().Clock().Now().Round(time.Millisecond))
+	}
+	mgr.Close()
+	// Output:
+	// alice: 16 summaries in 1.138s of virtual session time
+	// bob: 16 summaries in 1.138s of virtual session time
+}
+
+// ExampleSession shows the synchronous (single-goroutine) driving mode:
+// before Start, batches run on the caller's goroutine and return their
+// results directly — handy for tests and sequential replay.
+func ExampleSession() {
+	mgr := session.NewManager(core.DefaultConfig())
+	mgr.Catalog().Register(sensorTable())
+
+	s, err := mgr.Create("solo")
+	if err != nil {
+		panic(err)
+	}
+	obj, err := s.CreateColumnObject("readings", "temp", touchos.NewRect(2, 2, 2, 10))
+	if err != nil {
+		panic(err)
+	}
+	a := obj.Actions()
+	a.Mode = core.ModeAggregate
+	obj.SetActions(a)
+
+	results, err := s.Apply(slide(s))
+	if err != nil {
+		panic(err)
+	}
+	last := results[len(results)-1]
+	fmt.Printf("running aggregate absorbed %d sample entries\n", last.N)
+	mgr.Evict("solo")
+	// Output:
+	// running aggregate absorbed 76 sample entries
+}

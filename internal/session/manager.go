@@ -1,0 +1,218 @@
+package session
+
+import (
+	"fmt"
+	"sync"
+
+	"dbtouch/internal/core"
+	"dbtouch/internal/sample"
+	"dbtouch/internal/storage"
+	"dbtouch/internal/touchos"
+)
+
+// Manager owns the shared immutable storage layer — one catalog, one
+// sample store — and the registry of live sessions on top of it. All
+// methods are safe for concurrent use.
+type Manager struct {
+	cfg     core.Config
+	catalog *storage.Catalog
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	samples  map[sampleKey]*sampleEntry
+	// tick stamps dispatches for least-recently-used eviction.
+	tick uint64
+	// maxSessions caps live sessions; 0 means unlimited.
+	maxSessions int
+	evictions   int64
+}
+
+// sampleKey identifies one shared hierarchy: sample columns depend only
+// on the base column identity and the requested depth.
+type sampleKey struct {
+	base   *storage.Column
+	levels int
+}
+
+// sampleEntry single-flights construction of one shared hierarchy.
+type sampleEntry struct {
+	once   sync.Once
+	shared *sample.Shared
+	err    error
+}
+
+// NewManager builds a session manager whose sessions all run cfg
+// (zero-valued fields inherit core.DefaultConfig, as in core.NewKernel).
+func NewManager(cfg core.Config) *Manager {
+	return &Manager{
+		cfg:      cfg,
+		catalog:  storage.NewCatalog(),
+		sessions: make(map[string]*Session),
+		samples:  make(map[sampleKey]*sampleEntry),
+	}
+}
+
+// Catalog returns the shared catalog. Tables registered here are visible
+// to every session.
+func (m *Manager) Catalog() *storage.Catalog { return m.catalog }
+
+// SetMaxSessions caps the number of live sessions; creating one past the
+// cap evicts the least recently dispatched. Zero (the default) disables
+// the cap.
+func (m *Manager) SetMaxSessions(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.maxSessions = n
+}
+
+// Evictions reports how many sessions the cap has evicted.
+func (m *Manager) Evictions() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.evictions
+}
+
+// sharedSamples is the core.SampleSource installed into every session's
+// kernel: the first session to explore a column builds its sample
+// hierarchy; later sessions (and concurrent racers) share it.
+func (m *Manager) sharedSamples(base *storage.Column, levels int) (*sample.Shared, error) {
+	key := sampleKey{base: base, levels: levels}
+	m.mu.Lock()
+	e, ok := m.samples[key]
+	if !ok {
+		e = &sampleEntry{}
+		m.samples[key] = e
+	}
+	m.mu.Unlock()
+	e.once.Do(func() {
+		e.shared, e.err = sample.BuildShared(base, levels)
+	})
+	return e.shared, e.err
+}
+
+// Create registers a new session under id. The session's kernel shares
+// the manager's catalog and sample store but owns its own virtual clock,
+// screen, dispatcher and result log. Creating past the MaxSessions cap
+// evicts the least recently dispatched session first.
+func (m *Manager) Create(id string) (*Session, error) {
+	k := core.NewKernel(m.cfg)
+	k.ShareStorage(m.catalog, m.sharedSamples)
+	s := &Session{id: id, manager: m, kernel: k}
+	s.pendingCond = sync.NewCond(&s.pendingMu)
+
+	m.mu.Lock()
+	if _, exists := m.sessions[id]; exists {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("session %q already exists", id)
+	}
+	m.tick++
+	s.lastUsed = m.tick
+	m.sessions[id] = s
+	var victim *Session
+	if m.maxSessions > 0 && len(m.sessions) > m.maxSessions {
+		victim = m.lruLocked(id)
+		if victim != nil {
+			delete(m.sessions, victim.id)
+			m.evictions++
+		}
+	}
+	m.mu.Unlock()
+
+	if victim != nil {
+		victim.Close()
+	}
+	return s, nil
+}
+
+// lruLocked picks the least recently dispatched session other than keep.
+// Caller holds m.mu.
+func (m *Manager) lruLocked(keep string) *Session {
+	var victim *Session
+	for id, s := range m.sessions {
+		if id == keep {
+			continue
+		}
+		if victim == nil || s.lastUsed < victim.lastUsed {
+			victim = s
+		}
+	}
+	return victim
+}
+
+// Get resolves a session by id.
+func (m *Manager) Get(id string) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	return s, ok
+}
+
+// Len reports the number of live sessions.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// Sessions lists live session ids (unordered).
+func (m *Manager) Sessions() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.sessions))
+	for id := range m.sessions {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Dispatch routes a touch-event batch to the session identified by id —
+// the touchos event stream is demultiplexed here, one hop above each
+// session's own dispatcher. Batches for a started session are enqueued to
+// its worker (asynchronous; returned results are nil — Drain then read
+// Results); otherwise the batch runs synchronously and its results come
+// back directly.
+func (m *Manager) Dispatch(id string, events []touchos.TouchEvent) ([]core.Result, error) {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("session %q not found", id)
+	}
+	s.mu.Lock()
+	started := s.started
+	s.mu.Unlock()
+	if started {
+		return nil, s.Enqueue(events)
+	}
+	return s.Apply(events)
+}
+
+// Evict removes the session and stops its worker, waiting for queued
+// batches to finish. Shared storage (catalog, sample hierarchies) stays:
+// it belongs to the manager, not the session. Reports whether the session
+// existed.
+func (m *Manager) Evict(id string) bool {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	delete(m.sessions, id)
+	m.mu.Unlock()
+	if !ok {
+		return false
+	}
+	s.Close()
+	return true
+}
+
+// Close evicts every session and waits for their workers to exit.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	all := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		all = append(all, s)
+	}
+	m.sessions = make(map[string]*Session)
+	m.mu.Unlock()
+	for _, s := range all {
+		s.Close()
+	}
+}

@@ -1,0 +1,278 @@
+// Package session implements concurrent exploration sessions over shared
+// immutable storage — the sharding step toward the ROADMAP's
+// millions-of-users north star.
+//
+// A Session owns everything that is mutable about one user's exploration:
+// a kernel with its virtual clock, screen, dispatcher, result log, and
+// per-object trackers/prefetchers/cursors. The storage underneath —
+// catalog, columns, dictionaries, and the sample hierarchies' columns and
+// span statistics — is the shared immutable layer: built once, read by
+// every session without locking on the hot span path (the only
+// synchronization is single-flight initialization of lazily built shared
+// statistics and the memoized string-predicate tables).
+//
+// A Manager creates and evicts sessions by ID, routes touch-event batches
+// to the right session, and runs sessions concurrently: each started
+// session processes its batches on its own worker goroutine, so N users
+// slide over the same table in parallel with zero cross-session virtual
+// time interference. Because every session's timeline is its own virtual
+// clock, a session's result stream is byte-identical whether it runs
+// alone, sequentially with others, or concurrently with them — asserted
+// by the package's equivalence suite under the race detector.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dbtouch/internal/core"
+	"dbtouch/internal/storage"
+	"dbtouch/internal/touchos"
+)
+
+// Sentinel errors callers can test with errors.Is.
+var (
+	// ErrClosed reports use of a session after Close or manager eviction.
+	ErrClosed = errors.New("session closed")
+	// ErrWorkerRunning reports a synchronous call (Apply, Idle) while the
+	// worker goroutine owns the kernel.
+	ErrWorkerRunning = errors.New("session worker running")
+	// ErrNotStarted reports Enqueue before Start.
+	ErrNotStarted = errors.New("session not started")
+)
+
+// Session is one user's exploration context: a kernel confined to one
+// goroutine at a time, over storage shared with every other session of
+// the same Manager.
+//
+// A session has two driving modes. Before Start, the owner calls Apply
+// (or Manager.Dispatch) and batches run synchronously on the calling
+// goroutine. After Start, a worker goroutine owns the kernel: batches go
+// through Enqueue/Dispatch, and the caller synchronizes with Drain before
+// reading results. The two modes must not be mixed — Apply fails once the
+// worker runs.
+type Session struct {
+	id      string
+	manager *Manager
+	kernel  *core.Kernel
+
+	// mu guards the lifecycle state below.
+	mu      sync.Mutex
+	started bool
+	closed  bool
+	queue   chan []touchos.TouchEvent
+	done    chan struct{}
+	// enqMu serializes channel sends against Close, so the queue never
+	// closes under a blocked sender.
+	enqMu sync.Mutex
+	// runMu serializes kernel execution: concurrent synchronous Applies
+	// (or an Apply racing the worker's first batch) run one at a time.
+	// Determinism still requires one logical driver per session; the lock
+	// only guarantees batches stay atomic, never interleaved.
+	runMu sync.Mutex
+	// pendingMu/pendingCond/pendingN count enqueued-but-unfinished
+	// batches for Drain. A plain condition variable (not a WaitGroup):
+	// Enqueue may race Drain from the zero count, which WaitGroup reuse
+	// rules forbid.
+	pendingMu   sync.Mutex
+	pendingCond *sync.Cond
+	pendingN    int
+
+	// lastUsed is the manager's dispatch tick at the session's last use,
+	// for least-recently-used eviction. Guarded by manager.mu.
+	lastUsed uint64
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.id }
+
+// Kernel exposes the session's kernel for object creation and
+// configuration. Setup must happen before Start (or between Drain and the
+// next Enqueue only from the worker's perspective — in practice: set up,
+// then start).
+func (s *Session) Kernel() *core.Kernel { return s.kernel }
+
+// CreateColumnObject places one column of a cataloged table on the
+// session's screen. The sample hierarchy's columns come from the shared
+// store; only the trackers are session-private.
+func (s *Session) CreateColumnObject(table, column string, frame touchos.Rect) (*core.Object, error) {
+	m, err := s.kernel.Lookup(table)
+	if err != nil {
+		return nil, err
+	}
+	idx := m.ColumnIndex(column)
+	if idx < 0 {
+		return nil, fmt.Errorf("session %q: table %q has no column %q", s.id, table, column)
+	}
+	return s.kernel.CreateColumnObject(m, idx, frame)
+}
+
+// CreateTableObject places a whole cataloged table on the session's
+// screen.
+func (s *Session) CreateTableObject(table string, frame touchos.Rect) (*core.Object, error) {
+	m, err := s.kernel.Lookup(table)
+	if err != nil {
+		return nil, err
+	}
+	return s.kernel.CreateTableObject(m, frame)
+}
+
+// touch refreshes the session's recently-used stamp for the manager's
+// LRU cap, whatever path drove it (Dispatch, Enqueue, or a facade
+// handle's synchronous Apply).
+func (s *Session) touch() {
+	if s.manager == nil {
+		return
+	}
+	s.manager.mu.Lock()
+	s.manager.tick++
+	s.lastUsed = s.manager.tick
+	s.manager.mu.Unlock()
+}
+
+// Apply processes a touch-event batch synchronously on the caller's
+// goroutine and returns the results it emitted. It is the pre-Start
+// (sequential) driving mode; once the worker runs, use Enqueue.
+func (s *Session) Apply(events []touchos.TouchEvent) ([]core.Result, error) {
+	if err := s.checkSynchronous(); err != nil {
+		return nil, err
+	}
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	return s.kernel.Apply(events), nil
+}
+
+// Idle advances the session's virtual time by d with no touch activity,
+// giving background machinery (prefetch, layout conversion) the gap. Same
+// driving contract as Apply: synchronous, pre-Start only.
+func (s *Session) Idle(d time.Duration) error {
+	if err := s.checkSynchronous(); err != nil {
+		return err
+	}
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	from := s.kernel.Clock().Now()
+	s.kernel.RunIdle(from, from+d)
+	return nil
+}
+
+// checkSynchronous gates the synchronous driving mode and refreshes the
+// LRU stamp.
+func (s *Session) checkSynchronous() error {
+	s.touch()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("session %q: %w", s.id, ErrClosed)
+	}
+	if s.started {
+		return fmt.Errorf("session %q: %w; use Enqueue", s.id, ErrWorkerRunning)
+	}
+	return nil
+}
+
+// Start hands the kernel to a worker goroutine. Subsequent batches go
+// through Enqueue; the caller must not touch the kernel again until Drain
+// (for reads) or Close.
+func (s *Session) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.closed {
+		return
+	}
+	s.started = true
+	s.queue = make(chan []touchos.TouchEvent, 64)
+	s.done = make(chan struct{})
+	go s.run()
+}
+
+// run is the worker loop: it owns the kernel until the queue closes.
+func (s *Session) run() {
+	defer close(s.done)
+	for events := range s.queue {
+		s.runMu.Lock()
+		s.kernel.Apply(events)
+		s.runMu.Unlock()
+		s.pendingMu.Lock()
+		s.pendingN--
+		if s.pendingN == 0 {
+			s.pendingCond.Broadcast()
+		}
+		s.pendingMu.Unlock()
+	}
+}
+
+// Enqueue hands a batch to the worker goroutine, blocking briefly when
+// the queue is full (backpressure, not loss).
+func (s *Session) Enqueue(events []touchos.TouchEvent) error {
+	s.touch()
+	s.enqMu.Lock()
+	defer s.enqMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("session %q: %w", s.id, ErrClosed)
+	}
+	if !s.started {
+		s.mu.Unlock()
+		return fmt.Errorf("session %q: %w; use Apply or Start first", s.id, ErrNotStarted)
+	}
+	s.pendingMu.Lock()
+	s.pendingN++
+	s.pendingMu.Unlock()
+	s.mu.Unlock()
+	s.queue <- events
+	return nil
+}
+
+// Drain blocks until every batch enqueued so far has been processed.
+// After Drain (and before further Enqueues) the kernel's results and
+// counters are safe to read from the caller's goroutine. A concurrent
+// Enqueue extends the wait — Drain returns only at a moment the queue is
+// empty.
+func (s *Session) Drain() {
+	s.pendingMu.Lock()
+	for s.pendingN > 0 {
+		s.pendingCond.Wait()
+	}
+	s.pendingMu.Unlock()
+}
+
+// Close stops the worker (processing whatever is already queued) and
+// marks the session unusable. It is idempotent and safe to call from any
+// goroutine; Manager.Evict calls it.
+func (s *Session) Close() {
+	s.mu.Lock()
+	if s.closed {
+		done := s.done
+		s.mu.Unlock()
+		if done != nil {
+			<-done
+		}
+		return
+	}
+	s.closed = true
+	started := s.started
+	s.mu.Unlock()
+	if !started {
+		return
+	}
+	s.enqMu.Lock()
+	close(s.queue)
+	s.enqMu.Unlock()
+	<-s.done
+}
+
+// Results returns the session's retained results (the kernel's bounded,
+// fade-pruned window). Synchronize with Drain when the worker is running.
+func (s *Session) Results() []core.Result { return s.kernel.Results() }
+
+// OnResult registers the session's live result callback. The callback
+// runs on whichever goroutine owns the kernel (the worker once started),
+// so it must not share unsynchronized state across sessions.
+func (s *Session) OnResult(fn func(core.Result)) { s.kernel.OnResult(fn) }
+
+// Catalog exposes the shared catalog.
+func (s *Session) Catalog() *storage.Catalog { return s.kernel.Catalog() }

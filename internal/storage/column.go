@@ -1,10 +1,21 @@
 package storage
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Column is a dense, fixed-width array of values of one type — the basic
 // dbTouch data object backing store. Int and float columns store native
 // slices; bool columns store bytes; string columns store dictionary codes.
+//
+// Sharing contract: loaded columns are immutable and may be read by any
+// number of concurrent exploration sessions without locking — every read
+// kernel (Value/Float, the span kernels, Gather/Strided/Slice) only looks
+// at the backing slices. The lazily memoized predicate tables are the one
+// piece of internal mutable state and are mutex-guarded. Mutators (Append,
+// Set, Rename) are reserved for single-owner use before a column is
+// shared: loaders, builders, and layout conversions.
 type Column struct {
 	name  string
 	typ   Type
@@ -14,6 +25,9 @@ type Column struct {
 	codes []int32
 	dict  *Dictionary
 
+	// passMu guards passCache: concurrent sessions filtering the same
+	// shared string column memoize into the same table map.
+	passMu sync.Mutex
 	// passCache memoizes FilterRange/FilterSel predicate-outcome tables
 	// per (op, operand); see passByCode.
 	passCache map[passKey][]bool

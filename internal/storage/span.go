@@ -286,6 +286,11 @@ type passKey struct {
 // across the touches of a gesture, and recomputing O(|dict|) outcomes per
 // touch would dwarf the span scan itself. A table built before new
 // strings were interned is extended lazily for the missing codes.
+//
+// The cache is mutex-guarded because sessions share loaded columns; the
+// returned slice is safe to read outside the lock (entries are written
+// once, before the slice is published, and extension builds on top of the
+// published prefix without rewriting it).
 func (c *Column) passByCode(op RangeOp, operand Value) []bool {
 	n := c.dict.Len()
 	if operand.Type == Float64 && math.IsNaN(operand.F) {
@@ -293,6 +298,8 @@ func (c *Column) passByCode(op RangeOp, operand Value) []bool {
 		return c.extendPass(op, operand, nil, n)
 	}
 	key := passKey{op: op, operand: operand}
+	c.passMu.Lock()
+	defer c.passMu.Unlock()
 	if pass, ok := c.passCache[key]; ok && len(pass) >= n {
 		return pass
 	}

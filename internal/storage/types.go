@@ -7,6 +7,12 @@
 // fixed-width representation is what lets dbTouch map a touch location to a
 // tuple identifier with pure arithmetic, without consulting slotted-page
 // metadata.
+//
+// Storage is the shared immutable layer of the architecture: once loaded
+// and registered in a Catalog, matrixes, columns and dictionaries are read
+// concurrently by every exploration session without locking (see the
+// Column sharing contract); the catalog itself and the lazily memoized
+// predicate tables are the only internally synchronized pieces.
 package storage
 
 import (

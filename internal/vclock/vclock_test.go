@@ -69,3 +69,57 @@ func TestStopwatch(t *testing.T) {
 		t.Fatalf("Elapsed() = %v, want 1s", got)
 	}
 }
+
+// TestConcurrentAdvance drives one clock from many goroutines. Each
+// session logically owns its clock, but the type promises that racing
+// writers still produce a well-defined total and that readers never see
+// time move backwards — the property the -race concurrent-session suites
+// rely on.
+func TestConcurrentAdvance(t *testing.T) {
+	c := New()
+	const workers = 8
+	const steps = 1000
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			last := time.Duration(0)
+			for i := 0; i < steps; i++ {
+				c.Advance(time.Microsecond)
+				now := c.Now()
+				if now < last {
+					t.Error("clock went backwards")
+					return
+				}
+				last = now
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	if got, want := c.Now(), time.Duration(workers*steps)*time.Microsecond; got != want {
+		t.Fatalf("Now() = %v after concurrent advances, want %v", got, want)
+	}
+}
+
+// TestConcurrentAdvanceTo checks the CAS loop: concurrent AdvanceTo calls
+// end at the maximum target and never rewind.
+func TestConcurrentAdvanceTo(t *testing.T) {
+	c := New()
+	const workers = 8
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		target := time.Duration(w+1) * time.Millisecond
+		go func() {
+			c.AdvanceTo(target)
+			done <- struct{}{}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	if got, want := c.Now(), time.Duration(workers)*time.Millisecond; got != want {
+		t.Fatalf("Now() = %v, want %v (max of all targets)", got, want)
+	}
+}
