@@ -1,0 +1,86 @@
+// Command dbtouch-serve runs the remote-processing deployment of the
+// paper's §4 as a real network server: it holds the full data and the
+// big sample hierarchies, and thin clients drive exploration sessions
+// over the versioned wire protocol — gestures travel as descriptions,
+// results stream back as frames.
+//
+//	POST /rpc                            protocol.Request → protocol.Response
+//	GET  /stream?session=ID[&buffer=N]   live results as NDJSON frames
+//
+// Usage:
+//
+//	dbtouch-serve                        # 1M synthetic values on :8080
+//	dbtouch-serve -addr :9000 -rows 100000 -pattern levelshift
+//	dbtouch-serve -csv data.csv -table readings
+//	dbtouch-serve -max-sessions 1000    # LRU-evict beyond 1000 sessions
+//
+// Try it:
+//
+//	curl -d '{"v":1,"op":"open","session":"u1"}' localhost:8080/rpc
+//	curl -d '{"v":1,"op":"create","session":"u1","object":"o","create":{"table":"t","column":"v","x":2,"y":2,"w":2,"h":10}}' localhost:8080/rpc
+//	curl -d '{"v":1,"op":"perform","session":"u1","object":"o","gesture":{"kind":"slide","to":1,"dur":2000000000}}' localhost:8080/rpc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"dbtouch"
+	"dbtouch/internal/datagen"
+	"dbtouch/internal/protocol"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	rows := flag.Int("rows", 1_000_000, "synthetic column length")
+	pattern := flag.String("pattern", "outliers", "planted pattern: outliers, levelshift, spikes, trend, none")
+	csvPath := flag.String("csv", "", "load a CSV file instead of synthetic data")
+	table := flag.String("table", "t", "table name")
+	column := flag.String("column", "v", "column name (synthetic data)")
+	seed := flag.Int64("seed", 42, "data seed")
+	maxSessions := flag.Int("max-sessions", 0, "cap live sessions (0 = unlimited; beyond the cap the least recently used session is evicted)")
+	flag.Parse()
+
+	db := dbtouch.Open()
+	if *csvPath != "" {
+		f, err := os.Open(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbtouch-serve:", err)
+			os.Exit(1)
+		}
+		err = db.LoadCSV(*table, f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbtouch-serve:", err)
+			os.Exit(1)
+		}
+	} else {
+		data := datagen.Floats(datagen.Spec{Dist: datagen.Uniform, N: *rows, Seed: *seed, Min: 0, Max: 1000})
+		switch *pattern {
+		case "outliers":
+			datagen.Plant(data, datagen.OutlierRegion, 0.6, 0.03, *seed)
+		case "levelshift":
+			datagen.Plant(data, datagen.LevelShift, 0.55, 0.01, *seed)
+		case "spikes":
+			datagen.Plant(data, datagen.Spike, 0.3, 0.05, *seed)
+		case "trend":
+			datagen.Plant(data, datagen.TrendRegion, 0.4, 0.1, *seed)
+		}
+		db.NewTable(*table).Float(*column, data).MustCreate()
+	}
+
+	mgr := db.Manager()
+	if *maxSessions > 0 {
+		mgr.SetMaxSessions(*maxSessions)
+	}
+	for _, name := range db.Tables() {
+		fmt.Printf("serving table %q\n", name)
+	}
+	fmt.Printf("dbtouch-serve listening on %s (protocol v%d)\n", *addr, protocol.Version)
+	if err := http.ListenAndServe(*addr, protocol.NewHTTPHandler(mgr)); err != nil {
+		fmt.Fprintln(os.Stderr, "dbtouch-serve:", err)
+		os.Exit(1)
+	}
+}

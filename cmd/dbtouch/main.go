@@ -192,4 +192,17 @@ func multiUser(db *dbtouch.DB, tblName, colName, mode string, k, n int) {
 		fmt.Printf("touches handled: %d   results: %d\n\n",
 			u.TouchLatency().Count(), len(u.Results()))
 	}
+	st := db.Manager().Stats()
+	cap := "unlimited"
+	if st.Max > 0 {
+		cap = fmt.Sprint(st.Max)
+	}
+	fmt.Printf("── session manager ── %d live (cap %s), %d evicted\n", st.Live, cap, st.Evictions)
+	for _, s := range st.Sessions {
+		state := "sync"
+		if s.Started {
+			state = "worker"
+		}
+		fmt.Printf("  %-10s %-6s queue=%d lastUsed=%d\n", s.ID, state, s.QueueDepth, s.LastUsed)
+	}
 }

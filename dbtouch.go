@@ -70,6 +70,27 @@ type (
 	Predicate = operator.Predicate
 	// Config is the kernel configuration (advanced use).
 	Config = core.Config
+	// Gesture is a serializable gesture description: build one with the
+	// Object *Gesture methods (or gesture.New*), ship it anywhere —
+	// a script, a wire protocol, a reconnecting client — and execute it
+	// with Perform.
+	Gesture = gesture.Gesture
+	// GestureKind classifies a Gesture.
+	GestureKind = gesture.Kind
+	// ResultStream is a bounded concurrent cursor over emitted results;
+	// see Subscribe.
+	ResultStream = core.ResultStream
+)
+
+// Gesture kinds.
+const (
+	GestureTap          = gesture.KindTap
+	GestureSlide        = gesture.KindSlide
+	GestureSlidePause   = gesture.KindSlidePause
+	GestureBackAndForth = gesture.KindBackAndForth
+	GestureZoom         = gesture.KindZoom
+	GestureRotate       = gesture.KindRotate
+	GestureMove         = gesture.KindMove
 )
 
 // Result kinds.
@@ -153,17 +174,18 @@ func WithConfig(cfg Config) Option {
 	return func(c *core.Config) { *c = cfg }
 }
 
-// DB is a handle to one exploration session of a dbTouch instance: a
-// kernel plus a gesture synthesizer that turns high-level calls (Slide,
-// Tap, ZoomIn...) into digitizer-rate touch streams. Open creates the
+// DB is a handle to one exploration session of a dbTouch instance.
+// High-level calls (Slide, Tap, ZoomIn...) build serializable gesture
+// descriptions and Perform them: each description synthesizes a
+// digitizer-rate touch stream at the session's kernel. Open creates the
 // instance with a default session; Session forks additional handles over
 // the same shared storage. A handle is single-goroutine: drive each
-// session's handle from its own goroutine.
+// session's handle from its own goroutine (result streams from Subscribe
+// may be consumed anywhere).
 type DB struct {
 	manager *session.Manager
 	sess    *session.Session
 	kernel  *core.Kernel
-	synth   gesture.Synth
 }
 
 // Open creates a dbTouch instance with one default session.
@@ -235,8 +257,36 @@ func (db *DB) TouchLatency() *metrics.Histogram { return db.kernel.TouchLatency(
 // pruned between gestures; use OnResult to observe the full stream.
 func (db *DB) Results() []Result { return db.kernel.Results() }
 
-// OnResult registers a live result callback (front-end hook).
+// OnResult registers a live result callback (front-end hook). Prefer
+// Subscribe for anything that crosses goroutines or needs backpressure
+// accounting: the callback runs inline on the kernel's goroutine.
 func (db *DB) OnResult(fn func(Result)) { db.kernel.OnResult(fn) }
+
+// Subscribe opens a bounded stream over every result this session emits
+// from now on. The returned cursor is safe to consume from any
+// goroutine (Next blocks, TryNext polls); when the consumer falls more
+// than buffer results behind, the oldest are dropped and counted
+// (ResultStream.Dropped) rather than stalling the touch pipeline.
+// buffer <= 0 selects a default size. Close the stream to unsubscribe.
+func (db *DB) Subscribe(buffer int) *ResultStream {
+	return db.sess.Subscribe(buffer)
+}
+
+// Perform executes a gesture description on this session and returns the
+// results it produced — the programmatic twin of a finger doing what the
+// description says. Descriptions come from the Object *Gesture builders
+// or from a decoded wire request; executing a description is
+// byte-identical to calling the corresponding Object method. Like Apply,
+// Perform on an evicted handle is inert (nil results, nil error); an
+// invalid description or unknown target returns an error without
+// touching the clock.
+func (db *DB) Perform(g Gesture) ([]Result, error) {
+	results, err := db.sess.Perform(g)
+	if errors.Is(err, session.ErrClosed) {
+		return nil, nil
+	}
+	return results, err
+}
 
 // Idle advances virtual time with no touch activity, letting background
 // machinery (prefetch, layout conversion) use the gap — e.g. the user
@@ -318,10 +368,4 @@ func (db *DB) ProjectColumnOut(table *Object, column string, x, y, w, h float64)
 		return nil, err
 	}
 	return &Object{db: db, inner: obj}, nil
-}
-
-// gestureStart returns the next free virtual instant for a synthesized
-// gesture (never in the past).
-func (db *DB) gestureStart() time.Duration {
-	return db.kernel.Clock().Now()
 }

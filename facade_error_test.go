@@ -1,0 +1,94 @@
+package dbtouch
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWhereEveryOp drives each accepted comparison through a filtered
+// slide (results must respect the conjunct) and rejects unknown
+// operators and columns.
+func TestWhereEveryOp(t *testing.T) {
+	const n = 20000
+	check := func(op string, matches func(v int64) bool) {
+		t.Helper()
+		db, obj := openWithColumn(t, n)
+		obj.Scan()
+		if err := obj.Where("v", op, 10000.0); err != nil {
+			t.Fatalf("Where(%q): %v", op, err)
+		}
+		results := obj.Slide(2 * time.Second)
+		if len(results) == 0 {
+			t.Fatalf("op %q: filtered slide produced no results", op)
+		}
+		for _, r := range results {
+			if !matches(int64(r.TupleID)) {
+				t.Fatalf("op %q revealed tuple %d, violating the filter", op, r.TupleID)
+			}
+		}
+		_ = db
+	}
+	check("=", func(v int64) bool { return v == 10000 })
+	check("==", func(v int64) bool { return v == 10000 })
+	check("<>", func(v int64) bool { return v != 10000 })
+	check("!=", func(v int64) bool { return v != 10000 })
+	check("<", func(v int64) bool { return v < 10000 })
+	check("<=", func(v int64) bool { return v <= 10000 })
+	check(">", func(v int64) bool { return v > 10000 })
+	check(">=", func(v int64) bool { return v >= 10000 })
+
+	_, obj := openWithColumn(t, 100)
+	if err := obj.Where("v", "~", 1); err == nil || !strings.Contains(err.Error(), "unknown comparison") {
+		t.Fatalf("invalid op error = %v", err)
+	}
+	if err := obj.Where("ghost", "=", 1); err == nil || !strings.Contains(err.Error(), "no column") {
+		t.Fatalf("unknown column error = %v", err)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	db := Open()
+	cases := []struct {
+		name, csv, wantSub string
+	}{
+		{"bad header type", "v:COMPLEX\n1\n", "unknown type"},
+		{"short row", "a:INT,b:INT\n1\n", "wrong number of fields"},
+		{"long row", "a:INT,b:INT\n1,2,3\n", "wrong number of fields"},
+		{"bad cell", "a:INT\nnotanumber\n", "column \"a\""},
+		{"unbalanced quotes", "a:INT\n\"1\n", "line"},
+	}
+	for _, c := range cases {
+		if err := db.LoadCSV("bad", strings.NewReader(c.csv)); err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Fatalf("%s: error = %v, want substring %q", c.name, err, c.wantSub)
+		}
+	}
+	if len(db.Tables()) != 0 {
+		t.Fatalf("failed loads must not register tables, got %v", db.Tables())
+	}
+	// Sanity: the well-formed variant loads.
+	if err := db.LoadCSV("good", strings.NewReader("a:INT,b:FLOAT\n1,2.5\n2,3.5\n")); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Tables()) != 1 {
+		t.Fatalf("tables = %v", db.Tables())
+	}
+}
+
+func TestSessionDuplicateID(t *testing.T) {
+	db := Open()
+	if _, err := db.Session("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Session("alice"); err == nil || !strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("duplicate session error = %v", err)
+	}
+	// "main" is taken by Open's default session.
+	if _, err := db.Session("main"); err == nil {
+		t.Fatal("Session(\"main\") must collide with the default session")
+	}
+	// The failed creates must not have clobbered the registry.
+	if got := db.Manager().Len(); got != 2 {
+		t.Fatalf("live sessions = %d, want 2 (main + alice)", got)
+	}
+}

@@ -1,0 +1,118 @@
+package dbtouch
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPerformMatchesObjectMethods is the facade half of the round-trip
+// acceptance: gesture values built by the builders and executed with
+// Perform must produce streams byte-identical to the classic methods.
+func TestPerformMatchesObjectMethods(t *testing.T) {
+	direct := func() []Result {
+		db, obj := openWithColumn(t, 100000)
+		obj.Summarize(Avg, 10)
+		stream := db.Subscribe(1 << 14)
+		obj.Slide(2 * time.Second)
+		obj.ZoomIn(1.8)
+		obj.MoveTo(2, 2)
+		obj.SlideRange(0.5, 0.7, time.Second)
+		obj.Tap(0.3)
+		db.Idle(500 * time.Millisecond)
+		obj.SlideUp(time.Second)
+		return drainAll(stream)
+	}()
+	performed := func() []Result {
+		db, obj := openWithColumn(t, 100000)
+		obj.Summarize(Avg, 10)
+		stream := db.Subscribe(1 << 14)
+		gestures := []Gesture{
+			obj.SlideGesture(2 * time.Second),
+			obj.ZoomInGesture(1.8),
+			obj.MoveToGesture(2, 2),
+			obj.SlideRangeGesture(0.5, 0.7, time.Second),
+			obj.TapGesture(0.3),
+		}
+		for _, g := range gestures {
+			if _, err := db.Perform(g); err != nil {
+				t.Fatal(err)
+			}
+		}
+		db.Idle(500 * time.Millisecond)
+		if _, err := db.Perform(obj.SlideUpGesture(time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		return drainAll(stream)
+	}()
+	if len(direct) == 0 {
+		t.Fatal("no results")
+	}
+	if !reflect.DeepEqual(direct, performed) {
+		t.Fatalf("streams diverged: direct %d results, performed %d", len(direct), len(performed))
+	}
+}
+
+func drainAll(s *ResultStream) []Result {
+	var out []Result
+	for {
+		r, ok := s.TryNext()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+func TestSubscribeAcrossGoroutines(t *testing.T) {
+	db, obj := openWithColumn(t, 100000)
+	obj.Summarize(Avg, 10)
+	stream := db.Subscribe(0)
+	var wg sync.WaitGroup
+	var streamed []Result
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r, ok := stream.Next(); ok; r, ok = stream.Next() {
+			streamed = append(streamed, r)
+		}
+	}()
+	want := 0
+	for i := 0; i < 4; i++ {
+		want += len(obj.Slide(time.Second))
+	}
+	stream.Close()
+	wg.Wait()
+	if int64(len(streamed))+stream.Dropped() != int64(want) {
+		t.Fatalf("streamed %d + dropped %d != emitted %d", len(streamed), stream.Dropped(), want)
+	}
+}
+
+func TestPerformErrors(t *testing.T) {
+	db, obj := openWithColumn(t, 1000)
+	if _, err := db.Perform(Gesture{Kind: "warp", Target: obj.ID()}); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+	if _, err := db.Perform(obj.SlideGesture(-time.Second)); err == nil {
+		t.Fatal("negative duration must error")
+	}
+	if _, err := db.Perform(Gesture{Kind: GestureSlide, Target: 999, Dur: time.Second}); err == nil {
+		t.Fatal("unknown target must error")
+	}
+
+	// An evicted handle is inert: Perform neither errors nor panics.
+	alice, err := db.Session("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aobj, err := alice.NewColumnObject("t", "v", 2, 2, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Manager().Evict("alice")
+	results, err := alice.Perform(aobj.SlideGesture(time.Second))
+	if err != nil || results != nil {
+		t.Fatalf("evicted Perform = (%d results, %v), want inert", len(results), err)
+	}
+}

@@ -143,6 +143,7 @@ type Kernel struct {
 
 	results   []Result
 	onResult  func(Result)
+	subs      []*ResultStream
 	counters  *metrics.Counters
 	touchHist metrics.Histogram
 
@@ -563,7 +564,9 @@ func (k *Kernel) RunIdle(from, to time.Duration) {
 	k.clock.AdvanceTo(to)
 }
 
-// emit records a result, stamping times and latency.
+// emit records a result, stamping times and latency, and fans it out to
+// the OnResult callback and every live subscribed stream (closed streams
+// are unsubscribed here).
 func (k *Kernel) emit(r Result) {
 	r.Time = k.clock.Now()
 	r.FadeAt = r.Time + FadeAfter
@@ -573,4 +576,44 @@ func (k *Kernel) emit(r Result) {
 	if k.onResult != nil {
 		k.onResult(r)
 	}
+	if len(k.subs) > 0 {
+		live := k.subs[:0]
+		for _, s := range k.subs {
+			if s.push(r) {
+				live = append(live, s)
+			}
+		}
+		for i := len(live); i < len(k.subs); i++ {
+			k.subs[i] = nil
+		}
+		k.subs = live
+	}
+}
+
+// Perform executes a serializable gesture description against its target
+// object: the description is synthesized into a digitizer-rate touch
+// stream starting at the current virtual instant and pushed through the
+// normal touch pipeline, so a performed gesture is byte-identical to the
+// same gesture driven by raw events. KindMove applies directly (it is a
+// UI reposition, not a touch). Unknown targets and invalid descriptions
+// return an error without advancing the clock.
+func (k *Kernel) Perform(g gesture.Gesture) ([]Result, error) {
+	o, err := k.Object(g.Target)
+	if err != nil {
+		return nil, err
+	}
+	if g.Kind == gesture.KindMove {
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+		f := o.view.Frame()
+		f.Origin = touchos.Point{X: g.X, Y: g.Y}
+		o.view.SetFrame(f)
+		return nil, nil
+	}
+	events, err := g.Synthesize(gesture.Synth{}, o.view.Frame(), k.clock.Now())
+	if err != nil {
+		return nil, err
+	}
+	return k.Apply(events), nil
 }

@@ -16,8 +16,8 @@ func feedAll(r *Recognizer, events []touchos.TouchEvent) []Event {
 	return out
 }
 
-func kinds(events []Event) map[Kind]int {
-	m := map[Kind]int{}
+func kinds(events []Event) map[EventKind]int {
+	m := map[EventKind]int{}
 	for _, e := range events {
 		m[e.Kind]++
 	}

@@ -8,13 +8,13 @@ import (
 	"dbtouch/internal/touchos"
 )
 
-// Kind classifies a recognized gesture event.
-type Kind uint8
+// EventKind classifies a recognized gesture event.
+type EventKind uint8
 
 // Gesture kinds (paper Figure 1).
 const (
 	// Tap is a quick touch with negligible movement: reveal one value.
-	Tap Kind = iota
+	Tap EventKind = iota
 	// SlideBegan/SlideStep/SlideEnded bracket the main query-processing
 	// gesture: every SlideStep is "a request to run an operator over part
 	// of the data".
@@ -34,7 +34,7 @@ const (
 )
 
 // String names the kind.
-func (k Kind) String() string {
+func (k EventKind) String() string {
 	switch k {
 	case Tap:
 		return "tap"
@@ -55,13 +55,13 @@ func (k Kind) String() string {
 	case Cancelled:
 		return "cancelled"
 	default:
-		return fmt.Sprintf("Kind(%d)", uint8(k))
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
 }
 
 // Event is a recognized gesture sample.
 type Event struct {
-	Kind Kind
+	Kind EventKind
 	// Loc is the touch location (midpoint for two-finger gestures) in
 	// screen coordinates.
 	Loc  touchos.Point

@@ -1,0 +1,105 @@
+package gesture
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"dbtouch/internal/touchos"
+)
+
+func TestGestureJSONRoundTrip(t *testing.T) {
+	gestures := []Gesture{
+		NewTap(3, 0.5),
+		NewSlide(1, 0.25, 0.75, 1500*time.Millisecond),
+		NewSlidePause(2, 2*time.Second, 0.4, 700*time.Millisecond),
+		NewBackAndForth(1, time.Second, 3),
+		NewZoom(4, 1.8),
+		NewRotateQuarter(5),
+		NewMove(6, 3.5, 7.25),
+	}
+	for _, g := range gestures {
+		data, err := json.Marshal(g)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Kind, err)
+		}
+		var back Gesture
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: %v", g.Kind, err)
+		}
+		if !reflect.DeepEqual(g, back) {
+			t.Fatalf("%s: decode(encode(g)) = %+v, want %+v (wire %s)", g.Kind, back, g, data)
+		}
+	}
+}
+
+func TestGestureValidate(t *testing.T) {
+	if err := NewSlide(1, 0, 1, time.Second).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Gesture{
+		{Kind: "teleport"},
+		NewZoom(1, 0),
+		NewZoom(1, -2),
+		{Kind: KindSlide, Dur: -time.Second},
+		// Trust-boundary bounds: one description cannot demand unbounded
+		// synthesis (each digitizer period is one allocated event).
+		NewSlide(1, 0, 1, MaxGestureDur+time.Second),
+		NewSlidePause(1, MaxGestureDur-time.Minute, 0.5, 2*time.Minute),
+		NewBackAndForth(1, time.Second, MaxPasses+1),
+		NewBackAndForth(1, MaxGestureDur/2, 3),
+		// PauseAt scales synthesized touch time: out of [0,1] it would
+		// defeat the duration cap.
+		NewSlidePause(1, time.Second, 1e8, 0),
+		NewSlidePause(1, time.Second, -0.5, 0),
+	}
+	for _, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Fatalf("%+v should be invalid", g)
+		}
+	}
+}
+
+func TestSynthesizeMatchesDirectSynth(t *testing.T) {
+	frame := touchos.NewRect(2, 2, 2, 10)
+	s := Synth{}
+	start := 700 * time.Millisecond
+
+	// A slide description must synthesize the exact stream the facade's
+	// hand-written point math used to produce.
+	g := NewSlide(1, 0.2, 0.9, time.Second)
+	got, err := g.Synthesize(s, frame, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centerX := frame.Origin.X + frame.Size.W/2
+	yAt := func(frac float64) float64 {
+		return frame.Origin.Y + 0.02 + frac*(frame.Size.H-2*0.02)
+	}
+	want := s.Slide(
+		touchos.Point{X: centerX, Y: yAt(0.2)},
+		touchos.Point{X: centerX, Y: yAt(0.9)},
+		start, time.Second,
+	)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("slide synthesis diverged: %d vs %d events", len(got), len(want))
+	}
+
+	// Zoom maps to a pinch about the frame center with spread H/3.
+	zoomed, err := NewZoom(1, 2).Synthesize(s, frame, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := frame.Size.H / 3
+	wantZoom := s.Pinch(frame.Center(), spread, spread*2, start, 300*time.Millisecond)
+	if !reflect.DeepEqual(zoomed, wantZoom) {
+		t.Fatal("zoom synthesis diverged from direct pinch")
+	}
+
+	// Move synthesizes nothing: it is applied, not touched.
+	events, err := NewMove(1, 5, 5).Synthesize(s, frame, start)
+	if err != nil || events != nil {
+		t.Fatalf("move synthesized %d events, err %v", len(events), err)
+	}
+}

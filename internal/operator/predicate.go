@@ -20,6 +20,27 @@ const (
 	Ge
 )
 
+// ParseCmpOp resolves SQL comparison syntax — the canonical table the
+// facade, the script language and the wire protocol all share.
+func ParseCmpOp(op string) (CmpOp, error) {
+	switch op {
+	case "=", "==":
+		return Eq, nil
+	case "<>", "!=":
+		return Ne, nil
+	case "<":
+		return Lt, nil
+	case "<=":
+		return Le, nil
+	case ">":
+		return Gt, nil
+	case ">=":
+		return Ge, nil
+	default:
+		return 0, fmt.Errorf("operator: unknown comparison %q", op)
+	}
+}
+
 // String renders the operator in SQL syntax.
 func (op CmpOp) String() string {
 	switch op {

@@ -1,0 +1,120 @@
+package protocol
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"dbtouch/internal/gesture"
+)
+
+// Convenience calls wrapping Client.Do, one per protocol op.
+
+// Open creates a session on the server.
+func (c *Client) Open(session string) error {
+	_, err := c.Do(Request{Op: OpOpen, Session: session})
+	return err
+}
+
+// Evict removes a session on the server.
+func (c *Client) Evict(session string) error {
+	_, err := c.Do(Request{Op: OpEvict, Session: session})
+	return err
+}
+
+// CreateColumn places one column of a table on the session's screen and
+// binds it to name, returning the kernel object id.
+func (c *Client) CreateColumn(session, name, table, column string, x, y, w, h float64) (int, error) {
+	resp, err := c.Do(Request{
+		Op: OpCreate, Session: session, Object: name,
+		Create: &CreateSpec{Table: table, Column: column, X: x, Y: y, W: w, H: h},
+	})
+	return resp.ObjectID, err
+}
+
+// CreateTable places a whole table on the session's screen under name.
+func (c *Client) CreateTable(session, name, table string, x, y, w, h float64) (int, error) {
+	resp, err := c.Do(Request{
+		Op: OpCreate, Session: session, Object: name,
+		Create: &CreateSpec{Table: table, X: x, Y: y, W: w, H: h},
+	})
+	return resp.ObjectID, err
+}
+
+// Configure applies a touch-configuration delta to a named object.
+func (c *Client) Configure(session, name string, spec ActionsSpec) error {
+	_, err := c.Do(Request{Op: OpConfigure, Session: session, Object: name, Actions: &spec})
+	return err
+}
+
+// Perform executes a gesture description against a named object and
+// returns the frames it produced. The description's Target is stamped
+// server-side from the name.
+func (c *Client) Perform(session, name string, g gesture.Gesture) ([]ResultFrame, error) {
+	resp, err := c.Do(Request{Op: OpPerform, Session: session, Object: name, Gesture: &g})
+	return resp.Results, err
+}
+
+// Idle advances the session's virtual time with no touch activity.
+func (c *Client) Idle(session string, d time.Duration) error {
+	_, err := c.Do(Request{Op: OpIdle, Session: session, Idle: d})
+	return err
+}
+
+// Stats snapshots the server's session manager.
+func (c *Client) Stats() (StatsFrame, error) {
+	resp, err := c.Do(Request{Op: OpStats})
+	if err != nil {
+		return StatsFrame{}, err
+	}
+	if resp.Stats == nil {
+		return StatsFrame{}, fmt.Errorf("protocol: stats response carried no stats")
+	}
+	return *resp.Stats, nil
+}
+
+// Stream subscribes to a session's live results and invokes fn for each
+// frame until fn returns false, the context is cancelled, or the server
+// closes the stream. buffer sizes the server-side ring (0 = default).
+func (c *Client) Stream(ctx context.Context, session string, buffer int, fn func(ResultFrame) bool) error {
+	u := c.Base + "/stream?session=" + url.QueryEscape(session)
+	if buffer > 0 {
+		u += "&buffer=" + strconv.Itoa(buffer)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("protocol: stream: %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), maxRequestBytes)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var frame ResultFrame
+		if err := json.Unmarshal(line, &frame); err != nil {
+			return fmt.Errorf("protocol: stream frame: %w", err)
+		}
+		if !fn(frame) {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"dbtouch/internal/core"
+)
+
+// maxRequestBytes bounds one wire request; gestures and specs are tiny.
+const maxRequestBytes = 1 << 20
+
+// maxResponseBytes bounds one decoded response on the client side.
+// Responses carry whole result batches (a long gesture is tens of
+// thousands of frames), so the bound is generous — it exists to keep a
+// broken server from exhausting client memory, not to size payloads.
+const maxResponseBytes = 64 << 20
+
+// maxStreamBuffer caps the client-requested /stream ring size: the
+// buffer is allocated up front, so an unbounded query parameter would
+// let one request exhaust server memory.
+const maxStreamBuffer = 1 << 16
+
+// Router handles decoded protocol requests. session.Manager implements
+// it; tests may substitute fakes.
+type Router interface {
+	HandleRequest(Request) Response
+}
+
+// Subscriber is the optional streaming side of a Router: it opens a
+// bounded result stream on a session. session.Manager implements it.
+type Subscriber interface {
+	SubscribeSession(id string, buffer int) (*core.ResultStream, error)
+}
+
+// NewHTTPHandler serves the wire protocol over HTTP:
+//
+//	POST /rpc                            one Request in, one Response out
+//	GET  /stream?session=ID[&buffer=N]   results as NDJSON frames, flushed
+//	                                     as the session emits them, until
+//	                                     the client disconnects
+//
+// The stream endpoint requires the router to implement Subscriber.
+func NewHTTPHandler(r Router) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/rpc", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(req.Body, maxRequestBytes))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		decoded, err := DecodeRequest(body)
+		var resp Response
+		if err != nil {
+			resp = Errorf("%v", err)
+		} else {
+			resp = r.HandleRequest(decoded)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		data, err := EncodeResponse(resp)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(data)
+	})
+	mux.HandleFunc("/stream", func(w http.ResponseWriter, req *http.Request) {
+		sub, ok := r.(Subscriber)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+			return
+		}
+		id := req.URL.Query().Get("session")
+		buffer, _ := strconv.Atoi(req.URL.Query().Get("buffer"))
+		if buffer > maxStreamBuffer {
+			buffer = maxStreamBuffer
+		}
+		stream, err := sub.SubscribeSession(id, buffer)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		defer stream.Close()
+		flusher, canFlush := w.(http.Flusher)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if canFlush {
+			flusher.Flush()
+		}
+		// Unblock Next when the client goes away.
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-req.Context().Done():
+				stream.Close()
+			case <-done:
+			}
+		}()
+		enc := json.NewEncoder(w)
+		for {
+			result, ok := stream.Next()
+			if !ok {
+				return
+			}
+			if err := enc.Encode(FrameResult(result)); err != nil {
+				return
+			}
+			if canFlush {
+				flusher.Flush()
+			}
+		}
+	})
+	return mux
+}
+
+// Client speaks the wire protocol to a dbtouch-serve endpoint — the thin
+// half of the remote deployment: it holds no data, only descriptions of
+// intent and the frames that come back.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTPClient overrides http.DefaultClient when set.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Do sends one request and decodes the server's response envelope. A
+// transport-level failure returns an error; a server-side failure comes
+// back inside the Response (OK=false) wrapped as an error too.
+func (c *Client) Do(req Request) (Response, error) {
+	data, err := EncodeRequest(req)
+	if err != nil {
+		return Response{}, err
+	}
+	httpResp, err := c.httpClient().Post(c.Base+"/rpc", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return Response{}, err
+	}
+	defer httpResp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(httpResp.Body, maxResponseBytes))
+	if err != nil {
+		return Response{}, err
+	}
+	resp, err := DecodeResponse(body)
+	if err != nil {
+		return Response{}, err
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("protocol: server: %s", resp.Error)
+	}
+	return resp, nil
+}

@@ -1,0 +1,352 @@
+// Package protocol defines the versioned wire encoding of the gesture
+// API — the paper's §4 remote-processing deployment made concrete: a
+// thin touch device (or any client) describes intent as serializable
+// gesture values and session operations, a server holding the full data
+// executes them, and result frames stream back.
+//
+// The package owns only the wire forms and their (de)serialization:
+// Request/Response envelopes, gesture payloads (reusing
+// gesture.Gesture, which is wire-ready by design), object and action
+// specs, and ResultFrame, the one-way rendering of core.Result for
+// clients. Routing decoded requests into live sessions is the session
+// layer's job (session.Manager.HandleRequest); shipping bytes is the
+// HTTP handler/client pair in this package. Encoding is JSON with an
+// explicit version field; durations are int64 nanoseconds, so a request
+// round-trips losslessly — replaying a decoded gesture script is
+// byte-identical to driving the API directly (asserted by
+// TestProtocolRoundTrip).
+package protocol
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"dbtouch/internal/core"
+	"dbtouch/internal/gesture"
+	"dbtouch/internal/operator"
+	"dbtouch/internal/storage"
+)
+
+// Version is the current protocol version. Decoders accept any version
+// in [1, Version]; newer versions are rejected, never misread.
+const Version = 1
+
+// Request operations.
+const (
+	// OpOpen creates the named session.
+	OpOpen = "open"
+	// OpEvict removes the named session and everything it owns.
+	OpEvict = "evict"
+	// OpCreate places a data object on the session's screen and binds it
+	// to the client-chosen name in Request.Object.
+	OpCreate = "create"
+	// OpConfigure updates the touch actions of the object named in
+	// Request.Object (mode, aggregate, summary window, WHERE conjuncts).
+	OpConfigure = "configure"
+	// OpPerform executes Request.Gesture against the object named in
+	// Request.Object and returns the produced result frames.
+	OpPerform = "perform"
+	// OpIdle advances the session's virtual time with no touch activity.
+	OpIdle = "idle"
+	// OpPin promotes the hottest revisited region of the object named in
+	// Request.Object as a new object bound to Request.As.
+	OpPin = "pin"
+	// OpStats snapshots the manager (live sessions, evictions, queues).
+	OpStats = "stats"
+)
+
+// Request is one decoded client operation. Field use by op:
+//
+//	open/evict   Session
+//	create       Session, Object (name to bind), Create
+//	configure    Session, Object, Actions
+//	perform      Session, Object, Gesture (Target stamped server-side)
+//	idle         Session, Idle
+//	pin          Session, Object, As, Create (placement rect only)
+//	stats        —
+type Request struct {
+	V  int    `json:"v"`
+	Op string `json:"op"`
+	// Session names the exploration session the operation addresses.
+	Session string `json:"session,omitempty"`
+	// Object is the client-chosen object name: the one being created
+	// (OpCreate) or the target (OpConfigure/OpPerform/OpPin). Clients
+	// address objects by name because kernel ids are per-session state.
+	Object string `json:"object,omitempty"`
+	// As names the promoted object of an OpPin.
+	As      string           `json:"as,omitempty"`
+	Gesture *gesture.Gesture `json:"gesture,omitempty"`
+	Idle    time.Duration    `json:"idle,omitempty"`
+	Create  *CreateSpec      `json:"create,omitempty"`
+	Actions *ActionsSpec     `json:"actions,omitempty"`
+}
+
+// CreateSpec places an object: one column of a table (Column set) or the
+// whole table (Column empty) at frame (X, Y, W, H) centimeters. OpPin
+// uses only the frame.
+type CreateSpec struct {
+	Table  string  `json:"table,omitempty"`
+	Column string  `json:"column,omitempty"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	W      float64 `json:"w"`
+	H      float64 `json:"h"`
+}
+
+// ActionsSpec is a delta against an object's current touch
+// configuration: zero-valued fields keep the current setting, Where
+// entries append conjuncts. This mirrors the facade builders (Scan
+// changes only the mode, Where only appends), so a recorded script
+// replays to the same configuration.
+type ActionsSpec struct {
+	// Mode is "scan", "aggregate" or "summary" ("" keeps the current).
+	Mode string `json:"mode,omitempty"`
+	// Agg names the aggregate: count, sum, avg, min, max, var, stddev.
+	Agg string `json:"agg,omitempty"`
+	// K is the interactive-summary half window.
+	K *int `json:"k,omitempty"`
+	// ValueOrder toggles index-backed value-order slides.
+	ValueOrder *bool `json:"valueOrder,omitempty"`
+	// Where appends WHERE conjuncts.
+	Where []FilterSpec `json:"where,omitempty"`
+}
+
+// FilterSpec is one WHERE conjunct on a named column. Value is the
+// decoded JSON operand (number, string or bool).
+type FilterSpec struct {
+	Column string `json:"column"`
+	Op     string `json:"op"`
+	Value  any    `json:"value"`
+}
+
+// Response is the server's answer to one request.
+type Response struct {
+	V  int  `json:"v"`
+	OK bool `json:"ok"`
+	// Error holds the failure message when OK is false.
+	Error string `json:"error,omitempty"`
+	// ObjectID reports the kernel id of a created/promoted object.
+	ObjectID int `json:"objectId,omitempty"`
+	// Results carries the frames an OpPerform produced.
+	Results []ResultFrame `json:"results,omitempty"`
+	// Stats answers OpStats.
+	Stats *StatsFrame `json:"stats,omitempty"`
+}
+
+// ResultFrame is the wire rendering of one core.Result — a one-way
+// display form for thin clients (values render as strings; join matches
+// as a count).
+type ResultFrame struct {
+	Kind     string        `json:"kind"`
+	ObjectID int           `json:"objectId"`
+	TupleID  int           `json:"tupleId"`
+	Col      int           `json:"col,omitempty"`
+	Value    string        `json:"value,omitempty"`
+	Agg      float64       `json:"agg,omitempty"`
+	WindowLo int           `json:"windowLo,omitempty"`
+	WindowHi int           `json:"windowHi,omitempty"`
+	N        int64         `json:"n,omitempty"`
+	GroupKey string        `json:"group,omitempty"`
+	Matches  int           `json:"matches,omitempty"`
+	Level    int           `json:"level,omitempty"`
+	Time     time.Duration `json:"time"`
+	FadeAt   time.Duration `json:"fadeAt,omitempty"`
+	Latency  time.Duration `json:"latency,omitempty"`
+}
+
+// FrameResult renders a kernel result for the wire.
+func FrameResult(r core.Result) ResultFrame {
+	f := ResultFrame{
+		Kind:     r.Kind.String(),
+		ObjectID: r.ObjectID,
+		TupleID:  r.TupleID,
+		Col:      r.Col,
+		Agg:      r.Agg,
+		WindowLo: r.WindowLo,
+		WindowHi: r.WindowHi,
+		N:        r.N,
+		GroupKey: r.GroupKey,
+		Matches:  len(r.Matches),
+		Level:    r.Level,
+		Time:     r.Time,
+		FadeAt:   r.FadeAt,
+		Latency:  r.Latency,
+	}
+	switch r.Kind {
+	case core.ScanValue:
+		f.Value = r.Value.String()
+	case core.TuplePeek:
+		f.Value = fmt.Sprintf("%v", r.Tuple)
+	}
+	return f
+}
+
+// FrameResults renders a result batch.
+func FrameResults(results []core.Result) []ResultFrame {
+	if len(results) == 0 {
+		return nil
+	}
+	out := make([]ResultFrame, len(results))
+	for i, r := range results {
+		out[i] = FrameResult(r)
+	}
+	return out
+}
+
+// StatsFrame is the wire form of a manager snapshot.
+type StatsFrame struct {
+	Live      int            `json:"live"`
+	Max       int            `json:"max,omitempty"`
+	Evictions int64          `json:"evictions"`
+	Sessions  []SessionFrame `json:"sessions,omitempty"`
+}
+
+// SessionFrame is one session's row in a StatsFrame.
+type SessionFrame struct {
+	ID         string `json:"id"`
+	Started    bool   `json:"started,omitempty"`
+	QueueDepth int    `json:"queueDepth,omitempty"`
+}
+
+// OK returns a successful response envelope.
+func OK() Response { return Response{V: Version, OK: true} }
+
+// Errorf returns a failed response envelope.
+func Errorf(format string, args ...any) Response {
+	return Response{V: Version, Error: fmt.Sprintf(format, args...)}
+}
+
+// CheckVersion validates the request's version field.
+func (r Request) CheckVersion() error {
+	if r.V < 1 || r.V > Version {
+		return fmt.Errorf("protocol: unsupported version %d (speaking %d)", r.V, Version)
+	}
+	return nil
+}
+
+// EncodeRequest stamps the current version and marshals the request.
+func EncodeRequest(r Request) ([]byte, error) {
+	r.V = Version
+	return json.Marshal(r)
+}
+
+// DecodeRequest unmarshals and version-checks one request.
+func DecodeRequest(data []byte) (Request, error) {
+	var r Request
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Request{}, fmt.Errorf("protocol: decoding request: %w", err)
+	}
+	if err := r.CheckVersion(); err != nil {
+		return Request{}, err
+	}
+	return r, nil
+}
+
+// EncodeResponse stamps the current version and marshals the response.
+func EncodeResponse(r Response) ([]byte, error) {
+	r.V = Version
+	return json.Marshal(r)
+}
+
+// DecodeResponse unmarshals one response.
+func DecodeResponse(data []byte) (Response, error) {
+	var r Response
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Response{}, fmt.Errorf("protocol: decoding response: %w", err)
+	}
+	return r, nil
+}
+
+// ParseMode maps a wire mode name to the kernel touch mode.
+func ParseMode(s string) (core.Mode, error) {
+	switch strings.ToLower(s) {
+	case "scan":
+		return core.ModeScan, nil
+	case "aggregate":
+		return core.ModeAggregate, nil
+	case "summary":
+		return core.ModeSummary, nil
+	default:
+		return 0, fmt.Errorf("protocol: unknown mode %q", s)
+	}
+}
+
+// ParseAgg maps a wire aggregate name to the operator kind. The wire is
+// case-insensitive; the table itself lives in operator.ParseAggKind.
+func ParseAgg(s string) (operator.AggKind, error) {
+	return operator.ParseAggKind(strings.ToLower(s))
+}
+
+// ParseCmp maps SQL comparison syntax to the operator comparison
+// (operator.ParseCmpOp is the canonical table).
+func ParseCmp(op string) (operator.CmpOp, error) {
+	return operator.ParseCmpOp(op)
+}
+
+// CoerceValue converts a decoded JSON operand into a typed storage value
+// with the same coercion the facade applies to Go operands.
+func CoerceValue(v any) storage.Value {
+	switch x := v.(type) {
+	case int:
+		return storage.IntValue(int64(x))
+	case int64:
+		return storage.IntValue(x)
+	case float64:
+		return storage.FloatValue(x)
+	case bool:
+		return storage.BoolValue(x)
+	case string:
+		return storage.StringValue(x)
+	default:
+		return storage.StringValue(fmt.Sprint(v))
+	}
+}
+
+// Apply folds the delta into an object's current touch configuration.
+// The matrix resolves filter column names; unknown names, modes,
+// aggregates or comparisons reject the whole delta unapplied.
+func (a ActionsSpec) Apply(cur core.Actions, m *storage.Matrix) (core.Actions, error) {
+	out := cur
+	if a.Mode != "" {
+		mode, err := ParseMode(a.Mode)
+		if err != nil {
+			return cur, err
+		}
+		out.Mode = mode
+	}
+	if a.Agg != "" {
+		agg, err := ParseAgg(a.Agg)
+		if err != nil {
+			return cur, err
+		}
+		out.Agg = agg
+	}
+	if a.K != nil {
+		if *a.K < 0 {
+			return cur, fmt.Errorf("protocol: negative summary window %d", *a.K)
+		}
+		out.SummaryK = *a.K
+	}
+	if a.ValueOrder != nil {
+		out.ValueOrder = *a.ValueOrder
+	}
+	if len(a.Where) > 0 {
+		// Full-capacity slice: later appends copy instead of sharing the
+		// caller's backing array.
+		out.Filters = out.Filters[:len(out.Filters):len(out.Filters)]
+		for _, f := range a.Where {
+			idx := m.ColumnIndex(f.Column)
+			if idx < 0 {
+				return cur, fmt.Errorf("protocol: no column %q", f.Column)
+			}
+			cmp, err := ParseCmp(f.Op)
+			if err != nil {
+				return cur, err
+			}
+			out.Filters = append(out.Filters, operator.Predicate{Col: idx, Op: cmp, Operand: CoerceValue(f.Value)})
+		}
+	}
+	return out, nil
+}

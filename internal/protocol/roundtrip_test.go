@@ -1,0 +1,266 @@
+package protocol_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dbtouch"
+	"dbtouch/internal/protocol"
+	"dbtouch/internal/script"
+)
+
+// streamBuffer is large enough that no round-trip run ever drops.
+const streamBuffer = 1 << 17
+
+// newInstance builds a dbtouch instance with the deterministic tables
+// the round-trip scripts touch: a 100k-row int column table "t" and a
+// small multi-column table "multi".
+func newInstance(t *testing.T) *dbtouch.DB {
+	t.Helper()
+	db := dbtouch.Open()
+	vals := make([]int64, 100000)
+	for i := range vals {
+		vals[i] = int64(i * 7 % 1000)
+	}
+	db.NewTable("t").Int("v", vals).MustCreate()
+	n := 5000
+	ids := make([]int64, n)
+	temps := make([]float64, n)
+	sites := make([]string, n)
+	for i := 0; i < n; i++ {
+		ids[i] = int64(i)
+		temps[i] = float64((i*13)%100) / 2
+		sites[i] = fmt.Sprintf("site%d", i%7)
+	}
+	db.NewTable("multi").Int("id", ids).Float("temp", temps).String("site", sites).MustCreate()
+	return db
+}
+
+func drain(stream *dbtouch.ResultStream) []dbtouch.Result {
+	var out []dbtouch.Result
+	for {
+		r, ok := stream.TryNext()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+// runDirect executes the script against the facade (Object methods on
+// the default session) and returns the complete result stream.
+func runDirect(t *testing.T, text string) []dbtouch.Result {
+	t.Helper()
+	db := newInstance(t)
+	commands, err := script.Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := db.Subscribe(streamBuffer)
+	if err := script.NewRunner(db, nil).Run(commands); err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+	if stream.Dropped() != 0 {
+		t.Fatalf("direct stream dropped %d results; raise streamBuffer", stream.Dropped())
+	}
+	return drain(stream)
+}
+
+// runWire executes the same script encoded to protocol requests,
+// serialized to JSON bytes, decoded back, and routed through
+// Manager.HandleRequest into a fresh session — the full wire round trip
+// minus the TCP socket.
+func runWire(t *testing.T, text string) []dbtouch.Result {
+	t.Helper()
+	db := newInstance(t)
+	m := db.Manager()
+	commands, err := script.Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := script.Encode(commands, "wire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := m.HandleRequest(protocol.Request{V: protocol.Version, Op: protocol.OpOpen, Session: "wire"}); !resp.OK {
+		t.Fatalf("open: %s", resp.Error)
+	}
+	stream, err := m.SubscribeSession("wire", streamBuffer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, req := range reqs {
+		data, err := protocol.EncodeRequest(req)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		decoded, err := protocol.DecodeRequest(data)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if resp := m.HandleRequest(decoded); !resp.OK {
+			t.Fatalf("request %d (%s): %s", i, req.Op, resp.Error)
+		}
+	}
+	if stream.Dropped() != 0 {
+		t.Fatalf("wire stream dropped %d results; raise streamBuffer", stream.Dropped())
+	}
+	return drain(stream)
+}
+
+// assertEquivalent runs the script down both paths and returns the
+// result count. Zero is legitimate (random WHERE conjuncts can
+// contradict); callers decide whether emptiness is acceptable.
+func assertEquivalent(t *testing.T, text string) int {
+	t.Helper()
+	direct := runDirect(t, text)
+	wire := runWire(t, text)
+	if len(direct) != len(wire) {
+		t.Fatalf("direct %d results, wire %d:\n%s", len(direct), len(wire), text)
+	}
+	for i := range direct {
+		if !reflect.DeepEqual(direct[i], wire[i]) {
+			t.Fatalf("result %d diverged:\ndirect %+v\nwire   %+v\nscript:\n%s", i, direct[i], wire[i], text)
+		}
+	}
+	return len(direct)
+}
+
+// randomScript synthesizes a gesture script from a seed: place a column,
+// then a run of randomized configuration changes and gestures.
+func randomScript(seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	b.WriteString("column obj t v 2 2 2 10\n")
+	b.WriteString("summarize obj avg 10\n")
+	steps := 12 + rng.Intn(8)
+	for i := 0; i < steps; i++ {
+		switch rng.Intn(12) {
+		case 0:
+			fmt.Fprintf(&b, "scan obj\n")
+		case 1:
+			aggs := []string{"count", "sum", "avg", "min", "max", "var", "stddev"}
+			fmt.Fprintf(&b, "aggregate obj %s\n", aggs[rng.Intn(len(aggs))])
+		case 2:
+			fmt.Fprintf(&b, "summarize obj avg %d\n", 1+rng.Intn(20))
+		case 3:
+			ops := []string{"=", "<>", "<", "<=", ">", ">="}
+			fmt.Fprintf(&b, "where obj v %s %d\n", ops[rng.Intn(len(ops))], rng.Intn(1000))
+		case 4:
+			fmt.Fprintf(&b, "tap obj %.2f\n", rng.Float64())
+		case 5:
+			fmt.Fprintf(&b, "zoomin obj %.2f\n", 1.1+rng.Float64())
+		case 6:
+			fmt.Fprintf(&b, "zoomout obj %.2f\n", 1.1+rng.Float64())
+		case 7:
+			fmt.Fprintf(&b, "moveto obj %.1f %.1f\n", rng.Float64()*10, rng.Float64()*8)
+		case 8:
+			fmt.Fprintf(&b, "idle %dms\n", 100+rng.Intn(900))
+		case 9:
+			fmt.Fprintf(&b, "rotate obj\n")
+		case 10:
+			onOff := []string{"on", "off"}
+			fmt.Fprintf(&b, "valueorder obj %s\n", onOff[rng.Intn(2)])
+		default:
+			from, to := rng.Float64(), rng.Float64()
+			fmt.Fprintf(&b, "slide obj %dms %.2f %.2f\n", 200+rng.Intn(1300), from, to)
+		}
+	}
+	// End on a slide so every script measurably produces results.
+	b.WriteString("slide obj 1s\n")
+	return b.String()
+}
+
+// TestProtocolRoundTrip is the acceptance gate for the wire protocol:
+// for randomized gesture scripts, encode → JSON → decode → HandleRequest
+// produces a result stream byte-identical to driving the facade's Object
+// methods directly. Run under -race in CI.
+func TestProtocolRoundTrip(t *testing.T) {
+	var total int64
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			n := assertEquivalent(t, randomScript(seed))
+			atomic.AddInt64(&total, int64(n))
+		})
+	}
+	t.Cleanup(func() {
+		// A fully empty suite would mean the generator broke, not that
+		// equivalence held vacuously.
+		if atomic.LoadInt64(&total) == 0 {
+			t.Error("no randomized script produced any results")
+		}
+	})
+}
+
+// TestProtocolRoundTripTableAndPin covers the deterministic paths the
+// randomized generator avoids: whole-table objects (tuple peeks, string
+// columns) and hot-region promotion.
+func TestProtocolRoundTripTableAndPin(t *testing.T) {
+	assertEquivalent(t, `
+table grid multi 2 2 6 12
+scan grid
+tap grid 0.5
+slide grid 1500ms
+aggregate grid avg
+slide grid 800ms 0.2 0.8
+`)
+	assertEquivalent(t, `
+column obj t v 2 2 2 10
+summarize obj avg 5
+slide obj 1s 0.2 0.4
+slide obj 1s 0.2 0.4
+pin obj hot 9 2 2 6
+slide hot 500ms
+tap hot 0.5
+`)
+}
+
+// TestProtocolRoundTripPause covers the pause/back-and-forth gestures
+// that only exist as facade calls (no script syntax): built as values,
+// shipped as JSON, performed remotely.
+func TestProtocolRoundTripPause(t *testing.T) {
+	run := func(viaWire bool) []dbtouch.Result {
+		db := newInstance(t)
+		obj, err := db.NewColumnObject("t", "v", 2, 2, 2, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj.Summarize(dbtouch.Avg, 8)
+		stream := db.Subscribe(streamBuffer)
+		gestures := []dbtouch.Gesture{
+			obj.SlideWithPauseGesture(2*time.Second, 0.4, 500*time.Millisecond),
+			obj.SlideBackAndForthGesture(700*time.Millisecond, 2),
+			obj.SlideUpGesture(time.Second),
+		}
+		for _, g := range gestures {
+			if viaWire {
+				data, err := protocol.EncodeRequest(protocol.Request{Op: protocol.OpPerform, Gesture: &g})
+				if err != nil {
+					t.Fatal(err)
+				}
+				decoded, err := protocol.DecodeRequest(data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := db.Perform(*decoded.Gesture); err != nil {
+					t.Fatal(err)
+				}
+			} else if _, err := db.Perform(g); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return drain(stream)
+	}
+	direct := run(false)
+	wire := run(true)
+	if len(direct) == 0 || !reflect.DeepEqual(direct, wire) {
+		t.Fatalf("pause gestures diverged: direct %d results, wire %d", len(direct), len(wire))
+	}
+}

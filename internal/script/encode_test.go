@@ -1,0 +1,130 @@
+package script
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dbtouch/internal/core"
+	"dbtouch/internal/protocol"
+	"dbtouch/internal/session"
+	"dbtouch/internal/storage"
+)
+
+func parseText(t *testing.T, text string) []Command {
+	t.Helper()
+	commands, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return commands
+}
+
+func TestEncodeShapes(t *testing.T) {
+	reqs, err := Encode(parseText(t, `
+column obj t v 2 2 2 10
+summarize obj avg 10
+valueorder obj on
+where obj v >= 250
+slide obj 1500ms 0.2 0.9
+tap obj 0.5
+zoomout obj 2
+rotate obj
+moveto obj 5 5
+pin obj hot 9 2 2 6
+idle 2s
+render
+`), "sess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := []string{
+		protocol.OpCreate, protocol.OpConfigure, protocol.OpConfigure, protocol.OpConfigure,
+		protocol.OpPerform, protocol.OpPerform, protocol.OpPerform, protocol.OpPerform,
+		protocol.OpPerform, protocol.OpPin, protocol.OpIdle,
+	}
+	if len(reqs) != len(wantOps) {
+		t.Fatalf("encoded %d requests, want %d (render must be skipped)", len(reqs), len(wantOps))
+	}
+	for i, req := range reqs {
+		if req.Op != wantOps[i] {
+			t.Fatalf("request %d op = %s, want %s", i, req.Op, wantOps[i])
+		}
+		if req.Session != "sess" || req.V != protocol.Version {
+			t.Fatalf("request %d envelope = %+v", i, req)
+		}
+	}
+	if g := reqs[4].Gesture; g == nil || g.From != 0.2 || g.To != 0.9 || g.Dur != 1500*time.Millisecond {
+		t.Fatalf("slide gesture = %+v", reqs[4].Gesture)
+	}
+	if g := reqs[6].Gesture; g == nil || g.Factor != 0.5 {
+		t.Fatalf("zoomout 2 should encode factor 0.5, got %+v", reqs[6].Gesture)
+	}
+	if w := reqs[3].Actions.Where; len(w) != 1 || w[0].Value != 250.0 {
+		t.Fatalf("where spec = %+v", reqs[3].Actions)
+	}
+	if reqs[9].As != "hot" || reqs[9].Object != "obj" {
+		t.Fatalf("pin request = %+v", reqs[9])
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	bad := []string{
+		"column obj t v 2 2\n",
+		"slide obj notaduration\n",
+		"zoomin obj -1\n",
+		"valueorder obj maybe\n",
+		"teleport obj\n",
+		"aggregate obj median\n",
+	}
+	for _, text := range bad {
+		if _, err := Encode(parseText(t, text), "s"); err == nil {
+			t.Fatalf("Encode(%q) should fail", strings.TrimSpace(text))
+		}
+	}
+}
+
+func TestReplayThroughManager(t *testing.T) {
+	m := session.NewManager(core.Config{})
+	vals := make([]int64, 50000)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	matrix, err := storage.NewMatrix("t", storage.NewIntColumn("v", vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Catalog().Register(matrix)
+	defer m.Close()
+
+	reqs, err := Encode(parseText(t, `
+column obj t v 2 2 2 10
+summarize obj avg 5
+slide obj 1s
+`), "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := m.HandleRequest(protocol.Request{V: protocol.Version, Op: protocol.OpOpen, Session: "u"}); !resp.OK {
+		t.Fatal(resp.Error)
+	}
+	frames, err := Replay(m, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) == 0 {
+		t.Fatal("replay produced no frames")
+	}
+	if frames[0].Kind != "summary" {
+		t.Fatalf("frame kind = %q", frames[0].Kind)
+	}
+
+	// Replay stops at the first failing request.
+	broken := append(append([]protocol.Request{}, reqs...), protocol.Request{
+		V: protocol.Version, Op: protocol.OpPerform, Session: "u", Object: "ghost",
+		Gesture: reqs[2].Gesture,
+	})
+	if _, err := Replay(m, broken); err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("replay error = %v", err)
+	}
+}

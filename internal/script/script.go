@@ -10,6 +10,7 @@
 //	aggregate NAME AGG              configure a running aggregate
 //	summarize NAME AGG K            configure interactive summaries
 //	where NAME COL OP VALUE         add a WHERE conjunct
+//	valueorder NAME on|off          toggle value-order slides
 //	slide NAME DUR [FROM TO]        slide (fractions of height, default 0 1)
 //	tap NAME FRAC                   tap at fractional height
 //	zoomin NAME FACTOR              pinch zoom in
@@ -22,6 +23,11 @@
 //
 // Durations use Go syntax (2s, 500ms). Aggregates: count sum avg min max
 // var stddev. Operators: = <> < <= > >=.
+//
+// Scripts also travel: Encode translates parsed commands into versioned
+// protocol requests (internal/protocol) and Replay routes them through a
+// session manager — the same text file drives a local kernel or a remote
+// dbtouch-serve identically.
 package script
 
 import (
@@ -33,6 +39,7 @@ import (
 	"time"
 
 	"dbtouch"
+	"dbtouch/internal/operator"
 	"dbtouch/internal/viz"
 )
 
@@ -178,6 +185,17 @@ func (r *Runner) exec(c Command) error {
 			return obj.Where(c.Args[1], c.Args[2], c.Args[3])
 		}
 		return obj.Where(c.Args[1], c.Args[2], val)
+	case "valueorder":
+		obj, err := r.object(c.Args, 2)
+		if err != nil {
+			return err
+		}
+		on, err := parseOnOff(c.Args[1])
+		if err != nil {
+			return err
+		}
+		obj.ValueOrder(on)
+		return nil
 	case "slide":
 		if len(c.Args) != 2 && len(c.Args) != 4 {
 			return fmt.Errorf("want NAME DUR [FROM TO], got %d args", len(c.Args))
@@ -309,23 +327,8 @@ func floats(args []string) ([]float64, error) {
 	return out, nil
 }
 
+// parseAgg resolves an aggregate name, case-insensitively, through the
+// canonical operator table.
 func parseAgg(s string) (dbtouch.AggKind, error) {
-	switch strings.ToLower(s) {
-	case "count":
-		return dbtouch.Count, nil
-	case "sum":
-		return dbtouch.Sum, nil
-	case "avg":
-		return dbtouch.Avg, nil
-	case "min":
-		return dbtouch.Min, nil
-	case "max":
-		return dbtouch.Max, nil
-	case "var":
-		return dbtouch.Var, nil
-	case "stddev":
-		return dbtouch.Stddev, nil
-	default:
-		return 0, fmt.Errorf("unknown aggregate %q", s)
-	}
+	return operator.ParseAggKind(strings.ToLower(s))
 }

@@ -1,0 +1,198 @@
+package session
+
+import (
+	"dbtouch/internal/core"
+	"dbtouch/internal/protocol"
+	"dbtouch/internal/touchos"
+)
+
+// HandleRequest routes one decoded protocol request into the manager:
+// session lifecycle ops run on the manager itself, everything else
+// resolves the named session and executes under its synchronous driving
+// contract (wire-driven sessions are request-at-a-time by construction —
+// each request is one batch, serialized by the session's run lock).
+// Errors come back as failed responses, never panics: the wire is a
+// trust boundary.
+func (m *Manager) HandleRequest(req protocol.Request) protocol.Response {
+	if err := req.CheckVersion(); err != nil {
+		return protocol.Errorf("%v", err)
+	}
+	switch req.Op {
+	case protocol.OpOpen:
+		if req.Session == "" {
+			return protocol.Errorf("open: missing session id")
+		}
+		if _, err := m.Create(req.Session); err != nil {
+			return protocol.Errorf("open: %v", err)
+		}
+		return protocol.OK()
+	case protocol.OpEvict:
+		if !m.Evict(req.Session) {
+			return protocol.Errorf("evict: session %q not found", req.Session)
+		}
+		return protocol.OK()
+	case protocol.OpStats:
+		st := m.Stats()
+		frame := protocol.StatsFrame{Live: st.Live, Max: st.Max, Evictions: st.Evictions}
+		for _, s := range st.Sessions {
+			frame.Sessions = append(frame.Sessions, protocol.SessionFrame{
+				ID: s.ID, Started: s.Started, QueueDepth: s.QueueDepth,
+			})
+		}
+		resp := protocol.OK()
+		resp.Stats = &frame
+		return resp
+	}
+	s, ok := m.Get(req.Session)
+	if !ok {
+		return protocol.Errorf("%s: session %q not found", req.Op, req.Session)
+	}
+	switch req.Op {
+	case protocol.OpIdle:
+		if err := s.Idle(req.Idle); err != nil {
+			return protocol.Errorf("idle: %v", err)
+		}
+		return protocol.OK()
+	case protocol.OpPerform:
+		return s.handlePerform(req)
+	case protocol.OpCreate:
+		return s.handleCreate(req)
+	case protocol.OpConfigure:
+		return s.handleConfigure(req)
+	case protocol.OpPin:
+		return s.handlePin(req)
+	default:
+		return protocol.Errorf("unknown op %q", req.Op)
+	}
+}
+
+// SubscribeSession opens a bounded result stream on the named session —
+// the subscription half of the wire protocol (the HTTP handler streams
+// its frames). The stream observes results of requests handled after the
+// subscription.
+func (m *Manager) SubscribeSession(id string, buffer int) (*core.ResultStream, error) {
+	s, ok := m.Get(id)
+	if !ok {
+		return nil, &notFoundError{id: id}
+	}
+	return s.Subscribe(buffer), nil
+}
+
+// notFoundError reports an unknown session id.
+type notFoundError struct{ id string }
+
+func (e *notFoundError) Error() string { return "session \"" + e.id + "\" not found" }
+
+func (s *Session) handlePerform(req protocol.Request) protocol.Response {
+	if req.Gesture == nil {
+		return protocol.Errorf("perform: missing gesture")
+	}
+	id, ok := s.BoundObject(req.Object)
+	if !ok {
+		return protocol.Errorf("perform: unknown object %q", req.Object)
+	}
+	g := *req.Gesture
+	g.Target = id
+	results, err := s.Perform(g)
+	if err != nil {
+		return protocol.Errorf("perform: %v", err)
+	}
+	resp := protocol.OK()
+	resp.Results = protocol.FrameResults(results)
+	return resp
+}
+
+func (s *Session) handleCreate(req protocol.Request) protocol.Response {
+	spec := req.Create
+	if spec == nil {
+		return protocol.Errorf("create: missing spec")
+	}
+	if req.Object == "" {
+		return protocol.Errorf("create: missing object name")
+	}
+	var objID int
+	err := s.Do(func(k *core.Kernel) error {
+		frame := touchos.NewRect(spec.X, spec.Y, spec.W, spec.H)
+		var (
+			o   *core.Object
+			err error
+		)
+		if spec.Column != "" {
+			o, err = s.CreateColumnObject(spec.Table, spec.Column, frame)
+		} else {
+			o, err = s.CreateTableObject(spec.Table, frame)
+		}
+		if err != nil {
+			return err
+		}
+		objID = o.ID()
+		return nil
+	})
+	if err != nil {
+		return protocol.Errorf("create: %v", err)
+	}
+	s.BindObject(req.Object, objID)
+	resp := protocol.OK()
+	resp.ObjectID = objID
+	return resp
+}
+
+func (s *Session) handleConfigure(req protocol.Request) protocol.Response {
+	if req.Actions == nil {
+		return protocol.Errorf("configure: missing actions")
+	}
+	id, ok := s.BoundObject(req.Object)
+	if !ok {
+		return protocol.Errorf("configure: unknown object %q", req.Object)
+	}
+	err := s.Do(func(k *core.Kernel) error {
+		o, err := k.Object(id)
+		if err != nil {
+			return err
+		}
+		a, err := req.Actions.Apply(o.Actions(), o.Matrix())
+		if err != nil {
+			return err
+		}
+		o.SetActions(a)
+		return nil
+	})
+	if err != nil {
+		return protocol.Errorf("configure: %v", err)
+	}
+	return protocol.OK()
+}
+
+func (s *Session) handlePin(req protocol.Request) protocol.Response {
+	spec := req.Create
+	if spec == nil {
+		return protocol.Errorf("pin: missing placement")
+	}
+	if req.As == "" {
+		return protocol.Errorf("pin: missing name for the promoted object")
+	}
+	id, ok := s.BoundObject(req.Object)
+	if !ok {
+		return protocol.Errorf("pin: unknown object %q", req.Object)
+	}
+	var objID int
+	err := s.Do(func(k *core.Kernel) error {
+		o, err := k.Object(id)
+		if err != nil {
+			return err
+		}
+		promoted, err := k.PromoteHotRegion(o, touchos.NewRect(spec.X, spec.Y, spec.W, spec.H))
+		if err != nil {
+			return err
+		}
+		objID = promoted.ID()
+		return nil
+	})
+	if err != nil {
+		return protocol.Errorf("pin: %v", err)
+	}
+	s.BindObject(req.As, objID)
+	resp := protocol.OK()
+	resp.ObjectID = objID
+	return resp
+}

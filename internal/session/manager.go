@@ -2,6 +2,7 @@ package session
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"dbtouch/internal/core"
@@ -70,6 +71,51 @@ func (m *Manager) Evictions() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.evictions
+}
+
+// SessionStat is one session's row in a Stats snapshot.
+type SessionStat struct {
+	ID string
+	// Started reports whether a worker goroutine owns the session.
+	Started bool
+	// QueueDepth counts enqueued-but-unfinished batches (0 for
+	// synchronous sessions).
+	QueueDepth int
+	// LastUsed is the manager's dispatch tick at the session's last use;
+	// lower means closer to LRU eviction.
+	LastUsed uint64
+}
+
+// Stats is a point-in-time snapshot of the manager — the admission and
+// scheduling signals (live sessions, eviction pressure, per-session
+// backlog) an operator or a future scheduler watches.
+type Stats struct {
+	// Live counts registered sessions; Max is the SetMaxSessions cap
+	// (0 = unlimited); Evictions counts sessions the cap has removed.
+	Live      int
+	Max       int
+	Evictions int64
+	// Sessions lists per-session rows sorted by id.
+	Sessions []SessionStat
+}
+
+// Stats snapshots the manager. Sessions created or evicted concurrently
+// may or may not appear; each row is internally consistent.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	st := Stats{Live: len(m.sessions), Max: m.maxSessions, Evictions: m.evictions}
+	live := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		live = append(live, s)
+		st.Sessions = append(st.Sessions, SessionStat{ID: s.id, LastUsed: s.lastUsed})
+	}
+	m.mu.Unlock()
+	for i, s := range live {
+		st.Sessions[i].Started = s.Started()
+		st.Sessions[i].QueueDepth = s.QueueDepth()
+	}
+	sort.Slice(st.Sessions, func(i, j int) bool { return st.Sessions[i].ID < st.Sessions[j].ID })
+	return st
 }
 
 // sharedSamples is the core.SampleSource installed into every session's

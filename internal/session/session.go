@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"dbtouch/internal/core"
+	"dbtouch/internal/gesture"
 	"dbtouch/internal/storage"
 	"dbtouch/internal/touchos"
 )
@@ -83,6 +84,11 @@ type Session struct {
 	// lastUsed is the manager's dispatch tick at the session's last use,
 	// for least-recently-used eviction. Guarded by manager.mu.
 	lastUsed uint64
+
+	// objMu guards objNames, the session's wire-protocol object registry:
+	// remote clients address objects by chosen name, the kernel by id.
+	objMu    sync.Mutex
+	objNames map[string]int
 }
 
 // ID returns the session identifier.
@@ -156,6 +162,76 @@ func (s *Session) Idle(d time.Duration) error {
 	from := s.kernel.Clock().Now()
 	s.kernel.RunIdle(from, from+d)
 	return nil
+}
+
+// Perform executes a serializable gesture description on the session's
+// kernel: the wire-ready form of driving a session. Same contract as
+// Apply — synchronous, pre-Start only.
+func (s *Session) Perform(g gesture.Gesture) ([]core.Result, error) {
+	if err := s.checkSynchronous(); err != nil {
+		return nil, err
+	}
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	return s.kernel.Perform(g)
+}
+
+// Do runs fn with exclusive synchronous access to the session's kernel —
+// the seam the protocol handler uses for object creation, configuration
+// and promotion. Same contract as Apply: synchronous, pre-Start only.
+func (s *Session) Do(fn func(*core.Kernel) error) error {
+	if err := s.checkSynchronous(); err != nil {
+		return err
+	}
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	return fn(s.kernel)
+}
+
+// Subscribe registers a bounded result stream on the session's kernel
+// (buffer <= 0 selects the default size). Unlike Apply, subscribing is
+// legal while the worker runs — that is the point: the stream hands
+// results across goroutines, so a monitor can cursor through them while
+// the worker keeps executing. The registration itself is serialized
+// against the running kernel.
+func (s *Session) Subscribe(buffer int) *core.ResultStream {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	return s.kernel.Subscribe(buffer)
+}
+
+// BindObject names a kernel object for wire-protocol addressing. Later
+// binds of the same name shadow earlier ones, mirroring script replay.
+func (s *Session) BindObject(name string, id int) {
+	s.objMu.Lock()
+	defer s.objMu.Unlock()
+	if s.objNames == nil {
+		s.objNames = make(map[string]int)
+	}
+	s.objNames[name] = id
+}
+
+// BoundObject resolves a wire-protocol object name to its kernel id.
+func (s *Session) BoundObject(name string) (int, bool) {
+	s.objMu.Lock()
+	defer s.objMu.Unlock()
+	id, ok := s.objNames[name]
+	return id, ok
+}
+
+// QueueDepth reports how many enqueued batches the worker has not yet
+// finished — the manager's per-session backlog metric.
+func (s *Session) QueueDepth() int {
+	s.pendingMu.Lock()
+	defer s.pendingMu.Unlock()
+	return s.pendingN
+}
+
+// Started reports whether the worker goroutine owns the kernel.
+func (s *Session) Started() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.started
 }
 
 // checkSynchronous gates the synchronous driving mode and refreshes the
@@ -240,8 +316,10 @@ func (s *Session) Drain() {
 	s.pendingMu.Unlock()
 }
 
-// Close stops the worker (processing whatever is already queued) and
-// marks the session unusable. It is idempotent and safe to call from any
+// Close stops the worker (processing whatever is already queued), closes
+// every subscribed result stream (so consumers blocked in Next see
+// end-of-stream instead of hanging on an evicted session), and marks the
+// session unusable. It is idempotent and safe to call from any
 // goroutine; Manager.Evict calls it.
 func (s *Session) Close() {
 	s.mu.Lock()
@@ -256,13 +334,17 @@ func (s *Session) Close() {
 	s.closed = true
 	started := s.started
 	s.mu.Unlock()
-	if !started {
-		return
+	if started {
+		s.enqMu.Lock()
+		close(s.queue)
+		s.enqMu.Unlock()
+		<-s.done
 	}
-	s.enqMu.Lock()
-	close(s.queue)
-	s.enqMu.Unlock()
-	<-s.done
+	// The worker (if any) has exited; runMu serializes against a
+	// synchronous Apply/Perform that slipped in before closed was set.
+	s.runMu.Lock()
+	s.kernel.CloseSubscriptions()
+	s.runMu.Unlock()
 }
 
 // Results returns the session's retained results (the kernel's bounded,

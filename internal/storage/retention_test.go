@@ -1,0 +1,41 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestPassCacheBounded asserts the retention contract on the shared
+// string-predicate memo: a stream of distinct operands (a long-running
+// session, or many remote clients filtering the same shared column) must
+// not grow per-column memory without bound, and eviction must never
+// change filter results.
+func TestPassCacheBounded(t *testing.T) {
+	vals := make([]string, 1000)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("w%03d", i%50)
+	}
+	c := NewStringColumn("s", vals)
+
+	baseline := c.FilterRange(0, c.Len(), RangeEq, StringValue("w007"), nil)
+	for i := 0; i < 10*maxPassTables; i++ {
+		c.FilterRange(0, c.Len(), RangeEq, StringValue(fmt.Sprintf("w%03d", i%200)), nil)
+	}
+	c.passMu.Lock()
+	size := len(c.passCache)
+	c.passMu.Unlock()
+	if size > maxPassTables {
+		t.Fatalf("pass cache grew to %d tables, cap is %d", size, maxPassTables)
+	}
+
+	// Rebuilt-after-eviction tables answer identically.
+	again := c.FilterRange(0, c.Len(), RangeEq, StringValue("w007"), nil)
+	if len(again) != len(baseline) {
+		t.Fatalf("filter after eviction returned %d rows, want %d", len(again), len(baseline))
+	}
+	for i := range again {
+		if again[i] != baseline[i] {
+			t.Fatalf("row %d: %d != %d", i, again[i], baseline[i])
+		}
+	}
+}

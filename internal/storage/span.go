@@ -280,6 +280,14 @@ type passKey struct {
 	operand Value
 }
 
+// maxPassTables caps the per-column predicate memo. Columns are shared
+// and live as long as the process, so without a cap every distinct
+// (op, operand) a long-running session — or a stream of remote clients —
+// ever filters with would pin an O(|dict|) table forever. At the cap an
+// arbitrary table is evicted: tables are pure memos and rebuild on
+// demand, so eviction never changes results.
+const maxPassTables = 64
+
 // passByCode evaluates the predicate once per distinct dictionary code of
 // a string column, so the range scan is a table lookup per cell. Tables
 // are memoized per (op, operand) on the column — WHERE conjuncts repeat
@@ -306,6 +314,12 @@ func (c *Column) passByCode(op RangeOp, operand Value) []bool {
 	pass := c.extendPass(op, operand, c.passCache[key], n)
 	if c.passCache == nil {
 		c.passCache = make(map[passKey][]bool)
+	}
+	if _, exists := c.passCache[key]; !exists && len(c.passCache) >= maxPassTables {
+		for victim := range c.passCache {
+			delete(c.passCache, victim)
+			break
+		}
 	}
 	c.passCache[key] = pass
 	return pass

@@ -1,11 +1,14 @@
 package dbtouch
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"dbtouch/internal/core"
+	"dbtouch/internal/gesture"
 	"dbtouch/internal/operator"
+	"dbtouch/internal/session"
 	"dbtouch/internal/storage"
 	"dbtouch/internal/touchos"
 )
@@ -115,131 +118,134 @@ func (o *Object) JoinWith(other *Object) {
 	o.inner.SetActions(a)
 }
 
-// centerX returns the object's horizontal center in screen coordinates.
-func (o *Object) centerX() float64 {
-	f := o.inner.View().Frame()
-	return f.Origin.X + f.Size.W/2
+// Gesture builders. Each *Gesture method describes a gesture against
+// this object as a serializable value without executing it: ship the
+// value through a script, the wire protocol, or a queue, then execute it
+// with DB.Perform (or Session.Perform on the session layer). The
+// classic imperative methods below are thin wrappers — building the
+// description and performing it immediately — and stay byte-identical
+// to pre-protocol behavior.
+
+// TapGesture describes a single touch at the given fractional height.
+func (o *Object) TapGesture(frac float64) Gesture { return gesture.NewTap(o.ID(), frac) }
+
+// SlideGesture describes a top-to-bottom sweep over dur.
+func (o *Object) SlideGesture(dur time.Duration) Gesture {
+	return gesture.NewSlide(o.ID(), 0, 1, dur)
+}
+
+// SlideUpGesture describes a bottom-to-top sweep over dur.
+func (o *Object) SlideUpGesture(dur time.Duration) Gesture {
+	return gesture.NewSlide(o.ID(), 1, 0, dur)
+}
+
+// SlideRangeGesture describes a sweep between two fractional heights
+// (0 = top, 1 = bottom) over dur.
+func (o *Object) SlideRangeGesture(fromFrac, toFrac float64, dur time.Duration) Gesture {
+	return gesture.NewSlide(o.ID(), fromFrac, toFrac, dur)
+}
+
+// SlideWithPauseGesture describes a top-to-bottom sweep with a rest at
+// pauseFrac for pauseDur.
+func (o *Object) SlideWithPauseGesture(dur time.Duration, pauseFrac float64, pauseDur time.Duration) Gesture {
+	return gesture.NewSlidePause(o.ID(), dur, pauseFrac, pauseDur)
+}
+
+// SlideBackAndForthGesture describes passes down-and-up round trips,
+// legDur per leg.
+func (o *Object) SlideBackAndForthGesture(legDur time.Duration, passes int) Gesture {
+	return gesture.NewBackAndForth(o.ID(), legDur, passes)
+}
+
+// ZoomInGesture describes a pinch growing the object by factor (> 1).
+func (o *Object) ZoomInGesture(factor float64) Gesture {
+	return gesture.NewZoom(o.ID(), factor)
+}
+
+// ZoomOutGesture describes a pinch shrinking the object by factor (> 1).
+func (o *Object) ZoomOutGesture(factor float64) Gesture {
+	if factor > 0 {
+		return gesture.NewZoom(o.ID(), 1/factor)
+	}
+	return gesture.NewZoom(o.ID(), 0) // invalid by construction, like the input
+}
+
+// RotateQuarterGesture describes a two-finger quarter-turn rotation.
+func (o *Object) RotateQuarterGesture() Gesture { return gesture.NewRotateQuarter(o.ID()) }
+
+// MoveToGesture describes repositioning the top-left corner to (x, y).
+func (o *Object) MoveToGesture(x, y float64) Gesture { return gesture.NewMove(o.ID(), x, y) }
+
+// perform executes a description, preserving the legacy imperative
+// contract: an evicted session or an invalid parameter (zoom factor <= 0)
+// degrades to a silent no-op exactly as the pre-protocol methods did,
+// while driving a worker-owned session synchronously stays the panic it
+// always was (DB.Apply's contract) — that is a programming error, not a
+// condition to swallow.
+func (o *Object) perform(g Gesture) []Result {
+	results, err := o.db.Perform(g)
+	if errors.Is(err, session.ErrWorkerRunning) {
+		panic(err)
+	}
+	return results
 }
 
 // Slide sweeps a single finger top-to-bottom over the object in dur and
 // returns the results the gesture produced.
 func (o *Object) Slide(dur time.Duration) []Result {
-	return o.SlideRange(0, 1, dur)
+	return o.perform(o.SlideGesture(dur))
 }
 
 // SlideUp sweeps bottom-to-top.
 func (o *Object) SlideUp(dur time.Duration) []Result {
-	return o.SlideRange(1, 0, dur)
+	return o.perform(o.SlideUpGesture(dur))
 }
 
 // SlideRange sweeps between two fractional heights of the object (0 =
 // top, 1 = bottom) in dur.
 func (o *Object) SlideRange(fromFrac, toFrac float64, dur time.Duration) []Result {
-	f := o.inner.View().Frame()
-	const inset = 0.02
-	yAt := func(frac float64) float64 {
-		if frac < 0 {
-			frac = 0
-		}
-		if frac > 1 {
-			frac = 1
-		}
-		return f.Origin.Y + inset + frac*(f.Size.H-2*inset)
-	}
-	start := o.db.gestureStart()
-	events := o.db.synth.Slide(
-		touchos.Point{X: o.centerX(), Y: yAt(fromFrac)},
-		touchos.Point{X: o.centerX(), Y: yAt(toFrac)},
-		start, dur,
-	)
-	return o.db.Apply(events)
+	return o.perform(o.SlideRangeGesture(fromFrac, toFrac, dur))
 }
 
 // SlideWithPause sweeps top-to-bottom pausing at pauseFrac for pauseDur —
 // the prefetching scenario of §2.6.
 func (o *Object) SlideWithPause(dur time.Duration, pauseFrac float64, pauseDur time.Duration) []Result {
-	f := o.inner.View().Frame()
-	start := o.db.gestureStart()
-	events := o.db.synth.PauseResume(
-		touchos.Point{X: o.centerX(), Y: f.Origin.Y + 0.02},
-		touchos.Point{X: o.centerX(), Y: f.Origin.Y + f.Size.H - 0.02},
-		start, dur, pauseFrac, pauseDur,
-	)
-	return o.db.Apply(events)
+	return o.perform(o.SlideWithPauseGesture(dur, pauseFrac, pauseDur))
 }
 
 // SlideBackAndForth sweeps down and back up `passes` times, legDur per
 // leg — the revisit scenario caching exploits.
 func (o *Object) SlideBackAndForth(legDur time.Duration, passes int) []Result {
-	f := o.inner.View().Frame()
-	start := o.db.gestureStart()
-	events := o.db.synth.BackAndForth(
-		touchos.Point{X: o.centerX(), Y: f.Origin.Y + 0.02},
-		touchos.Point{X: o.centerX(), Y: f.Origin.Y + f.Size.H - 0.02},
-		start, legDur, passes,
-	)
-	return o.db.Apply(events)
+	return o.perform(o.SlideBackAndForthGesture(legDur, passes))
 }
 
 // Tap touches the object at the given fractional height once.
 func (o *Object) Tap(frac float64) []Result {
-	f := o.inner.View().Frame()
-	start := o.db.gestureStart()
-	events := o.db.synth.Tap(touchos.Point{
-		X: o.centerX(),
-		Y: f.Origin.Y + 0.02 + frac*(f.Size.H-0.04),
-	}, start)
-	return o.db.Apply(events)
+	return o.perform(o.TapGesture(frac))
 }
 
 // MoveTo repositions the object's top-left corner (the pan gesture of
 // §2.8, applied directly).
 func (o *Object) MoveTo(x, y float64) {
-	f := o.inner.View().Frame()
-	f.Origin = touchos.Point{X: x, Y: y}
-	o.inner.View().SetFrame(f)
+	o.perform(o.MoveToGesture(x, y))
 }
 
 // ZoomIn grows the object by factor (> 1) with a pinch gesture, raising
 // the granularity a slide can address.
 func (o *Object) ZoomIn(factor float64) {
-	o.pinch(factor)
+	o.perform(o.ZoomInGesture(factor))
 }
 
 // ZoomOut shrinks the object by factor (> 1).
 func (o *Object) ZoomOut(factor float64) {
-	if factor > 0 {
-		o.pinch(1 / factor)
-	}
-}
-
-func (o *Object) pinch(scale float64) {
-	if scale <= 0 {
-		return
-	}
-	f := o.inner.View().Frame()
-	center := f.Center()
-	spread0 := f.Size.H / 3
-	start := o.db.gestureStart()
-	events := o.db.synth.Pinch(center, spread0, spread0*scale, start, 300*time.Millisecond)
-	o.db.Apply(events)
+	o.perform(o.ZoomOutGesture(factor))
 }
 
 // RotateQuarter applies a two-finger quarter-turn rotation: the view
 // rotates, and multi-column objects start an incremental row↔column
 // layout conversion with a sample-first preview.
 func (o *Object) RotateQuarter() {
-	f := o.inner.View().Frame()
-	radius := f.Size.W / 2
-	if f.Size.H < f.Size.W {
-		radius = f.Size.H / 2
-	}
-	if radius <= 0.2 {
-		radius = 0.2
-	}
-	start := o.db.gestureStart()
-	events := o.db.synth.Rotate(f.Center(), radius*0.9, 1.65, start, 400*time.Millisecond)
-	o.db.Apply(events)
+	o.perform(o.RotateQuarterGesture())
 }
 
 // Converting reports whether a layout conversion is running, with its
@@ -258,24 +264,11 @@ func (o *Object) PinHotRegion(x, y, w, h float64) (*Object, error) {
 	return &Object{db: o.db, inner: inner}, nil
 }
 
-// parseOp maps SQL comparison syntax to operator.CmpOp.
+// parseOp maps SQL comparison syntax to operator.CmpOp (the canonical
+// table is operator.ParseCmpOp, shared with the script language and the
+// wire protocol).
 func parseOp(op string) (operator.CmpOp, error) {
-	switch op {
-	case "=", "==":
-		return operator.Eq, nil
-	case "<>", "!=":
-		return operator.Ne, nil
-	case "<":
-		return operator.Lt, nil
-	case "<=":
-		return operator.Le, nil
-	case ">":
-		return operator.Gt, nil
-	case ">=":
-		return operator.Ge, nil
-	default:
-		return 0, fmt.Errorf("dbtouch: unknown comparison %q", op)
-	}
+	return operator.ParseCmpOp(op)
 }
 
 // toValue coerces a Go value into a storage.Value.
