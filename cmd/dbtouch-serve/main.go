@@ -13,6 +13,13 @@
 //	dbtouch-serve -addr :9000 -rows 100000 -pattern levelshift
 //	dbtouch-serve -csv data.csv -table readings
 //	dbtouch-serve -max-sessions 1000    # LRU-evict beyond 1000 sessions
+//	dbtouch-serve -admit-sessions 10000 -max-queued 4096 -workers 8
+//
+// Sessions run on a bounded work-stealing scheduler (pool size
+// -workers, fairness quantum -fairness-budget); -admit-sessions and
+// -max-queued are admission-control ceilings — past them the server
+// answers HTTP 503 with a Retry-After header instead of queueing
+// unboundedly. See docs/operations.md for tuning guidance.
 //
 // Try it:
 //
@@ -41,6 +48,10 @@ func main() {
 	column := flag.String("column", "v", "column name (synthetic data)")
 	seed := flag.Int64("seed", 42, "data seed")
 	maxSessions := flag.Int("max-sessions", 0, "cap live sessions (0 = unlimited; beyond the cap the least recently used session is evicted)")
+	admitSessions := flag.Int("admit-sessions", 0, "hard live-session ceiling, counting the server's own \"main\" session (0 = none; beyond it opens are rejected with 503 + Retry-After instead of evicting)")
+	maxQueued := flag.Int("max-queued", 0, "cap the total queued-batch backlog across sessions (0 = unlimited; at the cap, work is rejected with 503 + Retry-After)")
+	workers := flag.Int("workers", 0, "scheduler pool size (0 = GOMAXPROCS)")
+	budget := flag.Int("fairness-budget", 0, "events one session may absorb per scheduler dispatch (0 = default)")
 	flag.Parse()
 
 	db := dbtouch.Open()
@@ -74,6 +85,21 @@ func main() {
 	mgr := db.Manager()
 	if *maxSessions > 0 {
 		mgr.SetMaxSessions(*maxSessions)
+	}
+	if *admitSessions > 0 {
+		mgr.SetAdmissionCap(*admitSessions)
+	}
+	if *maxQueued > 0 {
+		mgr.SetMaxQueuedBatches(*maxQueued)
+	}
+	if *workers > 0 {
+		if err := mgr.SetWorkers(*workers); err != nil {
+			fmt.Fprintln(os.Stderr, "dbtouch-serve:", err)
+			os.Exit(1)
+		}
+	}
+	if *budget > 0 {
+		mgr.SetFairnessBudget(*budget)
 	}
 	for _, name := range db.Tables() {
 		fmt.Printf("serving table %q\n", name)

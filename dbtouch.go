@@ -82,6 +82,12 @@ type (
 	ResultStream = core.ResultStream
 )
 
+// ErrOverloaded reports an admission-control rejection from the session
+// manager: Session past the admission cap, or gestures while the
+// scheduler's backlog sits at its cap. Test with errors.Is and retry
+// after a backoff; see docs/operations.md for the tuning knobs.
+var ErrOverloaded = session.ErrOverloaded
+
 // Gesture kinds.
 const (
 	GestureTap          = gesture.KindTap
@@ -209,7 +215,10 @@ func Open(opts ...Option) *DB {
 // unaffected by gestures on other sessions. Handles for different
 // sessions may run on different goroutines concurrently. If the manager
 // later evicts the session (Manager().Evict or a SetMaxSessions cap),
-// the handle becomes inert: further gestures are dropped.
+// the handle becomes inert: further gestures are dropped. Under
+// admission control (Manager().SetAdmissionCap, or a backlog at the
+// SetMaxQueuedBatches cap) the error is ErrOverloaded: no session was
+// created, back off and retry.
 func (db *DB) Session(id string) (*DB, error) {
 	s, err := db.manager.Create(id)
 	if err != nil {

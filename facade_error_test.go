@@ -1,6 +1,7 @@
 package dbtouch
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -90,5 +91,27 @@ func TestSessionDuplicateID(t *testing.T) {
 	// The failed creates must not have clobbered the registry.
 	if got := db.Manager().Len(); got != 2 {
 		t.Fatalf("live sessions = %d, want 2 (main + alice)", got)
+	}
+}
+
+// TestSessionAdmissionOverloaded: past the manager's admission cap,
+// Session returns the typed ErrOverloaded (no session created, no
+// silent eviction) and admits again once a slot frees up.
+func TestSessionAdmissionOverloaded(t *testing.T) {
+	db := Open()
+	db.Manager().SetAdmissionCap(2) // "main" occupies one slot
+	if _, err := db.Session("alice"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := db.Session("bob")
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Session past admission cap: err = %v, want ErrOverloaded", err)
+	}
+	if got := db.Manager().Len(); got != 2 {
+		t.Fatalf("rejected Session changed live count: %d, want 2", got)
+	}
+	db.Manager().Evict("alice")
+	if _, err := db.Session("bob"); err != nil {
+		t.Fatalf("Session after eviction: %v", err)
 	}
 }

@@ -98,9 +98,10 @@ func NewSessionBench(rows int) *SessionBench {
 // Close tears the fixture down.
 func (b *SessionBench) Close() { b.mgr.Close() }
 
-// Run executes the standard script on n sessions — on per-session worker
-// goroutines when concurrent, else batch by batch on the calling
-// goroutine — and evicts them afterwards, so the fixture can be reused.
+// Run executes the standard script on n sessions — on the manager's
+// bounded work-stealing scheduler when concurrent, else batch by batch
+// on the calling goroutine — and evicts them afterwards, so the fixture
+// can be reused.
 func (b *SessionBench) Run(n int, concurrent bool) ConcurrentSessionsResult {
 	b.runID++
 	sessions := make([]*session.Session, n)
@@ -165,16 +166,17 @@ func (b *SessionBench) Run(n int, concurrent bool) ConcurrentSessionsResult {
 
 // RunConcurrentSessions executes the standard script on n concurrent
 // sessions over one shared table of rows tuples and reports the group's
-// aggregate numbers. Every session gets its own worker goroutine, virtual
-// clock and trackers; the column data and sample hierarchy are shared.
+// aggregate numbers. Sessions share the scheduler's bounded worker pool
+// but own their virtual clocks and trackers; the column data and sample
+// hierarchy are shared.
 func RunConcurrentSessions(rows, n int) ConcurrentSessionsResult {
 	b := NewSessionBench(rows)
 	defer b.Close()
 	return b.Run(n, true)
 }
 
-// RunSequentialSessions runs the identical workload with no worker
-// goroutines: every batch of every session executes on the calling
+// RunSequentialSessions runs the identical workload without the
+// scheduler: every batch of every session executes on the calling
 // goroutine, one session at a time — the reference for stream-equivalence
 // checks.
 func RunSequentialSessions(rows, n int) ConcurrentSessionsResult {

@@ -3,6 +3,7 @@ package protocol
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -10,6 +11,12 @@ import (
 
 	"dbtouch/internal/core"
 )
+
+// ErrOverloaded is the client-side face of server admission control: a
+// request answered 503/overloaded wraps it, so callers back off with
+// errors.Is(err, protocol.ErrOverloaded) and retry after the hinted
+// delay.
+var ErrOverloaded = errors.New("protocol: server overloaded")
 
 // maxRequestBytes bounds one wire request; gestures and specs are tiny.
 const maxRequestBytes = 1 << 20
@@ -69,6 +76,16 @@ func NewHTTPHandler(r Router) http.Handler {
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
+		}
+		if resp.Overloaded {
+			// Admission control speaks HTTP: 503 plus a Retry-After hint,
+			// with the full response envelope still in the body.
+			ra := resp.RetryAfter
+			if ra <= 0 {
+				ra = DefaultRetryAfterSec
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(ra))
+			w.WriteHeader(http.StatusServiceUnavailable)
 		}
 		w.Write(data)
 	})
@@ -158,6 +175,13 @@ func (c *Client) Do(req Request) (Response, error) {
 	resp, err := DecodeResponse(body)
 	if err != nil {
 		return Response{}, err
+	}
+	if resp.Overloaded || httpResp.StatusCode == http.StatusServiceUnavailable {
+		ra := resp.RetryAfter
+		if ra <= 0 {
+			ra = DefaultRetryAfterSec
+		}
+		return resp, fmt.Errorf("%w (retry after %ds): %s", ErrOverloaded, ra, resp.Error)
 	}
 	if !resp.OK {
 		return resp, fmt.Errorf("protocol: server: %s", resp.Error)

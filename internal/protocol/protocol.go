@@ -127,6 +127,13 @@ type Response struct {
 	OK bool `json:"ok"`
 	// Error holds the failure message when OK is false.
 	Error string `json:"error,omitempty"`
+	// Overloaded marks a failure as an admission-control rejection
+	// (session/manager backlog or session cap hit): the request was not
+	// executed and should be retried after RetryAfter seconds. The HTTP
+	// transport renders it as status 503 with a Retry-After header.
+	Overloaded bool `json:"overloaded,omitempty"`
+	// RetryAfter is the suggested backoff in seconds when Overloaded.
+	RetryAfter int `json:"retryAfter,omitempty"`
 	// ObjectID reports the kernel id of a created/promoted object.
 	ObjectID int `json:"objectId,omitempty"`
 	// Results carries the frames an OpPerform produced.
@@ -195,18 +202,31 @@ func FrameResults(results []core.Result) []ResultFrame {
 	return out
 }
 
-// StatsFrame is the wire form of a manager snapshot.
+// StatsFrame is the wire form of a manager snapshot: admission state
+// (live/max/evictions, backlog gauge and cap) plus the scheduler
+// counters (pool size, parked/runnable/running partition, steals,
+// dispatches).
 type StatsFrame struct {
-	Live      int            `json:"live"`
-	Max       int            `json:"max,omitempty"`
-	Evictions int64          `json:"evictions"`
-	Sessions  []SessionFrame `json:"sessions,omitempty"`
+	Live             int            `json:"live"`
+	Max              int            `json:"max,omitempty"`
+	Evictions        int64          `json:"evictions"`
+	Workers          int            `json:"workers,omitempty"`
+	Parked           int            `json:"parked,omitempty"`
+	Runnable         int            `json:"runnable,omitempty"`
+	Running          int            `json:"running,omitempty"`
+	Steals           int64          `json:"steals,omitempty"`
+	Dispatches       int64          `json:"dispatches,omitempty"`
+	QueuedBatches    int64          `json:"queuedBatches,omitempty"`
+	MaxQueuedBatches int64          `json:"maxQueuedBatches,omitempty"`
+	Sessions         []SessionFrame `json:"sessions,omitempty"`
 }
 
-// SessionFrame is one session's row in a StatsFrame.
+// SessionFrame is one session's row in a StatsFrame. State is the
+// scheduling state: sync, parked, runnable or running.
 type SessionFrame struct {
 	ID         string `json:"id"`
 	Started    bool   `json:"started,omitempty"`
+	State      string `json:"state,omitempty"`
 	QueueDepth int    `json:"queueDepth,omitempty"`
 }
 
@@ -216,6 +236,19 @@ func OK() Response { return Response{V: Version, OK: true} }
 // Errorf returns a failed response envelope.
 func Errorf(format string, args ...any) Response {
 	return Response{V: Version, Error: fmt.Sprintf(format, args...)}
+}
+
+// DefaultRetryAfterSec is the backoff hint stamped on overloaded
+// responses when the server does not choose one.
+const DefaultRetryAfterSec = 1
+
+// Overloadedf returns a failed response marked as an admission-control
+// rejection with the default retry hint.
+func Overloadedf(format string, args ...any) Response {
+	resp := Errorf(format, args...)
+	resp.Overloaded = true
+	resp.RetryAfter = DefaultRetryAfterSec
+	return resp
 }
 
 // CheckVersion validates the request's version field.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"runtime"
 	"testing"
 	"time"
 
@@ -17,9 +18,12 @@ import (
 // The concurrent-equivalence suite extends PR 1's span-equivalence idea
 // across the session layer: a session's result stream must be
 // byte-identical whether its gesture script runs alone on one goroutine
-// or concurrently with many other sessions over the same shared storage.
-// Randomized scripts vary gesture speed, direction, range and touch mode
-// per session; `go test -race ./internal/session` additionally proves the
+// or concurrently with many other sessions over the same shared storage,
+// at any scheduler pool size (the same scripts run under pools of 1, 4
+// and GOMAXPROCS workers — the work-stealing scheduler must never
+// reorder one session's batches or let sessions interfere). Randomized
+// scripts vary gesture speed, direction, range and touch mode per
+// session; `go test -race ./internal/session` additionally proves the
 // shared layer (catalog, sample columns, single-flight span statistics,
 // memoized predicate tables) is read without data races.
 
@@ -140,49 +144,59 @@ func TestConcurrentStreamsIdenticalToSequential(t *testing.T) {
 			}
 			seqM.Close()
 
-			// Concurrent run: all sessions started, batches interleaved
-			// round-robin across sessions from the main goroutine.
-			conM, conStreams := setupEquivManager(t, data, scripts)
-			for _, sc := range scripts {
-				s, _ := conM.Get(sc.id)
-				s.Start()
-			}
-			for b := 0; ; b++ {
-				any := false
+			// Concurrent runs: all sessions started on the work-stealing
+			// scheduler, batches interleaved round-robin across sessions
+			// from the main goroutine. Pool sizes 1 (pure round-robin), 4
+			// (stealing among few workers) and GOMAXPROCS (the default)
+			// must all reproduce the sequential streams.
+			for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+				conM, conStreams := setupEquivManager(t, data, scripts)
+				if err := conM.SetWorkers(workers); err != nil {
+					t.Fatal(err)
+				}
 				for _, sc := range scripts {
-					if b < len(sc.batches) {
-						any = true
-						if _, err := conM.Dispatch(sc.id, sc.batches[b]); err != nil {
-							t.Fatal(err)
+					s, _ := conM.Get(sc.id)
+					s.Start()
+				}
+				for b := 0; ; b++ {
+					any := false
+					for _, sc := range scripts {
+						if b < len(sc.batches) {
+							any = true
+							if _, err := conM.Dispatch(sc.id, sc.batches[b]); err != nil {
+								t.Fatal(err)
+							}
 						}
 					}
+					if !any {
+						break
+					}
 				}
-				if !any {
-					break
+				for _, sc := range scripts {
+					s, _ := conM.Get(sc.id)
+					s.Drain()
 				}
-			}
-			for _, sc := range scripts {
-				s, _ := conM.Get(sc.id)
-				s.Drain()
-			}
-			conM.Close()
+				conM.Close()
 
-			for _, sc := range scripts {
-				seq, con := *seqStreams[sc.id], *conStreams[sc.id]
-				if len(seq) == 0 {
-					t.Fatalf("session %s: sequential run emitted nothing", sc.id)
-				}
-				if !reflect.DeepEqual(seq, con) {
-					limit := len(seq)
-					if len(con) < limit {
-						limit = len(con)
+				for _, sc := range scripts {
+					seq, con := *seqStreams[sc.id], *conStreams[sc.id]
+					if len(seq) == 0 {
+						t.Fatalf("session %s: sequential run emitted nothing", sc.id)
 					}
-					for i := 0; i < limit; i++ {
-						if !reflect.DeepEqual(seq[i], con[i]) {
-							t.Fatalf("session %s: result %d differs\nseq: %+v\ncon: %+v", sc.id, i, seq[i], con[i])
+					if !reflect.DeepEqual(seq, con) {
+						limit := len(seq)
+						if len(con) < limit {
+							limit = len(con)
 						}
+						for i := 0; i < limit; i++ {
+							if !reflect.DeepEqual(seq[i], con[i]) {
+								t.Fatalf("session %s (pool %d): result %d differs\nseq: %+v\ncon: %+v",
+									sc.id, workers, i, seq[i], con[i])
+							}
+						}
+						t.Fatalf("session %s (pool %d): stream lengths differ (seq %d, con %d)",
+							sc.id, workers, len(seq), len(con))
 					}
-					t.Fatalf("session %s: stream lengths differ (seq %d, con %d)", sc.id, len(seq), len(con))
 				}
 			}
 		})

@@ -1,6 +1,7 @@
 package session_test
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -39,7 +40,8 @@ func slide(s *session.Session) []touchos.TouchEvent {
 // ExampleManager shows the multi-user shape: one manager owns the shared
 // immutable storage (catalog + sample hierarchies); each user gets a
 // session with its own virtual clock and result stream, and started
-// sessions process their gestures concurrently on worker goroutines.
+// sessions run concurrently on the manager's bounded work-stealing
+// scheduler — parked at zero goroutines whenever their queues drain.
 func ExampleManager() {
 	mgr := session.NewManager(core.DefaultConfig())
 	mgr.Catalog().Register(sensorTable())
@@ -52,7 +54,7 @@ func ExampleManager() {
 		if _, err := s.CreateColumnObject("readings", "temp", touchos.NewRect(2, 2, 2, 10)); err != nil {
 			panic(err)
 		}
-		s.Start() // hand the kernel to a worker goroutine
+		s.Start() // hand the session to the shared scheduler
 	}
 
 	// Route one gesture to each session; batches run concurrently.
@@ -102,4 +104,82 @@ func ExampleSession() {
 	mgr.Evict("solo")
 	// Output:
 	// running aggregate absorbed 76 sample entries
+}
+
+// ExampleManager_workers pins the scheduler pool size. The pool is
+// shared by every started session and fixed at first start — two
+// workers here serve four users (and would serve ten thousand: parked
+// sessions hold no goroutine, so goroutines stay O(workers), never
+// O(sessions)).
+func ExampleManager_workers() {
+	mgr := session.NewManager(core.DefaultConfig())
+	mgr.Catalog().Register(sensorTable())
+	if err := mgr.SetWorkers(2); err != nil { // before the first Start
+		panic(err)
+	}
+
+	users := []string{"alice", "bob", "carol", "dave"}
+	for _, user := range users {
+		s, err := mgr.Create(user)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := s.CreateColumnObject("readings", "temp", touchos.NewRect(2, 2, 2, 10)); err != nil {
+			panic(err)
+		}
+		s.Start()
+	}
+	for _, user := range users {
+		s, _ := mgr.Get(user)
+		if err := s.Enqueue(slide(s)); err != nil {
+			panic(err)
+		}
+	}
+	for _, user := range users {
+		s, _ := mgr.Get(user)
+		s.Drain()
+	}
+	st := mgr.Stats()
+	fmt.Printf("%d workers served %d sessions\n", st.Workers, st.Live)
+	for _, user := range users {
+		s, _ := mgr.Get(user)
+		fmt.Printf("%s: %d summaries\n", user, len(s.Results()))
+	}
+	mgr.Close()
+	// Output:
+	// 2 workers served 4 sessions
+	// alice: 16 summaries
+	// bob: 16 summaries
+	// carol: 16 summaries
+	// dave: 16 summaries
+}
+
+// ExampleManager_backpressure documents the admission contract: past
+// the configured caps the manager rejects work with the typed
+// ErrOverloaded instead of queueing it, and admits again once load
+// drops. The same rejection travels the wire protocol as HTTP 503 with
+// a Retry-After hint.
+func ExampleManager_backpressure() {
+	mgr := session.NewManager(core.DefaultConfig())
+	mgr.Catalog().Register(sensorTable())
+	mgr.SetAdmissionCap(2) // hard ceiling: reject, don't evict
+
+	for _, user := range []string{"alice", "bob"} {
+		if _, err := mgr.Create(user); err != nil {
+			panic(err)
+		}
+	}
+	_, err := mgr.Create("carol")
+	fmt.Println("overloaded:", errors.Is(err, session.ErrOverloaded))
+	fmt.Println(err)
+
+	// The caller backs off; capacity returns when a session leaves.
+	mgr.Evict("alice")
+	_, err = mgr.Create("carol")
+	fmt.Println("after eviction:", err)
+	mgr.Close()
+	// Output:
+	// overloaded: true
+	// session "carol": overloaded (2 live sessions at admission cap 2)
+	// after eviction: <nil>
 }

@@ -1,10 +1,22 @@
 package session
 
 import (
+	"errors"
+
 	"dbtouch/internal/core"
 	"dbtouch/internal/protocol"
 	"dbtouch/internal/touchos"
 )
+
+// failf renders one failed operation for the wire, marking
+// admission-control rejections (ErrOverloaded) so the HTTP layer can
+// answer 503 + Retry-After.
+func failf(op string, err error) protocol.Response {
+	if errors.Is(err, ErrOverloaded) {
+		return protocol.Overloadedf("%s: %v", op, err)
+	}
+	return protocol.Errorf("%s: %v", op, err)
+}
 
 // HandleRequest routes one decoded protocol request into the manager:
 // session lifecycle ops run on the manager itself, everything else
@@ -23,7 +35,7 @@ func (m *Manager) HandleRequest(req protocol.Request) protocol.Response {
 			return protocol.Errorf("open: missing session id")
 		}
 		if _, err := m.Create(req.Session); err != nil {
-			return protocol.Errorf("open: %v", err)
+			return failf("open", err)
 		}
 		return protocol.OK()
 	case protocol.OpEvict:
@@ -33,10 +45,15 @@ func (m *Manager) HandleRequest(req protocol.Request) protocol.Response {
 		return protocol.OK()
 	case protocol.OpStats:
 		st := m.Stats()
-		frame := protocol.StatsFrame{Live: st.Live, Max: st.Max, Evictions: st.Evictions}
+		frame := protocol.StatsFrame{
+			Live: st.Live, Max: st.Max, Evictions: st.Evictions,
+			Workers: st.Workers, Parked: st.Parked, Runnable: st.Runnable,
+			Running: st.Running, Steals: st.Steals, Dispatches: st.Dispatches,
+			QueuedBatches: st.QueuedBatches, MaxQueuedBatches: st.MaxQueuedBatches,
+		}
 		for _, s := range st.Sessions {
 			frame.Sessions = append(frame.Sessions, protocol.SessionFrame{
-				ID: s.ID, Started: s.Started, QueueDepth: s.QueueDepth,
+				ID: s.ID, Started: s.Started, State: string(s.State), QueueDepth: s.QueueDepth,
 			})
 		}
 		resp := protocol.OK()
@@ -54,6 +71,13 @@ func (m *Manager) HandleRequest(req protocol.Request) protocol.Response {
 		}
 		return protocol.OK()
 	case protocol.OpPerform:
+		// Synchronous wire work obeys the same backpressure as Enqueue:
+		// while the scheduler's backlog gauge sits at the cap, performs
+		// are rejected so remote clients back off with the rest.
+		if backlog, limit, over := m.overloaded(); over {
+			return protocol.Overloadedf("perform: session %q: %v (manager backlog %d batches at cap %d)",
+				req.Session, ErrOverloaded, backlog, limit)
+		}
 		return s.handlePerform(req)
 	case protocol.OpCreate:
 		return s.handleCreate(req)

@@ -1,6 +1,10 @@
 package session
 
 import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -226,5 +230,90 @@ func TestManagerStats(t *testing.T) {
 	st = m.Stats()
 	if st.Live != 2 || st.Evictions != 1 {
 		t.Fatalf("after cap: %+v", st)
+	}
+}
+
+// TestHandleRequestOverloaded: admission-control rejections cross the
+// wire as overloaded responses — HTTP 503 with a Retry-After hint — and
+// the thin client surfaces them as protocol.ErrOverloaded.
+func TestHandleRequestOverloaded(t *testing.T) {
+	m := handleManager(t)
+	defer m.Close()
+	m.SetAdmissionCap(1)
+
+	mustOK(t, m, protocol.Request{Op: protocol.OpOpen, Session: "u1"})
+	resp := m.HandleRequest(protocol.Request{V: protocol.Version, Op: protocol.OpOpen, Session: "u2"})
+	if resp.OK || !resp.Overloaded {
+		t.Fatalf("open past admission cap: %+v, want overloaded failure", resp)
+	}
+	if resp.RetryAfter <= 0 {
+		t.Fatalf("overloaded response carries no RetryAfter: %+v", resp)
+	}
+
+	// Ordinary failures must not be marked overloaded.
+	resp = m.HandleRequest(protocol.Request{V: protocol.Version, Op: protocol.OpEvict, Session: "nobody"})
+	if resp.OK || resp.Overloaded {
+		t.Fatalf("evict of unknown session: %+v, want plain failure", resp)
+	}
+
+	srv := httptest.NewServer(protocol.NewHTTPHandler(m))
+	defer srv.Close()
+	client := &protocol.Client{Base: srv.URL}
+	if _, err := client.Do(protocol.Request{Op: protocol.OpOpen, Session: "u3"}); !errors.Is(err, protocol.ErrOverloaded) {
+		t.Fatalf("client error = %v, want protocol.ErrOverloaded", err)
+	}
+
+	// The raw HTTP surface: 503 plus Retry-After.
+	body, err := protocol.EncodeRequest(protocol.Request{Op: protocol.OpOpen, Session: "u4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp, err := http.Post(srv.URL+"/rpc", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", httpResp.StatusCode)
+	}
+	if httpResp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After header")
+	}
+
+	// Lifting the cap readmits.
+	m.SetAdmissionCap(0)
+	if _, err := client.Do(protocol.Request{Op: protocol.OpOpen, Session: "u5"}); err != nil {
+		t.Fatalf("open after lifting cap: %v", err)
+	}
+}
+
+// TestStatsFrameSchedulerFields: OpStats carries the scheduler signals
+// (pool size, state partition, backlog gauge) a remote operator reads.
+func TestStatsFrameSchedulerFields(t *testing.T) {
+	m := handleManager(t)
+	defer m.Close()
+	m.SetMaxQueuedBatches(1000)
+	a, err := m.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+
+	resp := mustOK(t, m, protocol.Request{Op: protocol.OpStats})
+	st := resp.Stats
+	if st == nil {
+		t.Fatal("stats response without frame")
+	}
+	if st.Workers == 0 {
+		t.Fatalf("stats frame workers = 0 with a started session: %+v", st)
+	}
+	if st.Parked != 1 {
+		t.Fatalf("stats frame parked = %d, want 1: %+v", st.Parked, st)
+	}
+	if st.MaxQueuedBatches != 1000 {
+		t.Fatalf("stats frame maxQueuedBatches = %d, want 1000", st.MaxQueuedBatches)
+	}
+	if len(st.Sessions) != 1 || st.Sessions[0].State != string(StateParked) {
+		t.Fatalf("session frame = %+v, want state %q", st.Sessions, StateParked)
 	}
 }

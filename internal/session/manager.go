@@ -2,8 +2,10 @@ package session
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dbtouch/internal/core"
 	"dbtouch/internal/sample"
@@ -11,9 +13,14 @@ import (
 	"dbtouch/internal/touchos"
 )
 
+// DefaultSessionQueueCap bounds one session's queued-but-unexecuted
+// batches; Enqueue past it returns ErrOverloaded.
+const DefaultSessionQueueCap = 64
+
 // Manager owns the shared immutable storage layer — one catalog, one
-// sample store — and the registry of live sessions on top of it. All
-// methods are safe for concurrent use.
+// sample store — the bounded work-stealing scheduler started sessions
+// run on, and the registry of live sessions. All methods are safe for
+// concurrent use.
 type Manager struct {
 	cfg     core.Config
 	catalog *storage.Catalog
@@ -26,6 +33,23 @@ type Manager struct {
 	// maxSessions caps live sessions; 0 means unlimited.
 	maxSessions int
 	evictions   int64
+	// admissionCap is a hard live-session ceiling: unlike maxSessions it
+	// rejects Create with ErrOverloaded instead of evicting. 0 = none.
+	admissionCap int
+	// sched is the shared worker pool, built lazily on first Start;
+	// schedWorkers is the configured pool size (0 = GOMAXPROCS).
+	sched        *scheduler
+	schedWorkers int
+
+	// budget is the fairness quantum in events per dispatch (0 selects
+	// DefaultFairnessBudget); settable at any time.
+	budget atomic.Int64
+	// queuedBatches gauges the backlog across all sessions (queued plus
+	// in-flight batches); maxQueuedBatches caps it (0 = unlimited) and
+	// sessionQueueCap caps one session's queue.
+	queuedBatches    atomic.Int64
+	maxQueuedBatches atomic.Int64
+	sessionQueueCap  atomic.Int64
 }
 
 // sampleKey identifies one shared hierarchy: sample columns depend only
@@ -45,11 +69,146 @@ type sampleEntry struct {
 // NewManager builds a session manager whose sessions all run cfg
 // (zero-valued fields inherit core.DefaultConfig, as in core.NewKernel).
 func NewManager(cfg core.Config) *Manager {
-	return &Manager{
+	m := &Manager{
 		cfg:      cfg,
 		catalog:  storage.NewCatalog(),
 		sessions: make(map[string]*Session),
 		samples:  make(map[sampleKey]*sampleEntry),
+	}
+	m.sessionQueueCap.Store(DefaultSessionQueueCap)
+	return m
+}
+
+// scheduler returns the shared worker pool, building it on first use
+// (the pool costs nothing until a session starts).
+func (m *Manager) scheduler() *scheduler {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.schedulerLocked()
+}
+
+// schedulerFor is scheduler() gated on s still being registered: a
+// deregistered session (Close/Evict/Manager.Close racing Start) gets no
+// pool, so a teardown that already stopped the pool cannot leak a
+// freshly rebuilt one. Enqueue deliberately uses the ungated scheduler()
+// instead — an appended batch must always reach a pool or Drain would
+// hang (its ordering against Close is protected by the closed check
+// under s.mu plus Close's drain-then-teardown sequence).
+func (m *Manager) schedulerFor(s *Session) *scheduler {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if reg, ok := m.sessions[s.id]; !ok || reg != s {
+		return nil
+	}
+	return m.schedulerLocked()
+}
+
+// schedulerLocked builds the pool if needed. Caller holds m.mu.
+func (m *Manager) schedulerLocked() *scheduler {
+	if m.sched == nil {
+		n := m.schedWorkers
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		m.sched = newScheduler(m, n)
+	}
+	return m.sched
+}
+
+// SetWorkers fixes the scheduler pool size (default GOMAXPROCS). The
+// pool is created when the first session starts; afterwards the size
+// cannot change.
+func (m *Manager) SetWorkers(n int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.sched != nil {
+		return fmt.Errorf("session: scheduler already running with %d workers", len(m.sched.workers))
+	}
+	m.schedWorkers = n
+	return nil
+}
+
+// SetFairnessBudget sets the per-dispatch quantum in touch events
+// (default DefaultFairnessBudget): a session yields its worker after
+// absorbing this many events, so a spamming session cannot starve
+// parked ones. Settable at any time; n <= 0 restores the default.
+func (m *Manager) SetFairnessBudget(events int) {
+	if events <= 0 {
+		events = 0
+	}
+	m.budget.Store(int64(events))
+}
+
+// fairnessBudget resolves the current quantum.
+func (m *Manager) fairnessBudget() int {
+	if b := m.budget.Load(); b > 0 {
+		return int(b)
+	}
+	return DefaultFairnessBudget
+}
+
+// SetSessionQueueCap bounds one session's queued batches (default
+// DefaultSessionQueueCap); Enqueue past it returns ErrOverloaded.
+// n <= 0 restores the default.
+func (m *Manager) SetSessionQueueCap(n int) {
+	if n <= 0 {
+		n = DefaultSessionQueueCap
+	}
+	m.sessionQueueCap.Store(int64(n))
+}
+
+// SetMaxQueuedBatches caps the total backlog (queued plus in-flight
+// batches across all sessions, the QueuedBatches gauge in Stats); at
+// the cap, Enqueue and wire performs return ErrOverloaded. 0 (the
+// default) disables the cap.
+func (m *Manager) SetMaxQueuedBatches(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.maxQueuedBatches.Store(int64(n))
+}
+
+// SetAdmissionCap sets a hard ceiling on live sessions: Create past it
+// fails with ErrOverloaded. Unlike SetMaxSessions (which silently
+// evicts the least recently used session), the admission cap pushes
+// back on the creator — the wire protocol turns it into HTTP 503 +
+// Retry-After. 0 (the default) disables it.
+func (m *Manager) SetAdmissionCap(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.admissionCap = n
+}
+
+// overloaded reports whether the global backlog cap is currently hit —
+// the admission signal for synchronous wire work.
+func (m *Manager) overloaded() (backlog, limit int64, over bool) {
+	limit = m.maxQueuedBatches.Load()
+	if limit <= 0 {
+		return 0, 0, false
+	}
+	backlog = m.queuedBatches.Load()
+	return backlog, limit, backlog >= limit
+}
+
+// reserveBatch claims one slot in the global backlog gauge, exactly:
+// under a cap, concurrent claimers cannot overshoot it (CAS loop rather
+// than check-then-add). The caller releases the slot with
+// queuedBatches.Add(-1) — after executing the batch, or immediately if
+// the batch is rejected downstream.
+func (m *Manager) reserveBatch() (backlog, limit int64, ok bool) {
+	limit = m.maxQueuedBatches.Load()
+	if limit <= 0 {
+		m.queuedBatches.Add(1)
+		return 0, 0, true
+	}
+	for {
+		backlog = m.queuedBatches.Load()
+		if backlog >= limit {
+			return backlog, limit, false
+		}
+		if m.queuedBatches.CompareAndSwap(backlog, backlog+1) {
+			return backlog + 1, limit, true
+		}
 	}
 }
 
@@ -73,11 +232,28 @@ func (m *Manager) Evictions() int64 {
 	return m.evictions
 }
 
+// SessionState names a session's scheduling state in stats output.
+type SessionState string
+
+// Session scheduling states as reported by Stats and the wire protocol.
+const (
+	// StateSync: never started; batches run synchronously on the caller.
+	StateSync SessionState = "sync"
+	// StateParked: started, queue empty, holding no goroutine.
+	StateParked SessionState = "parked"
+	// StateRunnable: queued batches, waiting in a worker deque.
+	StateRunnable SessionState = "runnable"
+	// StateRunning: a pool worker is executing its batches.
+	StateRunning SessionState = "running"
+)
+
 // SessionStat is one session's row in a Stats snapshot.
 type SessionStat struct {
 	ID string
-	// Started reports whether a worker goroutine owns the session.
+	// Started reports whether the session runs on the scheduler.
 	Started bool
+	// State is the scheduling state (sync, parked, runnable, running).
+	State SessionState
 	// QueueDepth counts enqueued-but-unfinished batches (0 for
 	// synchronous sessions).
 	QueueDepth int
@@ -87,14 +263,28 @@ type SessionStat struct {
 }
 
 // Stats is a point-in-time snapshot of the manager — the admission and
-// scheduling signals (live sessions, eviction pressure, per-session
-// backlog) an operator or a future scheduler watches.
+// scheduling signals (live sessions, eviction pressure, scheduler load,
+// per-session backlog) an operator watches and admission control feeds
+// on.
 type Stats struct {
 	// Live counts registered sessions; Max is the SetMaxSessions cap
 	// (0 = unlimited); Evictions counts sessions the cap has removed.
 	Live      int
 	Max       int
 	Evictions int64
+	// Workers is the scheduler pool size (0 until the first session
+	// starts). Parked/Runnable/Running partition the started sessions by
+	// scheduling state; Steals and Dispatches are lifetime pool counters.
+	Workers    int
+	Parked     int
+	Runnable   int
+	Running    int
+	Steals     int64
+	Dispatches int64
+	// QueuedBatches is the backlog across all sessions (queued plus
+	// in-flight); MaxQueuedBatches is its cap (0 = unlimited).
+	QueuedBatches    int64
+	MaxQueuedBatches int64
 	// Sessions lists per-session rows sorted by id.
 	Sessions []SessionStat
 }
@@ -104,15 +294,31 @@ type Stats struct {
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	st := Stats{Live: len(m.sessions), Max: m.maxSessions, Evictions: m.evictions}
+	if m.sched != nil {
+		st.Workers = len(m.sched.workers)
+		st.Steals = m.sched.steals.Load()
+		st.Dispatches = m.sched.dispatches.Load()
+	}
 	live := make([]*Session, 0, len(m.sessions))
 	for _, s := range m.sessions {
 		live = append(live, s)
 		st.Sessions = append(st.Sessions, SessionStat{ID: s.id, LastUsed: s.lastUsed})
 	}
 	m.mu.Unlock()
+	st.QueuedBatches = m.queuedBatches.Load()
+	st.MaxQueuedBatches = m.maxQueuedBatches.Load()
 	for i, s := range live {
 		st.Sessions[i].Started = s.Started()
+		st.Sessions[i].State = s.State()
 		st.Sessions[i].QueueDepth = s.QueueDepth()
+		switch st.Sessions[i].State {
+		case StateParked:
+			st.Parked++
+		case StateRunnable:
+			st.Runnable++
+		case StateRunning:
+			st.Running++
+		}
 	}
 	sort.Slice(st.Sessions, func(i, j int) bool { return st.Sessions[i].ID < st.Sessions[j].ID })
 	return st
@@ -139,17 +345,31 @@ func (m *Manager) sharedSamples(base *storage.Column, levels int) (*sample.Share
 // Create registers a new session under id. The session's kernel shares
 // the manager's catalog and sample store but owns its own virtual clock,
 // screen, dispatcher and result log. Creating past the MaxSessions cap
-// evicts the least recently dispatched session first.
+// evicts the least recently dispatched session first; creating past the
+// AdmissionCap (or while the global backlog cap is hit) is rejected
+// with ErrOverloaded instead — no eviction, the caller backs off.
 func (m *Manager) Create(id string) (*Session, error) {
+	// Admission and duplicate checks come before kernel construction:
+	// the rejection path is the hot one under a retry storm, and it must
+	// not allocate a kernel just to discard it.
+	m.mu.Lock()
+	if err := m.admitLocked(id); err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.mu.Unlock()
+
 	k := core.NewKernel(m.cfg)
 	k.ShareStorage(m.catalog, m.sharedSamples)
 	s := &Session{id: id, manager: m, kernel: k}
 	s.pendingCond = sync.NewCond(&s.pendingMu)
 
 	m.mu.Lock()
-	if _, exists := m.sessions[id]; exists {
+	// Re-check: a racing Create may have taken the id or the last
+	// admission slot while the kernel was being built.
+	if err := m.admitLocked(id); err != nil {
 		m.mu.Unlock()
-		return nil, fmt.Errorf("session %q already exists", id)
+		return nil, err
 	}
 	m.tick++
 	s.lastUsed = m.tick
@@ -168,6 +388,23 @@ func (m *Manager) Create(id string) (*Session, error) {
 		victim.Close()
 	}
 	return s, nil
+}
+
+// admitLocked applies Create's rejection rules: duplicate id, global
+// backlog at cap, or the hard admission ceiling. Caller holds m.mu.
+func (m *Manager) admitLocked(id string) error {
+	if _, exists := m.sessions[id]; exists {
+		return fmt.Errorf("session %q already exists", id)
+	}
+	if _, _, over := m.overloaded(); over {
+		return fmt.Errorf("session %q: %w (manager backlog at cap; not admitting new sessions)",
+			id, ErrOverloaded)
+	}
+	if m.admissionCap > 0 && len(m.sessions) >= m.admissionCap {
+		return fmt.Errorf("session %q: %w (%d live sessions at admission cap %d)",
+			id, ErrOverloaded, len(m.sessions), m.admissionCap)
+	}
+	return nil
 }
 
 // lruLocked picks the least recently dispatched session other than keep.
@@ -213,10 +450,11 @@ func (m *Manager) Sessions() []string {
 
 // Dispatch routes a touch-event batch to the session identified by id —
 // the touchos event stream is demultiplexed here, one hop above each
-// session's own dispatcher. Batches for a started session are enqueued to
-// its worker (asynchronous; returned results are nil — Drain then read
-// Results); otherwise the batch runs synchronously and its results come
-// back directly.
+// session's own dispatcher. Batches for a started session are enqueued
+// to the scheduler (asynchronous; returned results are nil — Drain then
+// read Results, and the error may be ErrOverloaded under backpressure);
+// otherwise the batch runs synchronously and its results come back
+// directly.
 func (m *Manager) Dispatch(id string, events []touchos.TouchEvent) ([]core.Result, error) {
 	m.mu.Lock()
 	s, ok := m.sessions[id]
@@ -249,7 +487,9 @@ func (m *Manager) Evict(id string) bool {
 	return true
 }
 
-// Close evicts every session and waits for their workers to exit.
+// Close evicts every session (draining their queued batches) and then
+// stops the scheduler's worker pool. The manager remains usable: a
+// later Start builds a fresh pool.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	all := make([]*Session, 0, len(m.sessions))
@@ -258,7 +498,22 @@ func (m *Manager) Close() {
 	}
 	m.sessions = make(map[string]*Session)
 	m.mu.Unlock()
+	// Sessions first: their Close waits for queued batches, which needs
+	// the pool alive.
 	for _, s := range all {
 		s.Close()
+	}
+	// A Start/Enqueue racing this Close can lazily rebuild the pool
+	// after we detach it; loop until no pool reappears so no worker
+	// goroutines are ever leaked.
+	for {
+		m.mu.Lock()
+		sched := m.sched
+		m.sched = nil
+		m.mu.Unlock()
+		if sched == nil {
+			return
+		}
+		sched.stop()
 	}
 }

@@ -1,0 +1,307 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"dbtouch/internal/core"
+	"dbtouch/internal/gesture"
+	"dbtouch/internal/touchos"
+)
+
+// The scheduler suite pins the three contracts the work-stealing pool
+// adds on top of the session layer: fairness (a gesture-spamming
+// session cannot delay an idle session's touch beyond the budget),
+// admission control (past the caps, Enqueue/Create return ErrOverloaded
+// instead of queueing unboundedly), and boundedness (goroutines are
+// O(workers), never O(sessions)). The fairness and admission tests are
+// deterministic: a single-worker pool processes deques in FIFO order,
+// and a gate session whose OnResult callback blocks on a channel wedges
+// the worker while the test stages the queues.
+
+// tapAt synthesizes one tap batch on the standard object frame at the
+// given virtual time.
+func tapAt(at time.Duration) []touchos.TouchEvent {
+	var synth gesture.Synth
+	return synth.Tap(touchos.Point{X: 3, Y: 5}, at)
+}
+
+// gateManager builds a single-worker manager with a gate session whose
+// first result blocks until release is closed — enqueue the returned
+// batch to wedge the pool's only worker.
+func gateManager(t *testing.T, rows int) (m *Manager, gate *Session, release chan struct{}) {
+	t.Helper()
+	m = testManager(t, rows)
+	if err := m.SetWorkers(1); err != nil {
+		t.Fatal(err)
+	}
+	gate = newColumnSession(t, m, "gate")
+	release = make(chan struct{})
+	blocked := false
+	gate.OnResult(func(core.Result) {
+		if !blocked {
+			blocked = true
+			<-release
+		}
+	})
+	return m, gate, release
+}
+
+// TestFairnessBudgetPreemptsSpammer: a hostile session with an
+// unbounded appetite (40 queued tap batches) must not delay an idle
+// session's single touch beyond the fairness budget. Deterministic
+// setup: one worker, the gate wedges it while both queues are staged,
+// and the victim's OnResult callback — running on the only worker —
+// snapshots exactly how many hostile batches executed first.
+func TestFairnessBudgetPreemptsSpammer(t *testing.T) {
+	m, gate, release := gateManager(t, 50_000)
+	defer m.Close()
+
+	perBatch := len(tapAt(0))
+	if perBatch == 0 {
+		t.Fatal("tap synthesized no events")
+	}
+	// Budget = exactly two hostile batches per dispatch.
+	m.SetFairnessBudget(2 * perBatch)
+
+	hostile := newColumnSession(t, m, "hostile")
+	victim := newColumnSession(t, m, "victim")
+	const hostileBatches = 40
+
+	hostileRan := -1
+	victim.OnResult(func(core.Result) {
+		if hostileRan < 0 {
+			hostileRan = hostileBatches - hostile.QueueDepth()
+		}
+	})
+
+	gate.Start()
+	hostile.Start()
+	victim.Start()
+	if err := gate.Enqueue(tapAt(0)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < hostileBatches; i++ {
+		if err := hostile.Enqueue(tapAt(time.Duration(i) * 50 * time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := victim.Enqueue(tapAt(0)); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	victim.Drain()
+	hostile.Drain()
+	gate.Drain()
+
+	if hostileRan < 0 {
+		t.Fatal("victim tap produced no result")
+	}
+	// The victim waited for at most one budget's worth of hostile work
+	// (two batches), not the whole 40-batch backlog.
+	if hostileRan != 2 {
+		t.Fatalf("victim ran after %d hostile batches, want exactly the 2-batch budget", hostileRan)
+	}
+
+	// Scheduling must never leak into virtual time: the victim's touch
+	// carries the same virtual timestamp as the identical tap on an
+	// undisturbed synchronous session.
+	ref := newColumnSession(t, m, "ref")
+	refResults, err := ref.Apply(tapAt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vres := victim.Results()
+	if len(vres) == 0 || len(refResults) == 0 {
+		t.Fatal("no results to compare")
+	}
+	if vres[0].Time != refResults[0].Time {
+		t.Fatalf("victim result at virtual %v, isolated reference at %v — scheduling leaked into the virtual clock",
+			vres[0].Time, refResults[0].Time)
+	}
+}
+
+// TestEnqueueOverloadedSessionCap: the per-session queue cap rejects
+// with ErrOverloaded instead of queueing or blocking.
+func TestEnqueueOverloadedSessionCap(t *testing.T) {
+	m, gate, release := gateManager(t, 10_000)
+	defer m.Close()
+	m.SetSessionQueueCap(2)
+
+	b := newColumnSession(t, m, "b")
+	gate.Start()
+	b.Start()
+	if err := gate.Enqueue(tapAt(0)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := b.Enqueue(tapAt(time.Duration(i) * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := b.Enqueue(tapAt(3 * time.Second))
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third enqueue past cap: err = %v, want ErrOverloaded", err)
+	}
+	close(release)
+	b.Drain()
+	// Backpressure cleared after the backlog drains.
+	if err := b.Enqueue(tapAt(4 * time.Second)); err != nil {
+		t.Fatalf("enqueue after drain: %v", err)
+	}
+	b.Drain()
+}
+
+// TestOverloadedGlobalCap: the manager-wide backlog cap (the
+// QueuedBatches gauge in Stats) rejects both new batches and new
+// sessions with ErrOverloaded while the backlog is at the cap.
+func TestOverloadedGlobalCap(t *testing.T) {
+	m, gate, release := gateManager(t, 10_000)
+	defer m.Close()
+	m.SetMaxQueuedBatches(3)
+
+	b := newColumnSession(t, m, "b")
+	gate.Start()
+	b.Start()
+	// gate's wedged batch stays in-flight and counts against the cap.
+	if err := gate.Enqueue(tapAt(0)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := b.Enqueue(tapAt(time.Duration(i) * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Enqueue(tapAt(3 * time.Second)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("enqueue past global cap: err = %v, want ErrOverloaded", err)
+	}
+	if st := m.Stats(); st.QueuedBatches != 3 || st.MaxQueuedBatches != 3 {
+		t.Fatalf("stats gauge = %d/%d, want 3/3", st.QueuedBatches, st.MaxQueuedBatches)
+	}
+	// A drowning manager does not admit new users either.
+	if _, err := m.Create("late"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("create under backlog cap: err = %v, want ErrOverloaded", err)
+	}
+	close(release)
+	gate.Drain()
+	b.Drain()
+	if _, err := m.Create("late"); err != nil {
+		t.Fatalf("create after drain: %v", err)
+	}
+}
+
+// TestCreateAdmissionCap: the hard live-session ceiling rejects Create
+// with ErrOverloaded (no silent LRU eviction), and admits again after
+// an eviction frees a slot.
+func TestCreateAdmissionCap(t *testing.T) {
+	m := testManager(t, 10_000)
+	defer m.Close()
+	m.SetAdmissionCap(2)
+	if _, err := m.Create("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create("b"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.Create("c")
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("create past admission cap: err = %v, want ErrOverloaded", err)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("admission cap evicted: %d live, want 2", m.Len())
+	}
+	m.Evict("a")
+	if _, err := m.Create("c"); err != nil {
+		t.Fatalf("create after eviction: %v", err)
+	}
+}
+
+// TestIdleSessionsHoldNoGoroutines: parked sessions cost zero
+// goroutines — many started-but-idle sessions leave the process at
+// baseline + the bounded pool.
+func TestIdleSessionsHoldNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	m := testManager(t, 50_000)
+	defer m.Close()
+	const idle = 500
+	for i := 0; i < idle; i++ {
+		s, err := m.Create(fmt.Sprintf("idle%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Start()
+	}
+	active := newColumnSession(t, m, "active")
+	active.Start()
+	if err := active.Enqueue(slideEvents(active, time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	active.Drain()
+	if len(active.Results()) == 0 {
+		t.Fatal("active session produced no results")
+	}
+	limit := base + runtime.GOMAXPROCS(0) + 2
+	if g := runtime.NumGoroutine(); g > limit {
+		t.Fatalf("%d goroutines for %d idle sessions; want O(workers) ≤ %d", g, idle, limit)
+	}
+	st := m.Stats()
+	if st.Workers == 0 || st.Parked != idle+1 {
+		t.Fatalf("stats: workers=%d parked=%d, want workers>0 parked=%d", st.Workers, st.Parked, idle+1)
+	}
+	if st.Dispatches == 0 {
+		t.Fatal("stats: no dispatches recorded")
+	}
+}
+
+// BenchmarkIdleSessions is the ISSUE 4 acceptance benchmark: 10k
+// registered, started, mostly-idle sessions plus 8 active ones on the
+// bounded pool. The goroutines metric stays O(workers) — not
+// O(sessions) — and touches/wallsec for the active few stays flat
+// because parked sessions are never visited by the scheduler.
+func BenchmarkIdleSessions(b *testing.B) {
+	const idle = 10_000
+	const active = 8
+	m := testManager(b, 100_000)
+	defer m.Close()
+	for i := 0; i < idle; i++ {
+		s, err := m.Create(fmt.Sprintf("idle%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Start()
+	}
+	acts := make([]*Session, active)
+	for i := range acts {
+		acts[i] = newColumnSession(b, m, fmt.Sprintf("active%d", i))
+		acts[i].Start()
+	}
+	var touches int64
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range acts {
+			if err := s.Enqueue(slideEvents(s, time.Second)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, s := range acts {
+			s.Drain()
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(runtime.NumGoroutine()), "goroutines")
+	for _, s := range acts {
+		touches += s.Kernel().Counters().Get("touch.handled")
+	}
+	if wall := time.Since(start).Seconds(); wall > 0 {
+		b.ReportMetric(float64(touches)/wall, "touches/wallsec")
+	}
+	st := m.Stats()
+	b.ReportMetric(float64(st.Steals), "steals")
+	if g := runtime.NumGoroutine(); g > idle/10 {
+		b.Fatalf("goroutine count %d is O(sessions), want O(workers)", g)
+	}
+}

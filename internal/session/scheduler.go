@@ -1,0 +1,264 @@
+package session
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The scheduler replaces the goroutine-per-session model: a fixed pool
+// of workers (default GOMAXPROCS) pulls runnable sessions from
+// per-worker deques, stealing from siblings when its own deque runs
+// dry. A session with queued batches is *runnable* and lives in exactly
+// one deque; a session whose queue drained is *parked* and costs zero
+// goroutines — 10k mostly-idle users hold O(workers) goroutines, not
+// O(sessions). A per-session fairness budget (events per dispatch)
+// preempts gesture-spamming sessions: once a dispatch's executed events
+// reach the budget, the session goes to the back of the worker's deque
+// and the next runnable session gets the worker. Batches are atomic —
+// one batch is one gesture's event stream, and the touchos dispatcher
+// coalesces superseded samples within a batch, so splitting one would
+// change results — which means the budget is enforced at batch
+// boundaries: a session yields after the first batch that crosses it,
+// and the worst-case delay it can impose on others per dispatch is
+// max(budget, its largest single batch) events.
+//
+// Determinism contract: a session is executed by at most one worker at
+// a time, and its batches run in Enqueue order — so per-session result
+// streams stay byte-identical to sequential execution at any pool size
+// (asserted by the equivalence suite at pool sizes 1, 4 and
+// GOMAXPROCS).
+
+// DefaultFairnessBudget is the events-per-dispatch quantum: roughly
+// four seconds of digitizer-rate touch input (60 Hz) before a busy
+// session yields the worker.
+const DefaultFairnessBudget = 256
+
+// Session scheduling states. Guarded by Session.pendingMu.
+const (
+	// schedParked: no backlog, not in any deque, no goroutine.
+	schedParked = iota
+	// schedRunnable: queued batches, waiting in exactly one deque.
+	schedRunnable
+	// schedRunning: a worker is executing its batches right now.
+	schedRunning
+)
+
+// scheduler is the bounded work-stealing pool. One per Manager, built
+// lazily when the first session starts, torn down by Manager.Close.
+type scheduler struct {
+	manager *Manager
+	workers []*schedWorker
+
+	// mu guards the park/wake state: runnable counts sessions sitting
+	// in deques, idle counts workers blocked in cond.Wait.
+	mu       sync.Mutex
+	cond     *sync.Cond
+	runnable int
+	idle     int
+	closed   bool
+
+	// rr spreads external submissions round-robin across deques.
+	rr atomic.Uint64
+	// steals and dispatches are lifetime counters for Stats.
+	steals     atomic.Int64
+	dispatches atomic.Int64
+
+	wg sync.WaitGroup
+}
+
+// schedWorker is one pool worker and its deque. The owner pops from the
+// front (FIFO fairness), external submissions and post-budget
+// resubmissions append to the back, and thieves steal from the back.
+type schedWorker struct {
+	id    int
+	sched *scheduler
+
+	mu    sync.Mutex
+	deque []*Session
+}
+
+// newScheduler builds the pool and starts its workers (parked until the
+// first submission).
+func newScheduler(m *Manager, workers int) *scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	sc := &scheduler{manager: m}
+	sc.cond = sync.NewCond(&sc.mu)
+	sc.workers = make([]*schedWorker, workers)
+	for i := range sc.workers {
+		sc.workers[i] = &schedWorker{id: i, sched: sc}
+	}
+	sc.wg.Add(workers)
+	for _, w := range sc.workers {
+		go w.loop()
+	}
+	return sc
+}
+
+// submit makes a session runnable: the caller must have transitioned it
+// to schedRunnable under its pendingMu (exactly one submitter wins that
+// transition, so a session is never in two deques).
+func (sc *scheduler) submit(s *Session) {
+	w := sc.workers[int(sc.rr.Add(1))%len(sc.workers)]
+	w.push(s)
+	sc.wake()
+}
+
+// resubmit returns a budget-preempted session to the back of the
+// executing worker's own deque (round-robin with its other sessions;
+// siblings can steal it).
+func (sc *scheduler) resubmit(w *schedWorker, s *Session) {
+	w.push(s)
+	sc.wake()
+}
+
+// wake accounts one more runnable session and unparks a worker if any
+// is idle.
+func (sc *scheduler) wake() {
+	sc.mu.Lock()
+	sc.runnable++
+	if sc.idle > 0 {
+		sc.cond.Signal()
+	}
+	sc.mu.Unlock()
+}
+
+// stop shuts the pool down. The manager closes (and drains) every
+// session first, so remaining deque entries have empty backlogs and
+// workers fall through them before exiting.
+func (sc *scheduler) stop() {
+	sc.mu.Lock()
+	sc.closed = true
+	sc.cond.Broadcast()
+	sc.mu.Unlock()
+	sc.wg.Wait()
+}
+
+// push appends to the back of the worker's deque.
+func (w *schedWorker) push(s *Session) {
+	w.mu.Lock()
+	w.deque = append(w.deque, s)
+	w.mu.Unlock()
+}
+
+// pop takes the oldest session from the worker's own deque.
+func (w *schedWorker) pop() *Session {
+	w.mu.Lock()
+	if len(w.deque) == 0 {
+		w.mu.Unlock()
+		return nil
+	}
+	s := w.deque[0]
+	w.deque[0] = nil
+	w.deque = w.deque[1:]
+	w.mu.Unlock()
+	w.sched.took()
+	return s
+}
+
+// steal scans sibling deques and takes the newest entry of the first
+// non-empty one — the classic split: owners drain oldest-first, thieves
+// take from the opposite end to minimize contention.
+func (w *schedWorker) steal() *Session {
+	n := len(w.sched.workers)
+	for i := 1; i < n; i++ {
+		v := w.sched.workers[(w.id+i)%n]
+		v.mu.Lock()
+		if l := len(v.deque); l > 0 {
+			s := v.deque[l-1]
+			v.deque[l-1] = nil
+			v.deque = v.deque[:l-1]
+			v.mu.Unlock()
+			w.sched.steals.Add(1)
+			w.sched.took()
+			return s
+		}
+		v.mu.Unlock()
+	}
+	return nil
+}
+
+// took accounts one session leaving the deques.
+func (sc *scheduler) took() {
+	sc.mu.Lock()
+	sc.runnable--
+	sc.mu.Unlock()
+}
+
+// loop is the worker body: pop, steal, or park.
+func (w *schedWorker) loop() {
+	sc := w.sched
+	defer sc.wg.Done()
+	for {
+		s := w.pop()
+		if s == nil {
+			s = w.steal()
+		}
+		if s != nil {
+			w.dispatch(s)
+			continue
+		}
+		sc.mu.Lock()
+		for sc.runnable == 0 && !sc.closed {
+			sc.idle++
+			sc.cond.Wait()
+			sc.idle--
+		}
+		if sc.closed && sc.runnable == 0 {
+			sc.mu.Unlock()
+			return
+		}
+		sc.mu.Unlock()
+	}
+}
+
+// dispatch runs one session's queued batches, oldest first, until the
+// queue drains (park) or the fairness budget is spent (resubmit behind
+// the worker's other sessions). The budget is checked between batches —
+// a batch is one gesture and executes atomically (see the package
+// comment), so one dispatch runs at most budget events plus the
+// remainder of the batch that crossed the line. Exactly one worker owns
+// a session at a time; within the dispatch, execution order and Drain
+// accounting are identical to the old per-session worker loop.
+func (w *schedWorker) dispatch(s *Session) {
+	sc := w.sched
+	sc.dispatches.Add(1)
+	budget := sc.manager.fairnessBudget()
+	spent := 0
+	s.pendingMu.Lock()
+	s.schedState = schedRunning
+	for {
+		if len(s.batches) == 0 {
+			s.schedState = schedParked
+			s.pendingMu.Unlock()
+			return
+		}
+		if spent >= budget {
+			s.schedState = schedRunnable
+			s.pendingMu.Unlock()
+			sc.resubmit(w, s)
+			return
+		}
+		batch := s.batches[0]
+		s.batches[0] = nil
+		s.batches = s.batches[1:]
+		s.pendingMu.Unlock()
+
+		s.runMu.Lock()
+		s.kernel.Apply(batch)
+		s.runMu.Unlock()
+		if n := len(batch); n > 0 {
+			spent += n
+		} else {
+			spent++ // empty batches still make progress against the budget
+		}
+		sc.manager.queuedBatches.Add(-1)
+
+		s.pendingMu.Lock()
+		s.pendingN--
+		if s.pendingN == 0 {
+			s.pendingCond.Broadcast()
+		}
+	}
+}

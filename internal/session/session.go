@@ -12,13 +12,20 @@
 // statistics and the memoized string-predicate tables).
 //
 // A Manager creates and evicts sessions by ID, routes touch-event batches
-// to the right session, and runs sessions concurrently: each started
-// session processes its batches on its own worker goroutine, so N users
-// slide over the same table in parallel with zero cross-session virtual
-// time interference. Because every session's timeline is its own virtual
-// clock, a session's result stream is byte-identical whether it runs
-// alone, sequentially with others, or concurrently with them — asserted
-// by the package's equivalence suite under the race detector.
+// to the right session, and runs started sessions on a bounded
+// work-stealing scheduler: a fixed worker pool (default GOMAXPROCS)
+// pulls runnable sessions from per-worker deques, sessions park at zero
+// goroutines while their event queues are empty, and a per-session
+// fairness budget keeps one gesture-spamming user from starving the
+// rest — 10k mostly-idle users cost O(workers) goroutines, not
+// O(sessions). Queue-depth and eviction metrics (Manager.Stats) feed
+// admission control: past the configured caps, Enqueue and Create
+// return ErrOverloaded instead of queueing unboundedly. Because every
+// session's timeline is its own virtual clock and the scheduler runs
+// each session's batches in order on at most one worker at a time, a
+// session's result stream is byte-identical whether it runs alone,
+// sequentially with others, or concurrently with them at any pool size —
+// asserted by the package's equivalence suite under the race detector.
 package session
 
 import (
@@ -37,11 +44,17 @@ import (
 var (
 	// ErrClosed reports use of a session after Close or manager eviction.
 	ErrClosed = errors.New("session closed")
-	// ErrWorkerRunning reports a synchronous call (Apply, Idle) while the
-	// worker goroutine owns the kernel.
+	// ErrWorkerRunning reports a synchronous call (Apply, Idle) on a
+	// started session — once handed to the scheduler, the kernel belongs
+	// to the worker pool.
 	ErrWorkerRunning = errors.New("session worker running")
 	// ErrNotStarted reports Enqueue before Start.
 	ErrNotStarted = errors.New("session not started")
+	// ErrOverloaded reports an admission-control rejection: a session or
+	// manager backlog cap was hit (Enqueue) or the live-session admission
+	// ceiling was reached (Create). The work was not queued; back off and
+	// retry. The wire protocol surfaces it as HTTP 503 + Retry-After.
+	ErrOverloaded = errors.New("overloaded")
 )
 
 // Session is one user's exploration context: a kernel confined to one
@@ -50,10 +63,13 @@ var (
 //
 // A session has two driving modes. Before Start, the owner calls Apply
 // (or Manager.Dispatch) and batches run synchronously on the calling
-// goroutine. After Start, a worker goroutine owns the kernel: batches go
-// through Enqueue/Dispatch, and the caller synchronizes with Drain before
-// reading results. The two modes must not be mixed — Apply fails once the
-// worker runs.
+// goroutine. After Start, the session belongs to the manager's
+// work-stealing scheduler: batches go through Enqueue/Dispatch, workers
+// execute them in order (at most one worker per session at a time), and
+// the caller synchronizes with Drain before reading results. A started
+// session with an empty queue is parked — it holds no goroutine at all.
+// The two modes must not be mixed — Apply fails once the session is
+// started.
 type Session struct {
 	id      string
 	manager *Manager
@@ -63,23 +79,26 @@ type Session struct {
 	mu      sync.Mutex
 	started bool
 	closed  bool
-	queue   chan []touchos.TouchEvent
-	done    chan struct{}
-	// enqMu serializes channel sends against Close, so the queue never
-	// closes under a blocked sender.
-	enqMu sync.Mutex
 	// runMu serializes kernel execution: concurrent synchronous Applies
-	// (or an Apply racing the worker's first batch) run one at a time.
+	// (or an Apply racing the scheduler's first batch) run one at a time.
 	// Determinism still requires one logical driver per session; the lock
 	// only guarantees batches stay atomic, never interleaved.
 	runMu sync.Mutex
-	// pendingMu/pendingCond/pendingN count enqueued-but-unfinished
-	// batches for Drain. A plain condition variable (not a WaitGroup):
-	// Enqueue may race Drain from the zero count, which WaitGroup reuse
-	// rules forbid.
+	// pendingMu guards the scheduler-facing state: the FIFO batch queue,
+	// the park/runnable/running state, and pendingN, the count of
+	// enqueued-but-unfinished batches for Drain. A plain condition
+	// variable (not a WaitGroup): Enqueue may race Drain from the zero
+	// count, which WaitGroup reuse rules forbid.
 	pendingMu   sync.Mutex
 	pendingCond *sync.Cond
 	pendingN    int
+	// batches is the session's queued-but-unexecuted event batches; the
+	// scheduler pops from the front. pendingN ≥ len(batches): a batch
+	// leaves the queue when a worker picks it up and leaves pendingN when
+	// it finishes executing.
+	batches [][]touchos.TouchEvent
+	// schedState is schedParked, schedRunnable or schedRunning.
+	schedState int
 
 	// lastUsed is the manager's dispatch tick at the session's last use,
 	// for least-recently-used eviction. Guarded by manager.mu.
@@ -219,15 +238,37 @@ func (s *Session) BoundObject(name string) (int, bool) {
 	return id, ok
 }
 
-// QueueDepth reports how many enqueued batches the worker has not yet
-// finished — the manager's per-session backlog metric.
+// QueueDepth reports how many enqueued batches the scheduler has not
+// yet finished — the manager's per-session backlog metric and an
+// admission-control input.
 func (s *Session) QueueDepth() int {
 	s.pendingMu.Lock()
 	defer s.pendingMu.Unlock()
 	return s.pendingN
 }
 
-// Started reports whether the worker goroutine owns the kernel.
+// State reports the session's scheduling state: StateSync for a session
+// never handed to the scheduler, else parked, runnable or running.
+func (s *Session) State() SessionState {
+	s.mu.Lock()
+	started := s.started
+	s.mu.Unlock()
+	if !started {
+		return StateSync
+	}
+	s.pendingMu.Lock()
+	defer s.pendingMu.Unlock()
+	switch s.schedState {
+	case schedRunnable:
+		return StateRunnable
+	case schedRunning:
+		return StateRunning
+	default:
+		return StateParked
+	}
+}
+
+// Started reports whether the session has been handed to the scheduler.
 func (s *Session) Started() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -249,43 +290,32 @@ func (s *Session) checkSynchronous() error {
 	return nil
 }
 
-// Start hands the kernel to a worker goroutine. Subsequent batches go
-// through Enqueue; the caller must not touch the kernel again until Drain
-// (for reads) or Close.
+// Start hands the session to the manager's work-stealing scheduler.
+// Subsequent batches go through Enqueue; the caller must not touch the
+// kernel again until Drain (for reads) or Close. Starting is cheap: a
+// started session with nothing queued is parked and holds no goroutine
+// (the pool itself is shared and bounded).
 func (s *Session) Start() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.started || s.closed {
+		s.mu.Unlock()
 		return
 	}
 	s.started = true
-	s.queue = make(chan []touchos.TouchEvent, 64)
-	s.done = make(chan struct{})
-	go s.run()
+	s.mu.Unlock()
+	// Build the shared pool only while this session is still registered:
+	// a Start racing Manager.Close/Evict must not resurrect a pool after
+	// the teardown loop has finished (schedulerFor is a no-op then — the
+	// closed session can never enqueue, so no pool is needed).
+	s.manager.schedulerFor(s)
 }
 
-// run is the worker loop: it owns the kernel until the queue closes.
-func (s *Session) run() {
-	defer close(s.done)
-	for events := range s.queue {
-		s.runMu.Lock()
-		s.kernel.Apply(events)
-		s.runMu.Unlock()
-		s.pendingMu.Lock()
-		s.pendingN--
-		if s.pendingN == 0 {
-			s.pendingCond.Broadcast()
-		}
-		s.pendingMu.Unlock()
-	}
-}
-
-// Enqueue hands a batch to the worker goroutine, blocking briefly when
-// the queue is full (backpressure, not loss).
+// Enqueue hands a batch to the scheduler. It never blocks: past the
+// per-session queue cap or the manager's global backlog cap it rejects
+// the batch with ErrOverloaded (backpressure the caller can see and
+// retry), so a burst cannot queue unbounded work behind a busy session.
 func (s *Session) Enqueue(events []touchos.TouchEvent) error {
 	s.touch()
-	s.enqMu.Lock()
-	defer s.enqMu.Unlock()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -295,11 +325,35 @@ func (s *Session) Enqueue(events []touchos.TouchEvent) error {
 		s.mu.Unlock()
 		return fmt.Errorf("session %q: %w; use Apply or Start first", s.id, ErrNotStarted)
 	}
+	// Reserve a global backlog slot first (exact under the cap: CAS, not
+	// check-then-add), so the batch is accounted before it can become
+	// poppable — the worker's decrement after executing it then always
+	// follows this increment and the gauge never goes negative.
+	if backlog, gcap, ok := s.manager.reserveBatch(); !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("session %q: %w (manager backlog %d batches at cap %d)",
+			s.id, ErrOverloaded, backlog, gcap)
+	}
 	s.pendingMu.Lock()
+	if qcap := int(s.manager.sessionQueueCap.Load()); len(s.batches) >= qcap {
+		depth := len(s.batches)
+		s.pendingMu.Unlock()
+		s.mu.Unlock()
+		s.manager.queuedBatches.Add(-1) // release the unused reservation
+		return fmt.Errorf("session %q: %w (queue depth %d at session cap %d)",
+			s.id, ErrOverloaded, depth, qcap)
+	}
+	s.batches = append(s.batches, events)
 	s.pendingN++
+	wake := s.schedState == schedParked
+	if wake {
+		s.schedState = schedRunnable
+	}
 	s.pendingMu.Unlock()
 	s.mu.Unlock()
-	s.queue <- events
+	if wake {
+		s.manager.scheduler().submit(s)
+	}
 	return nil
 }
 
@@ -316,32 +370,26 @@ func (s *Session) Drain() {
 	s.pendingMu.Unlock()
 }
 
-// Close stops the worker (processing whatever is already queued), closes
-// every subscribed result stream (so consumers blocked in Next see
-// end-of-stream instead of hanging on an evicted session), and marks the
-// session unusable. It is idempotent and safe to call from any
-// goroutine; Manager.Evict calls it.
+// Close stops the session: already-queued batches still execute on the
+// scheduler, then every subscribed result stream is closed (so consumers
+// blocked in Next see end-of-stream instead of hanging on an evicted
+// session) and the session is unusable. It is idempotent and safe to
+// call from any goroutine; Manager.Evict calls it.
 func (s *Session) Close() {
 	s.mu.Lock()
 	if s.closed {
-		done := s.done
 		s.mu.Unlock()
-		if done != nil {
-			<-done
-		}
+		s.Drain() // another closer may still be draining; match its wait
 		return
 	}
 	s.closed = true
-	started := s.started
 	s.mu.Unlock()
-	if started {
-		s.enqMu.Lock()
-		close(s.queue)
-		s.enqMu.Unlock()
-		<-s.done
-	}
-	// The worker (if any) has exited; runMu serializes against a
-	// synchronous Apply/Perform that slipped in before closed was set.
+	// New Enqueues are rejected now; wait for the scheduler to finish the
+	// backlog. Once pendingN hits zero the last kernel execution has
+	// completed (batches decrement only after Apply returns).
+	s.Drain()
+	// runMu serializes against a synchronous Apply/Perform that slipped
+	// in before closed was set.
 	s.runMu.Lock()
 	s.kernel.CloseSubscriptions()
 	s.runMu.Unlock()

@@ -177,9 +177,10 @@ func TestMaxSessionsEvictsLRU(t *testing.T) {
 
 // TestEvictionPruningNoLeak is the bounded-retention audit for the
 // session layer: a long-running session's retained result log must stay
-// bounded by the fade horizon (not session length), worker goroutines
-// must exit on eviction, and the manager must drop its reference so the
-// session is collectable.
+// bounded by the fade horizon (not session length), the scheduler's
+// pool must stay bounded by the worker count (sessions pin no
+// goroutines of their own) and exit on Manager.Close, and the manager
+// must drop its reference on eviction so the session is collectable.
 func TestEvictionPruningNoLeak(t *testing.T) {
 	base := runtime.NumGoroutine()
 	m := testManager(t, 200_000)
@@ -218,17 +219,23 @@ func TestEvictionPruningNoLeak(t *testing.T) {
 	if !m.Evict("long") {
 		t.Fatal("Evict failed")
 	}
-	// The worker goroutine must exit.
+	if m.Len() != 0 {
+		t.Fatalf("manager still holds %d sessions", m.Len())
+	}
+	// While the manager lives, only the bounded pool remains — O(workers),
+	// regardless of how many sessions ran.
+	if g, limit := runtime.NumGoroutine(), base+runtime.GOMAXPROCS(0); g > limit {
+		t.Fatalf("goroutines %d exceed baseline+workers %d", g, limit)
+	}
+	// Closing the manager stops the pool; everything must exit.
+	m.Close()
 	deadline := time.Now().Add(5 * time.Second)
 	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
 		runtime.Gosched()
 		time.Sleep(time.Millisecond)
 	}
 	if g := runtime.NumGoroutine(); g > base {
-		t.Fatalf("goroutines leaked: %d > baseline %d", g, base)
-	}
-	if m.Len() != 0 {
-		t.Fatalf("manager still holds %d sessions", m.Len())
+		t.Fatalf("goroutines leaked after Close: %d > baseline %d", g, base)
 	}
 }
 
