@@ -215,6 +215,13 @@ func (o *Object) processSlideStep(ev gesture.Event) {
 
 	spanLo, spanHi := spanBounds(prevID, id)
 
+	// Fused fast path: a WHERE whose span feeds only the running
+	// aggregate skips the selection vector entirely (one fused
+	// filter+aggregate scan). Falls through when positions are needed.
+	if o.trySlideFused(id, level, spanLo, spanHi) {
+		return
+	}
+
 	// WHERE conjuncts gate everything else (paper §2.9: the slide drives
 	// the query processing steps). Span execution qualifies every covered
 	// tuple: sel holds the ascending qualifying rows; an empty selection
@@ -243,6 +250,90 @@ func (o *Object) processSlideStep(ev gesture.Event) {
 	if o.join != nil {
 		o.pushJoinSpan(spanLo, spanHi, sel, id, level)
 	}
+}
+
+// trySlideFused handles a filtered aggregate slide through the fused
+// filter+aggregate kernels: when the WHERE-qualified span is consumed
+// only by the running aggregate — a column object in aggregate mode with
+// no group-by, join, or value-order reveal needing the qualifying
+// positions — the span is scanned once (filter and aggregate in the same
+// pass) instead of materializing a selection vector and re-reading it.
+// Multi-conjunct WHEREs evaluate all but the final conjunct normally and
+// fuse the last one over the survivors (see AdaptiveOptimizer.FusionPlan
+// for when that split is offered). Charging is byte-compatible with the
+// unfused path, so the emitted stream — values, counts, virtual times —
+// is identical to both the selection-vector path and the scalar
+// reference. It reports whether it handled the touch; eligibility checks
+// all run before any charging, so a false return falls through to the
+// unfused path with no cost double-counted.
+func (o *Object) trySlideFused(id, level, spanLo, spanHi int) bool {
+	if o.kernel.cfg.ScalarSlide || !o.IsColumn() || o.grouper != nil || o.join != nil {
+		return false
+	}
+	if o.actions.Mode != ModeAggregate || o.actions.ValueOrder {
+		return false
+	}
+	if o.optimizer == nil || o.optimizer.Len() == 0 || o.agg == nil || !operator.FusableAgg(o.agg.Kind()) {
+		return false
+	}
+	// Float sums are order-sensitive: the fused scan merges chunk
+	// partials, which reassociates addition and breaks bit-identity with
+	// the scalar reference's per-value adds. Sum-consuming kinds over
+	// float columns stay on the unfused path; min/max/count fuse fine
+	// (exact on any data).
+	if col, err := o.column(); err == nil && col.Type() == storage.Float64 &&
+		(o.agg.Kind() == operator.Sum || o.agg.Kind() == operator.Avg) {
+		return false
+	}
+	final, prefixLen, ok := o.optimizer.FusionPlan(o.colIdx)
+	if !ok {
+		return false
+	}
+	// Filtered touches read base data (chooseLevel), so the span maps
+	// 1:1 onto level entries; bail to the generic path if that ever
+	// stops holding.
+	lvl, err := o.hierarchy.Level(level)
+	if err != nil || lvl.Stride != 1 {
+		return false
+	}
+	// The fused scan reads the hierarchy's base column for both the
+	// predicate and the aggregate; if the matrix no longer serves that
+	// column (a rotate swapped in a converted layout), the generic path
+	// owns the fallback semantics.
+	if mcol, merr := o.matrix.Column(final.Col); merr != nil || mcol != lvl.Col {
+		return false
+	}
+	if spanLo < 0 {
+		spanLo = 0
+	}
+	if n := lvl.Col.Len(); spanHi > n {
+		spanHi = n
+	}
+	var sel []int32
+	if prefixLen > 0 {
+		sel, err = o.optimizer.EvalSpanPrefix(o.matrix, spanLo, spanHi, o.colTrackers, prefixLen)
+		if err != nil {
+			return true // charged like the unfused error path: drop the touch
+		}
+		if len(sel) == 0 {
+			o.optimizer.NoteSpan(spanHi - spanLo)
+			o.kernel.counters.Add("touch.filtered", 1)
+			return true
+		}
+	}
+	fa := operator.FuseFilterAgg(lvl.Col, spanLo, spanHi, sel, final.Op, final.Operand, o.trackerFor(final.Col), lvl.Tracker, o.agg.Kind())
+	o.optimizer.NoteSpan(spanHi - spanLo)
+	o.kernel.counters.Add("touch.fused", 1)
+	if fa.N == 0 {
+		o.kernel.counters.Add("touch.filtered", 1)
+		return true
+	}
+	o.agg.AddSpan(int64(fa.N), fa.Sum, fa.Min, fa.Max)
+	o.kernel.emit(Result{
+		Kind: AggregateValue, ObjectID: o.id, TupleID: id,
+		Agg: o.agg.Value(), N: o.agg.N(), Level: level,
+	})
+	return true
 }
 
 // spanBounds returns the base-tuple range [lo, hi) a slide step covers:

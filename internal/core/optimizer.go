@@ -95,10 +95,80 @@ func (o *AdaptiveOptimizer) EvalSpan(m *storage.Matrix, lo, hi int, trackers []*
 	if err != nil {
 		return nil, err
 	}
+	o.NoteSpan(hi - lo)
+	return sel, nil
+}
+
+// NoteSpan advances the evaluation counter by the span width and
+// reconsiders the conjunct order at the same cadence as EvalSpan — the
+// bookkeeping twin for the fused slide path, which evaluates conjuncts
+// through the fused kernels instead of EvalSpan.
+func (o *AdaptiveOptimizer) NoteSpan(n int) {
 	prev := o.evals
-	o.evals += int64(hi - lo)
+	o.evals += int64(n)
 	if o.Enabled && prev/16 != o.evals/16 {
 		o.reorder()
+	}
+}
+
+// FusionPlan splits the conjunction for the fused filter+aggregate slide
+// path: the first prefixLen conjuncts of the current order are evaluated
+// normally (EvalSpanPrefix), and the final conjunct — which must read
+// col, the aggregated column — fuses with the aggregate scan. The fused
+// kernel reports only aggregate outcomes, not per-row ones, so the final
+// conjunct's selectivity statistics go unobserved; the split is therefore
+// offered only when that cannot change observable behavior — a single
+// conjunct (the order cannot change), or adaptation disabled (the
+// statistics are never consulted).
+func (o *AdaptiveOptimizer) FusionPlan(col int) (final operator.Predicate, prefixLen int, ok bool) {
+	n := len(o.order)
+	if n == 0 {
+		return operator.Predicate{}, 0, false
+	}
+	last := o.predicates[o.order[n-1]]
+	if last.Col != col {
+		return operator.Predicate{}, 0, false
+	}
+	if n > 1 && o.Enabled {
+		return operator.Predicate{}, 0, false
+	}
+	return last, n - 1, true
+}
+
+// EvalSpanPrefix evaluates the first prefixLen conjuncts of the current
+// order over [lo, hi) exactly as the vectorized EvalSpan does — same
+// kernels, same charges, same statistics — and returns the surviving
+// selection (aliasing internal scratch, like EvalSpan). prefixLen == 0
+// returns nil: the whole span survives. Unlike EvalSpan it does not
+// advance the evaluation counter; the caller completes the span with the
+// fused final conjunct and then calls NoteSpan.
+func (o *AdaptiveOptimizer) EvalSpanPrefix(m *storage.Matrix, lo, hi int, trackers []*iomodel.Tracker, prefixLen int) ([]int32, error) {
+	if prefixLen <= 0 {
+		return nil, nil
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if n := m.NumRows(); hi > n {
+		hi = n
+	}
+	if hi < lo {
+		hi = lo
+	}
+	var sel []int32
+	first := true
+	for _, idx := range o.order[:prefixLen] {
+		out := o.selB[:0]
+		out, _, err := o.predicates[idx].EvalRange(m, lo, hi, sel, trackers, out)
+		if err != nil {
+			return nil, err
+		}
+		o.observeSpan(idx, lo, hi, sel, first, out)
+		o.selA, o.selB = out, o.selA
+		sel, first = out, false
+		if len(sel) == 0 {
+			break
+		}
 	}
 	return sel, nil
 }

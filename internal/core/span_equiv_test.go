@@ -376,6 +376,127 @@ func TestSpanEquivalenceRandomScript(t *testing.T) {
 	}
 }
 
+// TestSpanEquivalenceFusedAggregate drives the fused filter+aggregate
+// slide path: a single WHERE conjunct over the aggregated column itself,
+// consumed only by the running aggregate, must produce a stream
+// byte-identical to the scalar reference — and must actually take the
+// fused path on the vector kernel (asserted via the touch.fused counter).
+func TestSpanEquivalenceFusedAggregate(t *testing.T) {
+	filters := []operator.Predicate{{Col: 0, Op: operator.Lt, Operand: storage.IntValue(600)}}
+	for _, kind := range []operator.AggKind{operator.Count, operator.Sum, operator.Avg, operator.Min, operator.Max} {
+		t.Run(kind.String(), func(t *testing.T) {
+			p := newEquivPair(t, nil)
+			obj := p.addColumn(randInts(51, 60000, 1000), 0, touchos.NewRect(2, 2, 2, 10))
+			p.setActions(obj, Actions{Mode: ModeAggregate, Agg: kind, Filters: filters})
+			p.slide(obj, 0, 1, 1400*time.Millisecond)
+			p.slide(obj, 1, 0.2, 700*time.Millisecond)
+			p.idle(150 * time.Millisecond)
+			p.slide(obj, 0.2, 0.8, 600*time.Millisecond)
+			if fused := p.vector.Counters().Get("touch.fused"); fused == 0 {
+				t.Fatal("vector kernel never took the fused path")
+			}
+			if fused := p.scalar.Counters().Get("touch.fused"); fused != 0 {
+				t.Fatal("scalar kernel took the fused path")
+			}
+		})
+	}
+}
+
+// TestSpanEquivalenceFusedFloatColumn pins the float-order contract:
+// float columns fuse only the exact kinds (min/max/count); sum and avg
+// are order-sensitive, stay on the unfused path, and every kind's
+// stream is byte-identical to the scalar reference either way.
+func TestSpanEquivalenceFusedFloatColumn(t *testing.T) {
+	mkFloats := func() *storage.Matrix {
+		rng := rand.New(rand.NewSource(61))
+		vals := make([]float64, 40000)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 5
+		}
+		m, err := storage.NewMatrix("t", storage.NewFloatColumn("v", vals))
+		if err != nil {
+			panic(err)
+		}
+		return m
+	}
+	filters := []operator.Predicate{{Col: 0, Op: operator.Lt, Operand: storage.FloatValue(1.0)}}
+	for _, tc := range []struct {
+		kind  operator.AggKind
+		fuses bool
+	}{
+		{operator.Sum, false}, {operator.Avg, false},
+		{operator.Min, true}, {operator.Max, true}, {operator.Count, true},
+	} {
+		t.Run(tc.kind.String(), func(t *testing.T) {
+			p := newEquivPair(t, nil)
+			obj := p.addColumn(mkFloats, 0, touchos.NewRect(2, 2, 2, 10))
+			p.setActions(obj, Actions{Mode: ModeAggregate, Agg: tc.kind, Filters: filters})
+			p.slide(obj, 0, 1, 1200*time.Millisecond)
+			p.slide(obj, 1, 0.1, 700*time.Millisecond)
+			fused := p.vector.Counters().Get("touch.fused")
+			if tc.fuses && fused == 0 {
+				t.Fatalf("%v over floats should fuse but did not", tc.kind)
+			}
+			if !tc.fuses && fused != 0 {
+				t.Fatalf("%v over floats fused (%d touches) — float sums must keep scalar order", tc.kind, fused)
+			}
+		})
+	}
+}
+
+// TestSpanEquivalenceFusedSelective covers fused spans where most touches
+// qualify nothing (the touch.filtered early-out) and where everything
+// qualifies.
+func TestSpanEquivalenceFusedSelective(t *testing.T) {
+	for _, operand := range []int64{0, 5, 1000} { // ~0%, ~0.5%, 100% pass
+		t.Run(fmt.Sprintf("lt_%d", operand), func(t *testing.T) {
+			p := newEquivPair(t, nil)
+			obj := p.addColumn(randInts(53, 40000, 1000), 0, touchos.NewRect(2, 2, 2, 10))
+			p.setActions(obj, Actions{Mode: ModeAggregate, Agg: operator.Sum,
+				Filters: []operator.Predicate{{Col: 0, Op: operator.Lt, Operand: storage.IntValue(operand)}}})
+			p.slide(obj, 0, 1, 1200*time.Millisecond)
+			p.slide(obj, 1, 0, 800*time.Millisecond)
+		})
+	}
+}
+
+// TestSpanEquivalenceFusedMultiConjunct drives the FilterSel-fused form:
+// with adaptation disabled (fixed conjunct order) and the final conjunct
+// reading the aggregated column, the prefix conjuncts evaluate normally
+// and the last fuses with the aggregate over the survivors.
+func TestSpanEquivalenceFusedMultiConjunct(t *testing.T) {
+	mk := func() *storage.Matrix {
+		rng := rand.New(rand.NewSource(59))
+		n := 50000
+		v := make([]int64, n)
+		a := make([]int64, n)
+		for i := range v {
+			v[i] = rng.Int63n(1000)
+			a[i] = int64((i / 3000) % 4)
+		}
+		m, err := storage.NewMatrix("t",
+			storage.NewIntColumn("v", v),
+			storage.NewIntColumn("a", a),
+		)
+		if err != nil {
+			panic(err)
+		}
+		return m
+	}
+	filters := []operator.Predicate{
+		{Col: 1, Op: operator.Ne, Operand: storage.IntValue(2)},
+		{Col: 0, Op: operator.Ge, Operand: storage.IntValue(250)},
+	}
+	p := newEquivPair(t, func(c *Config) { c.AdaptiveOpt = false })
+	obj := p.addColumn(mk, 0, touchos.NewRect(2, 2, 2, 10))
+	p.setActions(obj, Actions{Mode: ModeAggregate, Agg: operator.Avg, Filters: filters})
+	p.slide(obj, 0, 1, 1600*time.Millisecond)
+	p.slide(obj, 1, 0.1, 900*time.Millisecond)
+	if fused := p.vector.Counters().Get("touch.fused"); fused == 0 {
+		t.Fatal("vector kernel never took the fused multi-conjunct path")
+	}
+}
+
 func TestSpanEquivalenceValueOrderFiltered(t *testing.T) {
 	p := newEquivPair(t, nil)
 	obj := p.addColumn(randInts(43, 30000, 1000), 0, touchos.NewRect(2, 2, 2, 10))

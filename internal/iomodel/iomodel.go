@@ -155,6 +155,21 @@ func (t *Tracker) AccessRange(lo, hi int) time.Duration {
 	return total
 }
 
+// AccessCount charges k value reads against the block holding value idx,
+// advancing the clock — the charging primitive for fused filter+aggregate
+// scans, which know how many values qualified inside each cost-model
+// block without ever materializing their positions. Cost, stats, and
+// warm-state evolution match k Access calls (or one AccessRange over k
+// contiguous values) within that block.
+func (t *Tracker) AccessCount(idx, k int) time.Duration {
+	if k <= 0 {
+		return 0
+	}
+	cost := t.chargeBlock(t.Block(idx), k, t.clock.Now())
+	t.clock.Advance(cost)
+	return cost
+}
+
 // AccessStrided charges the cost of reading values lo, lo+stride, ... up
 // to (but excluding) hi, advancing the clock once — the span primitive
 // for row-major slabs, where one attribute's cells sit a fixed stride

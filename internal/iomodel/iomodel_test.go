@@ -229,3 +229,28 @@ func TestAccessStridedMatchesScalarLoop(t *testing.T) {
 		t.Fatal("zero stride should be free")
 	}
 }
+
+func TestAccessCountMatchesScalarLoop(t *testing.T) {
+	scalar := New(vclock.New(), testParams(), nil)
+	counted := New(vclock.New(), testParams(), nil)
+	// k reads within one block: same cost, stats and clock as k Access
+	// calls to positions of that block.
+	var scalarCost time.Duration
+	for i := 0; i < 7; i++ {
+		scalarCost += scalar.Access(20 + i)
+	}
+	if got := counted.AccessCount(23, 7); got != scalarCost {
+		t.Fatalf("AccessCount cost = %v, want %v", got, scalarCost)
+	}
+	if scalar.Stats() != counted.Stats() {
+		t.Fatalf("stats diverge: %+v vs %+v", scalar.Stats(), counted.Stats())
+	}
+	// Second charge hits the now-warm block.
+	scalarCost = scalar.Access(25)
+	if got := counted.AccessCount(25, 1); got != scalarCost {
+		t.Fatalf("warm AccessCount cost = %v, want %v", got, scalarCost)
+	}
+	if counted.AccessCount(5, 0) != 0 || counted.AccessCount(5, -3) != 0 {
+		t.Fatal("non-positive count should be free")
+	}
+}

@@ -79,6 +79,21 @@ func ParseAggKind(s string) (AggKind, error) {
 	}
 }
 
+// FusableAgg reports whether kind's running state can absorb a fused
+// filter+aggregate result through RunningAgg.AddSpan: count, sum, avg,
+// min and max merge exactly from (n, sum, min, max); the Welford variance
+// family is order-sensitive and must absorb values one at a time. The
+// fusion dispatch (FuseFilterAgg, core's trySlideFused) consults this
+// before routing a filtered slide through the fused kernels.
+func FusableAgg(kind AggKind) bool {
+	switch kind {
+	case Count, Sum, Avg, Min, Max:
+		return true
+	default:
+		return false
+	}
+}
+
 // RunningAgg maintains a running aggregate that can absorb one value per
 // touch and report the current answer at any time — the "running aggregate
 // continuously updated" of paper §2.3. Variance uses Welford's online

@@ -1,0 +1,93 @@
+package operator
+
+import (
+	"math"
+
+	"dbtouch/internal/iomodel"
+	"dbtouch/internal/storage"
+)
+
+// Fusion dispatch: when a WHERE-restricted slide span is consumed only by
+// a running aggregate — no group-by, join, scan reveal, or promotion
+// needs the qualifying positions — the filter and the aggregate fuse into
+// one scan through the storage fused kernels (Column.FilterAggRange /
+// FilterAggSel / FilterCountRange / FilterCountSel) instead of
+// materializing a selection vector and re-reading it.
+//
+// Charging stays byte-compatible with the unfused pipeline (EvalRange,
+// then per-run charging, then per-row absorption): the predicate column's
+// tracker is charged for every evaluated row exactly as EvalRange
+// charges, and the value tracker is charged per qualifying value block by
+// block — the fused scan is chunked at the cost model's block size, and
+// each chunk reports how many values qualified inside its block. The
+// virtual cost model decomposes per (block, count), so these charges are
+// indistinguishable from the per-run charges of a materialized selection.
+
+// FuseFilterAgg evaluates one WHERE conjunct over col fused with
+// aggregation of the same column's qualifying values. With sel == nil the
+// conjunct covers the base span [lo, hi); otherwise it refines the
+// surviving selection sel of earlier conjuncts (the FilterSel-fused form)
+// and lo/hi are ignored. kind selects the aggregate-specialized kernel:
+// COUNT runs the count-only kernels, SUM/AVG the sum kernels (extrema
+// come back ±Inf), MIN/MAX the extrema kernels (sum comes back 0) —
+// each skips the bookkeeping its consumer ignores, which is most of the
+// per-element cost. Unfusable kinds fall back to the full kernel.
+//
+// predTracker is charged for every evaluated row — AccessRange over the
+// span, or one read per selected row batched by contiguous runs — exactly
+// as Predicate.EvalRange charges. valTracker is charged one read per
+// qualifying value, placed in the block that holds it, exactly as
+// per-run charging of the materialized selection would. Either tracker
+// may be nil to skip its accounting.
+func FuseFilterAgg(col *storage.Column, lo, hi int, sel []int32, op CmpOp, operand storage.Value, predTracker, valTracker *iomodel.Tracker, kind AggKind) storage.FilterAgg {
+	rop := op.rangeOp()
+	mode := fusedModeFor(kind)
+	onBlock := func(start, count int) {
+		if valTracker != nil {
+			valTracker.AccessCount(start, count)
+		}
+	}
+	if sel == nil {
+		if lo < 0 {
+			lo = 0
+		}
+		if n := col.Len(); hi > n {
+			hi = n
+		}
+		if hi <= lo {
+			return storage.FilterAgg{Min: math.Inf(1), Max: math.Inf(-1)}
+		}
+		if predTracker != nil {
+			predTracker.AccessRange(lo, hi)
+		}
+		return col.FilterAggRangeBlocked(lo, hi, chunkSize(valTracker, hi-lo), rop, operand, mode, onBlock)
+	}
+	chargeSelection(predTracker, sel)
+	return col.FilterAggSelBlocked(sel, chunkSize(valTracker, col.Len()), rop, operand, mode, onBlock)
+}
+
+// fusedModeFor maps an aggregate kind to what the fused scan maintains.
+func fusedModeFor(kind AggKind) storage.FusedMode {
+	switch kind {
+	case Count:
+		return storage.FusedCount
+	case Sum, Avg:
+		return storage.FusedSum
+	case Min, Max:
+		return storage.FusedMinMax
+	default:
+		return storage.FusedFull
+	}
+}
+
+// chunkSize picks the scan chunk width: the tracker's cost-model block
+// size, or the whole span when no tracker charges the scan.
+func chunkSize(tracker *iomodel.Tracker, span int) int {
+	if tracker == nil {
+		if span < 1 {
+			return 1
+		}
+		return span
+	}
+	return tracker.Params().BlockValues
+}

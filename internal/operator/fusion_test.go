@@ -1,0 +1,200 @@
+package operator
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dbtouch/internal/iomodel"
+	"dbtouch/internal/storage"
+	"dbtouch/internal/vclock"
+)
+
+// The fusion charging contract: FuseFilterAgg must advance the virtual
+// clock and evolve tracker stats exactly as the unfused pipeline —
+// EvalRange to a selection vector, per-run charging of the value tracker,
+// then a scalar add loop — for any span, selectivity, block size, and
+// eviction pressure. The aggregate itself must match the scalar loop.
+
+type fusionFixture struct {
+	m     *storage.Matrix
+	col   *storage.Column
+	clock *vclock.Clock
+	pred  *iomodel.Tracker
+	val   *iomodel.Tracker
+}
+
+func newFusionFixture(t *testing.T, vals []int64, params iomodel.Params) *fusionFixture {
+	t.Helper()
+	col := storage.NewIntColumn("v", vals)
+	m, err := storage.NewMatrix("t", col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := vclock.New()
+	return &fusionFixture{
+		m:     m,
+		col:   col,
+		clock: clock,
+		pred:  iomodel.New(clock, params, nil),
+		val:   iomodel.New(clock, params, nil),
+	}
+}
+
+// runUnfused is the compose-of-parts reference over one span.
+func runUnfused(t *testing.T, f *fusionFixture, lo, hi int, p Predicate) (n int, sum, mn, mx float64) {
+	t.Helper()
+	trackers := []*iomodel.Tracker{f.pred}
+	sel, _, err := p.EvalRange(f.m, lo, hi, nil, trackers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chargeSelection(f.val, sel)
+	mn, mx = math.Inf(1), math.Inf(-1)
+	var isum int64
+	for _, r := range sel {
+		v := f.col.Float(int(r))
+		isum += f.col.Int(int(r))
+		n++
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return n, float64(isum), mn, mx
+}
+
+func eqStats(a, b iomodel.Stats) bool { return a == b }
+
+func TestFuseFilterAggChargesLikeUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	params := iomodel.Params{
+		BlockValues: 64,
+		ColdLatency: 40 * time.Microsecond,
+		WarmLatency: 7 * time.Nanosecond,
+		WarmBudget:  8, // eviction pressure: warm state must also match
+	}
+	vals := make([]int64, 20000)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(1000))
+	}
+	for _, operand := range []int64{10, 500, 990} { // ~1%, 50%, 99%
+		t.Run(fmt.Sprintf("lt_%d", operand), func(t *testing.T) {
+			ref := newFusionFixture(t, vals, params)
+			fus := newFusionFixture(t, vals, params)
+			p := Predicate{Col: 0, Op: Lt, Operand: storage.IntValue(operand)}
+			// Several spans back to back, like consecutive slide steps,
+			// so later spans hit warm blocks left by earlier ones.
+			spans := [][2]int{{0, 3000}, {3000, 9100}, {9050, 9050}, {8000, 20000}, {-5, 70}}
+			for _, s := range spans {
+				wantN, wantSum, _, _ := runUnfused(t, ref, s[0], s[1], p)
+				fa := FuseFilterAgg(fus.col, s[0], s[1], nil, p.Op, p.Operand, fus.pred, fus.val, Avg)
+				if fa.N != wantN || fa.Sum != wantSum {
+					t.Fatalf("span %v: fused %+v, unfused n=%d sum=%v", s, fa, wantN, wantSum)
+				}
+				if ref.clock.Now() != fus.clock.Now() {
+					t.Fatalf("span %v: clocks diverge: unfused %v fused %v", s, ref.clock.Now(), fus.clock.Now())
+				}
+				if !eqStats(ref.pred.Stats(), fus.pred.Stats()) {
+					t.Fatalf("span %v: predicate tracker stats diverge:\n unfused %+v\n fused   %+v", s, ref.pred.Stats(), fus.pred.Stats())
+				}
+				if !eqStats(ref.val.Stats(), fus.val.Stats()) {
+					t.Fatalf("span %v: value tracker stats diverge:\n unfused %+v\n fused   %+v", s, ref.val.Stats(), fus.val.Stats())
+				}
+				if ref.val.WarmBlocks() != fus.val.WarmBlocks() {
+					t.Fatalf("span %v: warm sets diverge: %d vs %d", s, ref.val.WarmBlocks(), fus.val.WarmBlocks())
+				}
+			}
+		})
+	}
+}
+
+func TestFuseFilterAggSelChargesLikeUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(223))
+	params := iomodel.Params{
+		BlockValues: 32,
+		ColdLatency: 25 * time.Microsecond,
+		WarmLatency: 5 * time.Nanosecond,
+	}
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(100))
+	}
+	ref := newFusionFixture(t, vals, params)
+	fus := newFusionFixture(t, vals, params)
+	// A sparse prior selection, as a prefix conjunct would leave behind.
+	var sel []int32
+	for i := 0; i < len(vals); i++ {
+		if rng.Intn(3) == 0 {
+			sel = append(sel, int32(i))
+		}
+	}
+	p := Predicate{Col: 0, Op: Ge, Operand: storage.IntValue(40)}
+
+	// Unfused: refine via EvalRange(sel), then charge + aggregate.
+	refined, _, err := p.EvalRange(ref.m, 0, len(vals), sel, []*iomodel.Tracker{ref.pred}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chargeSelection(ref.val, refined)
+	var wantN int
+	var wantISum int64
+	for _, r := range refined {
+		wantISum += vals[r]
+		wantN++
+	}
+
+	fa := FuseFilterAgg(fus.col, 0, 0, sel, p.Op, p.Operand, fus.pred, fus.val, Sum)
+	if fa.N != wantN || fa.IntSum != wantISum {
+		t.Fatalf("fused sel form: %+v, want n=%d isum=%d", fa, wantN, wantISum)
+	}
+	if ref.clock.Now() != fus.clock.Now() {
+		t.Fatalf("clocks diverge: unfused %v fused %v", ref.clock.Now(), fus.clock.Now())
+	}
+	if !eqStats(ref.pred.Stats(), fus.pred.Stats()) || !eqStats(ref.val.Stats(), fus.val.Stats()) {
+		t.Fatalf("tracker stats diverge:\n pred %+v vs %+v\n val %+v vs %+v",
+			ref.pred.Stats(), fus.pred.Stats(), ref.val.Stats(), fus.val.Stats())
+	}
+}
+
+// TestFuseFilterAggKindDispatch pins what each kind-specialized kernel
+// maintains: every kind reports the exact qualifying count; sum kinds
+// carry the sum (±Inf extrema), extrema kinds the min/max (zero sum).
+func TestFuseFilterAggKindDispatch(t *testing.T) {
+	vals := []int64{5, 1, 9, 3, 7, 2, 8}
+	col := storage.NewIntColumn("v", vals)
+	run := func(kind AggKind) storage.FilterAgg {
+		return FuseFilterAgg(col, 0, len(vals), nil, Gt, storage.IntValue(4), nil, nil, kind)
+	}
+	for _, kind := range []AggKind{Count, Sum, Avg, Min, Max, Var} {
+		if fa := run(kind); fa.N != 4 {
+			t.Fatalf("%v: N = %d, want 4", kind, fa.N)
+		}
+	}
+	if fa := run(Count); fa.Sum != 0 || !math.IsInf(fa.Min, 1) || !math.IsInf(fa.Max, -1) {
+		t.Fatalf("Count = %+v", fa)
+	}
+	if fa := run(Sum); fa.IntSum != 5+9+7+8 || !math.IsInf(fa.Min, 1) {
+		t.Fatalf("Sum = %+v", fa)
+	}
+	if fa := run(Min); fa.Min != 5 || fa.Max != 9 || fa.Sum != 0 {
+		t.Fatalf("Min = %+v", fa)
+	}
+	// Unfusable kinds fall back to the full kernel: everything maintained.
+	if fa := run(Var); fa.IntSum != 5+9+7+8 || fa.Min != 5 || fa.Max != 9 {
+		t.Fatalf("Var fallback = %+v", fa)
+	}
+}
+
+func TestFusableAgg(t *testing.T) {
+	fusable := map[AggKind]bool{Count: true, Sum: true, Avg: true, Min: true, Max: true, Var: false, Stddev: false}
+	for kind, want := range fusable {
+		if FusableAgg(kind) != want {
+			t.Fatalf("FusableAgg(%v) = %v, want %v", kind, FusableAgg(kind), want)
+		}
+	}
+}

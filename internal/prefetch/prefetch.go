@@ -92,8 +92,9 @@ func (e *Extrapolator) LastID() int { return e.lastID }
 func (e *Extrapolator) InterTouch() time.Duration { return e.interTouch }
 
 // StepSize reports the expected tuple-id distance between consecutive
-// touches (signed). Prefetching warms these positions, not the contiguous
-// range — the gesture skips everything in between.
+// touches (signed). Since span execution, a slide step consumes every
+// tuple of that distance, so the prefetcher sizes a contiguous ranged
+// warm from it rather than warming isolated predicted positions.
 func (e *Extrapolator) StepSize() float64 {
 	return e.velocity * e.interTouch.Seconds()
 }
@@ -130,8 +131,8 @@ type Prefetcher struct {
 	stats Stats
 	// anchor and frontier extend prefetching across consecutive idle
 	// windows of one pause: while the gesture stays at anchor, each
-	// window continues from where the previous one stopped instead of
-	// re-walking the already-warm prediction.
+	// window continues from where the previous one stopped (frontier is
+	// a tuple index) instead of re-warming the already-warm span.
 	anchor     int
 	frontier   int
 	haveAnchor bool
@@ -159,7 +160,10 @@ func (p *Prefetcher) OnIdle(from, to time.Duration, tracker *iomodel.Tracker, cl
 	}
 	last := p.Extrapolator.LastID()
 	if p.haveAnchor && p.anchor != last {
-		p.frontier = 0
+		p.frontier = last
+	}
+	if !p.haveAnchor {
+		p.frontier = last
 	}
 	p.anchor, p.haveAnchor = last, true
 
@@ -184,41 +188,81 @@ func (p *Prefetcher) OnIdle(from, to time.Duration, tracker *iomodel.Tracker, cl
 		p.account(used)
 		return
 	}
-	// Warm the predicted touch positions: the gesture skips the tuples
-	// in between, so contiguous-range warming would waste the idle
-	// budget many times over. Velocity estimates carry error, so each
-	// position k steps out gets a halo proportional to the distance.
+	// Span-aware warm: since span execution, a slide step consumes every
+	// tuple between consecutive touches — not just the sampled positions —
+	// so the right thing to warm is the whole span the gesture is
+	// extrapolated to cover during the horizon, as one ranged warm from
+	// the finger outward in the movement direction. A slack margin
+	// proportional to the predicted distance absorbs velocity-estimate
+	// error; consecutive idle windows of one pause resume from the
+	// frontier the previous window reached.
 	slack := p.Slack
 	if slack <= 0 {
 		slack = 0.08
 	}
-	steps := int(float64(horizon) / float64(interTouch))
+	steps := float64(horizon) / float64(interTouch)
 	if steps < 1 {
 		steps = 1
 	}
-	start := p.frontier
-	for k := start + 1; k <= start+steps; k++ {
-		id := last + int(step*float64(k))
-		margin := int(slack * stepMag * float64(k))
-		if margin < 64 {
-			margin = 64 // always cover a summary window
+	span := stepMag * steps
+	margin := int(slack * span)
+	if margin < 64 {
+		margin = 64 // always cover a summary window
+	}
+	if step > 0 {
+		start := last
+		if p.frontier > start {
+			start = p.frontier
 		}
-		lo, hi := id-margin, id+margin
-		center := id
+		target := last + int(span) + margin
 		if clamp != nil {
-			lo, hi, center = clamp(lo), clamp(hi), clamp(id)
+			start, target = clamp(start), clamp(target)
 		}
-		if budget-used <= 0 {
-			break
+		// >= not >: a span clamped entirely to the data boundary still
+		// warms the boundary block (the gesture is about to park there).
+		if target >= start {
+			cost, frontier := tracker.PrefetchRange(start, target, budget)
+			used = cost
+			if frontier > p.frontier {
+				p.frontier = frontier
+			}
 		}
-		// The predicted center is the most likely touch: warm it first
-		// so a tight budget still covers it before the halo.
-		used += tracker.PrefetchBlock(center, budget-used)
-		cost, _ := tracker.PrefetchRange(lo, hi, budget-used)
-		used += cost
-		p.frontier = k
+	} else {
+		start := last
+		if p.frontier < start {
+			start = p.frontier
+		}
+		target := last - int(span) - margin
+		if clamp != nil {
+			start, target = clamp(start), clamp(target)
+		}
+		used = p.warmDescending(tracker, start, target, budget)
 	}
 	p.account(used)
+}
+
+// warmDescending warms blocks covering [target, start] back to front —
+// the ranged warm for backward gestures, where the tuples nearest the
+// finger are at the high end of the span. It returns the cost consumed
+// and moves the frontier to the lowest value index reached.
+func (p *Prefetcher) warmDescending(tracker *iomodel.Tracker, start, target int, budget time.Duration) time.Duration {
+	if start < target {
+		return 0
+	}
+	bv := tracker.Params().BlockValues
+	cold := tracker.Params().ColdLatency
+	var used time.Duration
+	for b := start / bv; b >= target/bv && b >= 0; b-- {
+		idx := b * bv
+		if budget-used < cold && !tracker.IsWarm(idx) {
+			break
+		}
+		used += tracker.PrefetchBlock(idx, budget-used)
+		if idx < p.frontier {
+			p.frontier = idx
+		}
+	}
+	return used
 }
 
 func (p *Prefetcher) account(used time.Duration) {

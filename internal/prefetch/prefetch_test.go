@@ -154,3 +154,75 @@ func TestPrefetcherNilSafe(t *testing.T) {
 	var p *Prefetcher
 	p.OnIdle(0, time.Second, nil, nil) // must not panic
 }
+
+func TestPrefetcherRangedWarmCoversWholeSpan(t *testing.T) {
+	clock := vclock.New()
+	tr := iomodel.New(clock, iomodel.Params{
+		BlockValues: 100, ColdLatency: time.Millisecond, WarmLatency: time.Microsecond,
+	}, nil)
+	e := &Extrapolator{Alpha: 1}
+	p := New(e)
+	p.Horizon = time.Second
+
+	// Forward gesture, 1000 tuples per 100ms: the extrapolated next span
+	// is [5000, 15000); span execution will consume every tuple of it,
+	// so the warm must be contiguous — including tuples between the
+	// predicted touch positions.
+	for i := 0; i <= 5; i++ {
+		e.Observe(i*1000, time.Duration(i)*100*time.Millisecond)
+	}
+	p.OnIdle(0, time.Minute, tr, nil)
+	for id := 5000; id < 15000; id += 100 {
+		if !tr.IsWarm(id) {
+			t.Fatalf("tuple %d in the extrapolated span is cold", id)
+		}
+	}
+}
+
+func TestPrefetcherBackwardRangedWarm(t *testing.T) {
+	clock := vclock.New()
+	tr := iomodel.New(clock, iomodel.Params{
+		BlockValues: 100, ColdLatency: time.Millisecond, WarmLatency: time.Microsecond,
+	}, nil)
+	e := &Extrapolator{Alpha: 1}
+	p := New(e)
+	p.Horizon = time.Second
+	// Backward gesture from 20000, 1000 tuples per 100ms.
+	for i := 0; i <= 5; i++ {
+		e.Observe(20000-i*1000, time.Duration(i)*100*time.Millisecond)
+	}
+	// Tight budget: only 20 cold blocks fit, and they must be the ones
+	// nearest the finger (the high end of the predicted span).
+	p.OnIdle(0, 20*time.Millisecond, tr, nil)
+	if !tr.IsWarm(14950) || !tr.IsWarm(13100) {
+		t.Fatal("blocks nearest the finger should be warmed first going backward")
+	}
+	if tr.IsWarm(5500) {
+		t.Fatal("far end of the backward span should not be warmed before the near end")
+	}
+}
+
+func TestPrefetcherFrontierResumesAcrossIdleWindows(t *testing.T) {
+	clock := vclock.New()
+	tr := iomodel.New(clock, iomodel.Params{
+		BlockValues: 100, ColdLatency: time.Millisecond, WarmLatency: time.Microsecond,
+	}, nil)
+	e := &Extrapolator{Alpha: 1}
+	p := New(e)
+	p.Horizon = time.Second
+	for i := 0; i <= 5; i++ {
+		e.Observe(i*1000, time.Duration(i)*100*time.Millisecond)
+	}
+	// Two consecutive idle windows of one pause: the second must extend
+	// past where the first stopped, not re-walk the warm prefix.
+	p.OnIdle(0, 10*time.Millisecond, tr, nil) // 10 cold blocks: 5000..6000
+	prefetchedAfterFirst := tr.Stats().Prefetched
+	if prefetchedAfterFirst == 0 {
+		t.Fatal("first window warmed nothing")
+	}
+	p.OnIdle(10*time.Millisecond, 20*time.Millisecond, tr, nil)
+	if got := tr.Stats().Prefetched; got != 2*prefetchedAfterFirst {
+		t.Fatalf("second window prefetched %d blocks total, want %d (budget spent re-walking the warm prefix?)",
+			got, 2*prefetchedAfterFirst)
+	}
+}

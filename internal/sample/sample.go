@@ -55,7 +55,6 @@ func (sl *sharedLevel) stats(blockValues int) *spanStats {
 			blockLen = 1024
 		}
 		s := &spanStats{
-			prefix:   make([]float64, n+1),
 			blockMin: make([]float64, (n+blockLen-1)/blockLen),
 			blockMax: make([]float64, (n+blockLen-1)/blockLen),
 			blockLen: blockLen,
@@ -65,15 +64,25 @@ func (sl *sharedLevel) stats(blockValues int) *spanStats {
 			min, max, _ := sl.col.MinMaxRange(lo, hi)
 			s.blockMin[b], s.blockMax[b] = min, max
 		}
-		// Prefix sums accumulate strictly left to right so span sums stay
-		// bit-identical to a scalar loop on integer-valued data.
-		acc := 0.0
-		idx := 1
-		sl.col.AddRangeTo(0, n, func(v float64) {
-			acc += v
-			s.prefix[idx] = acc
-			idx++
-		})
+		// Integer-backed columns keep exact int64 prefix sums: span sums
+		// of int data are exact at any magnitude and the build runs on
+		// native integer adds. Float columns accumulate strictly left to
+		// right so span sums stay bit-identical to a scalar loop whenever
+		// the values make that loop exact.
+		if sl.col.Type() != storage.Float64 {
+			ip := make([]int64, n+1)
+			sl.col.PrefixInts(ip)
+			s.iprefix = ip
+		} else {
+			s.prefix = make([]float64, n+1)
+			acc := 0.0
+			idx := 1
+			sl.col.AddRangeTo(0, n, func(v float64) {
+				acc += v
+				s.prefix[idx] = acc
+				idx++
+			})
+		}
 		sl.span = s
 	})
 	return sl.span
@@ -87,10 +96,13 @@ func (sl *sharedLevel) stats(blockValues int) *spanStats {
 // time, and the cost model still charges every span read through the
 // level's tracker as if the entries themselves were scanned.
 type spanStats struct {
-	// prefix[i] is the sum of the float coercion of entries [0, i).
-	// All partial sums are computed left to right, so integer-valued
-	// data yields exact sums and span sums bit-identical to scalar loops.
+	// prefix[i] is the sum of the float coercion of entries [0, i),
+	// computed left to right (float columns only; nil otherwise).
 	prefix []float64
+	// iprefix[i] is the exact int64 sum of entries [0, i) for
+	// integer-backed columns (int values, bool 0/1, string codes) — span
+	// sums of integer data are exact at any magnitude (nil for floats).
+	iprefix []int64
 	// blockMin/blockMax aggregate entries [b*blockLen, (b+1)*blockLen).
 	blockMin, blockMax []float64
 	blockLen           int
@@ -315,10 +327,11 @@ func (h *Hierarchy) WindowAgg(lo, hi, level int) (sum float64, n int, min, max f
 // the sum comes from the level's prefix-sum array, min/max from the
 // per-block zone maps plus edge scans, and the whole span is charged
 // through the tracker's ranged accounting — identical virtual cost to a
-// per-entry scan, a fraction of the wall-clock work. On integer-valued
-// data the results are bit-identical to WindowAgg's scalar loop over the
-// same entries; float sums may differ in the last ulp (different
-// association order).
+// per-entry scan, a fraction of the wall-clock work. Integer-backed
+// columns difference exact int64 prefix sums, so span sums are exact at
+// any magnitude and bit-identical to WindowAgg's scalar loop whenever
+// that loop is itself exact; float sums may differ in the last ulp
+// (different association order).
 func (h *Hierarchy) SpanEntries(from, to, level int) (sum float64, n int, min, max float64, err error) {
 	l, err := h.Level(level)
 	if err != nil {
@@ -336,7 +349,11 @@ func (h *Hierarchy) SpanEntries(from, to, level int) (sum float64, n int, min, m
 	}
 	l.Tracker.AccessRange(from, to)
 	s := l.stats()
-	sum = s.prefix[to] - s.prefix[from]
+	if s.iprefix != nil {
+		sum = float64(s.iprefix[to] - s.iprefix[from])
+	} else {
+		sum = s.prefix[to] - s.prefix[from]
+	}
 	n = to - from
 	firstB, lastB := from/s.blockLen, (to-1)/s.blockLen
 	if firstB == lastB {

@@ -281,3 +281,44 @@ func TestSpanEntriesEmptyAndClamped(t *testing.T) {
 		t.Fatalf("clamped span = %v,%d,%v,%v,%v", sum, n, min, max, err)
 	}
 }
+
+func TestSpanEntriesExactIntSums(t *testing.T) {
+	// Integer columns difference exact int64 prefix sums: span sums stay
+	// exact even where float64 prefix accumulation would round (values
+	// beyond 2^53).
+	big := int64(1) << 60
+	vals := []int64{big, 3, big, -7, big, 11, -big, 5}
+	for len(vals) < 200 {
+		vals = append(vals, int64(len(vals)))
+	}
+	clock := vclock.New()
+	params := iomodel.Params{BlockValues: 4, ColdLatency: time.Millisecond, WarmLatency: time.Microsecond}
+	h, err := Build(storage.NewIntColumn("v", vals), 0, clock, params, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, n, _, _, err := h.SpanEntries(1, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(3 + big - 7 + big + 11)
+	if n != 5 || sum != want {
+		t.Fatalf("SpanEntries sum = %v (n=%d), want exact %v", sum, n, want)
+	}
+	// A float column keeps the float prefix path.
+	fvals := make([]float64, 200)
+	for i := range fvals {
+		fvals[i] = float64(i) + 0.5
+	}
+	fh, err := Build(storage.NewFloatColumn("f", fvals), 0, clock, params, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsum, fn, _, _, err := fh.SpanEntries(10, 14, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn != 4 || fsum != 10.5+11.5+12.5+13.5 {
+		t.Fatalf("float SpanEntries = %v (n=%d)", fsum, fn)
+	}
+}

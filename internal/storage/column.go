@@ -31,6 +31,10 @@ type Column struct {
 	// passCache memoizes FilterRange/FilterSel predicate-outcome tables
 	// per (op, operand); see passByCode.
 	passCache map[passKey][]bool
+	// passUse/passTick order passCache entries by recency for LRU
+	// eviction at maxPassTables.
+	passUse  map[passKey]uint64
+	passTick uint64
 }
 
 // NewIntColumn builds an INT column over vals (the slice is adopted, not

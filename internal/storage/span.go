@@ -7,10 +7,23 @@ import "math"
 // a slide gesture semantically covers a contiguous tuple range, so the
 // hot path reads that range as one unit instead of round-tripping every
 // cell through Value boxing. All kernels clamp their range to the column
-// and iterate in ascending position order, so their results are
-// bit-identical to a scalar loop over the same positions (for min/max and
-// integer-valued sums, identical on any data; float sums share the same
-// left-to-right addition order).
+// and iterate in ascending position order.
+//
+// Result contract against a scalar loop over the same positions:
+// min/max are identical on any data; integer-backed columns (int, bool,
+// string codes) accumulate sums in int64, which is exact and therefore
+// bit-identical to a scalar float loop whenever that loop is itself exact
+// (every partial sum representable in a float64 — all data the
+// equivalence suites run); float64 columns keep a single accumulator in
+// strict left-to-right order so float sums share the scalar path's
+// addition order bit for bit.
+//
+// The inner loops are written for the Go compiler's strengths (see
+// ARCHITECTURE.md "Kernel layer"): one slice expression hoists the bounds
+// check out of the loop, integer min/max compile to conditional moves,
+// multi-accumulator unrolling breaks the add dependency chain, and the
+// filter kernels classify each element with branch-free mask arithmetic
+// instead of a data-dependent branch.
 
 // clampRange clips [lo, hi) to [0, Len()).
 func (c *Column) clampRange(lo, hi int) (int, int) {
@@ -26,80 +39,174 @@ func (c *Column) clampRange(lo, hi int) (int, int) {
 	return lo, hi
 }
 
-// SumRange sums the float coercion of values [lo, hi) left to right and
-// reports the count, without boxing. String cells coerce to their
-// dictionary code (matching Column.Float).
-func (c *Column) SumRange(lo, hi int) (sum float64, n int) {
+// sumInt64 sums an int64 slice with four accumulators, breaking the
+// loop-carried dependency chain so independent adds overlap in the
+// pipeline.
+func sumInt64(v []int64) int64 {
+	var s0, s1, s2, s3 int64
+	for len(v) >= 4 {
+		s0 += v[0]
+		s1 += v[1]
+		s2 += v[2]
+		s3 += v[3]
+		v = v[4:]
+	}
+	for _, x := range v {
+		s0 += x
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// sumBytes sums a byte slice (bool storage: 0/1 per element) with four
+// widened accumulators.
+func sumBytes(v []byte) int64 {
+	var s0, s1, s2, s3 int64
+	for len(v) >= 4 {
+		s0 += int64(v[0])
+		s1 += int64(v[1])
+		s2 += int64(v[2])
+		s3 += int64(v[3])
+		v = v[4:]
+	}
+	for _, x := range v {
+		s0 += int64(x)
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// sumCodes sums an int32 slice widened to int64 with four accumulators.
+func sumCodes(v []int32) int64 {
+	var s0, s1, s2, s3 int64
+	for len(v) >= 4 {
+		s0 += int64(v[0])
+		s1 += int64(v[1])
+		s2 += int64(v[2])
+		s3 += int64(v[3])
+		v = v[4:]
+	}
+	for _, x := range v {
+		s0 += int64(x)
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// SumRangeInt64 sums values [lo, hi) of an integer-backed column exactly
+// in int64 arithmetic (bool cells count 0/1, string cells their
+// dictionary code; overflow wraps like any int64 addition). ok reports
+// whether the column is integer-backed; float columns return ok == false
+// and must use SumRange.
+func (c *Column) SumRangeInt64(lo, hi int) (sum int64, n int, ok bool) {
 	lo, hi = c.clampRange(lo, hi)
 	switch c.typ {
 	case Int64:
-		for _, v := range c.ints[lo:hi] {
-			sum += float64(v)
-		}
-	case Float64:
+		return sumInt64(c.ints[lo:hi]), hi - lo, true
+	case Bool:
+		return sumBytes(c.bools[lo:hi]), hi - lo, true
+	case String:
+		return sumCodes(c.codes[lo:hi]), hi - lo, true
+	}
+	return 0, 0, false
+}
+
+// SumRange sums the float coercion of values [lo, hi) and reports the
+// count, without boxing. String cells coerce to their dictionary code
+// (matching Column.Float). Integer-backed columns accumulate in int64
+// (exact); float columns accumulate strictly left to right.
+func (c *Column) SumRange(lo, hi int) (sum float64, n int) {
+	lo, hi = c.clampRange(lo, hi)
+	if c.typ == Float64 {
 		for _, v := range c.flts[lo:hi] {
 			sum += v
 		}
+		return sum, hi - lo
+	}
+	isum, n, ok := c.SumRangeInt64(lo, hi)
+	if !ok {
+		return 0, 0
+	}
+	return float64(isum), n
+}
+
+// PrefixInts fills dst — which must have length Len()+1 — with exclusive
+// integer prefix sums: dst[i] is the exact int64 sum of values [0, i)
+// (bool cells 0/1, string cells their dictionary code). It reports false
+// without writing for float columns; callers keep a float64 prefix for
+// those. This is the build kernel for exact span statistics over integer
+// data (sample.spanStats).
+func (c *Column) PrefixInts(dst []int64) bool {
+	if len(dst) != c.Len()+1 {
+		return false
+	}
+	dst[0] = 0
+	var acc int64
+	switch c.typ {
+	case Int64:
+		for i, v := range c.ints {
+			acc += v
+			dst[i+1] = acc
+		}
 	case Bool:
-		for _, v := range c.bools[lo:hi] {
-			sum += float64(v)
+		for i, v := range c.bools {
+			acc += int64(v)
+			dst[i+1] = acc
 		}
 	case String:
-		for _, v := range c.codes[lo:hi] {
-			sum += float64(v)
+		for i, v := range c.codes {
+			acc += int64(v)
+			dst[i+1] = acc
 		}
+	default:
+		return false
 	}
-	return sum, hi - lo
+	return true
 }
 
 // MinMaxRange reports the minimum and maximum float coercion over
 // [lo, hi) and the count. Empty ranges report (+Inf, -Inf, 0); NaN values
-// are skipped, matching a scalar `if v < min` loop.
-func (c *Column) MinMaxRange(lo, hi int) (min, max float64, n int) {
+// are skipped, matching a scalar `if v < min` loop. Integer-backed
+// columns compare natively — no per-element float conversion — with
+// branch-free (conditional-move) inner loops; the single conversion
+// happens once at the end.
+func (c *Column) MinMaxRange(lo, hi int) (mn, mx float64, n int) {
 	lo, hi = c.clampRange(lo, hi)
-	min, max = math.Inf(1), math.Inf(-1)
+	if hi == lo {
+		return math.Inf(1), math.Inf(-1), 0
+	}
 	switch c.typ {
 	case Int64:
-		for _, raw := range c.ints[lo:hi] {
-			v := float64(raw)
-			if v < min {
-				min = v
-			}
-			if v > max {
-				max = v
-			}
+		lov, hiv := int64(math.MaxInt64), int64(math.MinInt64)
+		for _, v := range c.ints[lo:hi] {
+			lov = min(lov, v)
+			hiv = max(hiv, v)
 		}
+		return float64(lov), float64(hiv), hi - lo
 	case Float64:
+		mn, mx = math.Inf(1), math.Inf(-1)
 		for _, v := range c.flts[lo:hi] {
-			if v < min {
-				min = v
+			if v < mn {
+				mn = v
 			}
-			if v > max {
-				max = v
+			if v > mx {
+				mx = v
 			}
 		}
+		return mn, mx, hi - lo
 	case Bool:
-		for _, raw := range c.bools[lo:hi] {
-			v := float64(raw)
-			if v < min {
-				min = v
-			}
-			if v > max {
-				max = v
-			}
+		lov, hiv := byte(1), byte(0)
+		for _, v := range c.bools[lo:hi] {
+			lov = min(lov, v)
+			hiv = max(hiv, v)
 		}
+		return float64(lov), float64(hiv), hi - lo
 	case String:
-		for _, raw := range c.codes[lo:hi] {
-			v := float64(raw)
-			if v < min {
-				min = v
-			}
-			if v > max {
-				max = v
-			}
+		lov, hiv := int32(math.MaxInt32), int32(math.MinInt32)
+		for _, v := range c.codes[lo:hi] {
+			lov = min(lov, v)
+			hiv = max(hiv, v)
 		}
+		return float64(lov), float64(hiv), hi - lo
 	}
-	return min, max, hi - lo
+	return math.Inf(1), math.Inf(-1), 0
 }
 
 // CountRange reports how many stored values fall in [lo, hi) after
@@ -171,18 +278,192 @@ func (op RangeOp) applyCmp(c int) bool {
 	}
 }
 
-// applyFloat compares a against b under op with Value.Compare's numeric
-// semantics (plain float comparison; NaN fails every ordered test and
-// compares equal-ish the way Compare's default branch does).
-func (op RangeOp) applyFloat(a, b float64) bool {
-	switch {
-	case a < b:
-		return op == RangeLt || op == RangeLe || op == RangeNe
-	case a > b:
-		return op == RangeGt || op == RangeGe || op == RangeNe
+// wants decomposes op into pass masks over the three-way float comparison
+// outcome, hoisting the operator dispatch out of the inner loops: an
+// element passes iff lt·wLt | gt·wGt | eqish·wEq, where eqish means
+// neither ordered test held. This reproduces Value.Compare's numeric
+// semantics exactly — NaN fails both ordered tests and therefore counts
+// as "equal-ish", passing Eq/Le/Ge, the way Compare's default branch
+// does.
+func (op RangeOp) wants() (wLt, wGt, wEq int) {
+	switch op {
+	case RangeEq:
+		return 0, 0, 1
+	case RangeNe:
+		return 1, 1, 0
+	case RangeLt:
+		return 1, 0, 0
+	case RangeLe:
+		return 1, 0, 1
+	case RangeGt:
+		return 0, 1, 0
+	case RangeGe:
+		return 0, 1, 1
 	default:
-		return op == RangeEq || op == RangeLe || op == RangeGe
+		return 0, 0, 0
 	}
+}
+
+// b2i converts a comparison outcome to 0/1 without a branch (the compiler
+// lowers the inlined form to SETcc).
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// passFloat reports (as 0/1) whether `a op b` holds under the
+// pre-decomposed wants masks — the branch-free predicate evaluated once
+// per element by the float-column filter kernels.
+func passFloat(a, b float64, wLt, wGt, wEq int) int {
+	lt := b2i(a < b)
+	gt := b2i(a > b)
+	return lt&wLt | gt&wGt | (1^(lt|gt))&wEq
+}
+
+// intPred is an integer-interval predicate exactly equivalent to a float
+// comparison over an int64 column: pass ⇔ (lo <= v && v <= hi) ^ neg.
+// The int64→float64 conversion is monotone (non-strictly), so the pass
+// set of `float64(v) op b` is always an interval of int64 (or its
+// complement, for Ne); lowering the comparison to integer bounds removes
+// the per-element CVTSI2SD and float compare from the inner loops while
+// reproducing Value.Compare's float semantics bit for bit — including
+// values beyond 2^53, where the conversion rounds.
+type intPred struct {
+	lo, hi int64
+	// neg is 0, or 1 to complement the interval (RangeNe).
+	neg int
+}
+
+// test reports (as 0/1) whether v passes — two integer compares, no
+// branches.
+func (p intPred) test(v int64) int {
+	return (b2i(v >= p.lo) & b2i(v <= p.hi)) ^ p.neg
+}
+
+// maxIntWhere returns the largest int64 satisfying pred, which must be
+// downward closed (pred(v) ⇒ pred(w) for all w < v); ok is false when no
+// value satisfies it. Binary search in the order-preserving unsigned
+// domain: ~64 float compares once per kernel call.
+func maxIntWhere(pred func(int64) bool) (t int64, ok bool) {
+	lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
+	if !pred(lo) {
+		return 0, false
+	}
+	if pred(hi) {
+		return hi, true
+	}
+	// Invariant: pred(lo) && !pred(hi).
+	for {
+		ulo, uhi := uint64(lo)^(1<<63), uint64(hi)^(1<<63)
+		if uhi-ulo <= 1 {
+			return lo, true
+		}
+		mid := int64((ulo + (uhi-ulo)/2) ^ (1 << 63))
+		if pred(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+}
+
+// intPredFor lowers `float64(v) op b` to an integer predicate, with
+// constant outcomes reported separately (none/all) so inner loops can
+// skip the test — or the whole scan — entirely. NaN operands follow
+// Value.Compare's default branch: every value is "equal-ish", so Eq, Le
+// and Ge pass everything and Lt, Gt, Ne pass nothing.
+func intPredFor(op RangeOp, b float64) (p intPred, none, all bool) {
+	// tLt: largest v with float64(v) < b; tLe: largest v with
+	// !(float64(v) > b) — both pass sets are downward closed.
+	tLt, okLt := maxIntWhere(func(v int64) bool { return float64(v) < b })
+	tLe, okLe := maxIntWhere(func(v int64) bool { return !(float64(v) > b) })
+	const minI, maxI = int64(math.MinInt64), int64(math.MaxInt64)
+	// The always-false predicate keeps test() correct even for callers
+	// that only consult the test and skip the none flag.
+	never := intPred{lo: 0, hi: -1}
+	interval := func(lo, hi int64) (intPred, bool, bool) {
+		if lo > hi {
+			return never, true, false
+		}
+		return intPred{lo: lo, hi: hi}, false, lo == minI && hi == maxI
+	}
+	switch op {
+	case RangeLt:
+		if !okLt {
+			return never, true, false
+		}
+		return interval(minI, tLt)
+	case RangeLe:
+		if !okLe {
+			return never, true, false
+		}
+		return interval(minI, tLe)
+	case RangeGt:
+		if !okLe {
+			return intPred{lo: minI, hi: maxI}, false, true
+		}
+		if tLe == maxI {
+			return never, true, false
+		}
+		return interval(tLe+1, maxI)
+	case RangeGe:
+		if !okLt {
+			return intPred{lo: minI, hi: maxI}, false, true
+		}
+		if tLt == maxI {
+			return never, true, false
+		}
+		return interval(tLt+1, maxI)
+	case RangeEq, RangeNe:
+		lo := minI
+		if okLt {
+			if tLt == maxI {
+				lo = 0
+				tLe = -1 // force the empty interval below
+			} else {
+				lo = tLt + 1
+			}
+		}
+		hi := tLe
+		if !okLe {
+			lo, hi = 0, -1
+		}
+		p, none, all := interval(lo, hi)
+		if op == RangeNe {
+			// Complement: constant outcomes swap, a genuine interval
+			// negates. The constant cases rebuild p so it stays usable
+			// by callers that only consult the test.
+			switch {
+			case none:
+				return intPred{lo: minI, hi: maxI}, false, true
+			case all:
+				return never, true, false
+			default:
+				p.neg = 1
+				return p, false, false
+			}
+		}
+		return p, none, all
+	default:
+		return never, true, false
+	}
+}
+
+// selGrow extends sel with n writable scratch slots and returns the
+// (possibly reallocated) slice plus the scratch window. The filter
+// kernels write candidates unconditionally into the window and advance
+// the cursor by the 0/1 pass mask, so qualifying positions compact to the
+// front without a data-dependent branch.
+func selGrow(sel []int32, n int) ([]int32, []int32) {
+	need := len(sel) + n
+	if cap(sel) < need {
+		grown := make([]int32, len(sel), need)
+		copy(grown, sel)
+		sel = grown
+	}
+	return sel, sel[len(sel):need]
 }
 
 // FilterRange appends to sel the positions in [lo, hi) whose value
@@ -191,87 +472,123 @@ func (op RangeOp) applyFloat(a, b float64) bool {
 // both sides to float64 exactly as Value.Compare does; string columns
 // compared against a string operand compare lexicographically, with the
 // per-distinct-code outcome memoized so the scan never re-compares a
-// repeated string.
+// repeated string. The inner loops are branch-free: every candidate
+// position is written, and the output cursor advances only on a pass.
 func (c *Column) FilterRange(lo, hi int, op RangeOp, operand Value, sel []int32) []int32 {
 	lo, hi = c.clampRange(lo, hi)
-	if c.typ == String && operand.Type == String {
-		pass := c.passByCode(op, operand)
-		for i, code := range c.codes[lo:hi] {
-			if pass[code] {
-				sel = append(sel, int32(lo+i))
-			}
-		}
+	if hi == lo {
 		return sel
 	}
+	if c.typ == String {
+		// String and numeric operands both go through the memoized
+		// per-code outcome table (numeric operands coerce each distinct
+		// string once, as Value.Compare parses the string side).
+		pass := c.passByCode(op, operand)
+		sel, buf := selGrow(sel, hi-lo)
+		j := 0
+		for i, code := range c.codes[lo:hi] {
+			buf[j] = int32(lo + i)
+			j += b2i(pass[code])
+		}
+		return sel[:len(sel)+j]
+	}
 	b := operand.AsFloat()
+	wLt, wGt, wEq := op.wants()
+	sel, buf := selGrow(sel, hi-lo)
+	j := 0
 	switch c.typ {
 	case Int64:
-		for i, v := range c.ints[lo:hi] {
-			if op.applyFloat(float64(v), b) {
-				sel = append(sel, int32(lo+i))
+		p, none, all := intPredFor(op, b)
+		switch {
+		case none:
+		case all:
+			for i := lo; i < hi; i++ {
+				buf[j] = int32(i)
+				j++
+			}
+		default:
+			for i, v := range c.ints[lo:hi] {
+				buf[j] = int32(lo + i)
+				j += p.test(v)
 			}
 		}
 	case Float64:
 		for i, v := range c.flts[lo:hi] {
-			if op.applyFloat(v, b) {
-				sel = append(sel, int32(lo+i))
-			}
+			buf[j] = int32(lo + i)
+			j += passFloat(v, b, wLt, wGt, wEq)
 		}
 	case Bool:
+		var tab [2]int
+		tab[0] = passFloat(0, b, wLt, wGt, wEq)
+		tab[1] = passFloat(1, b, wLt, wGt, wEq)
 		for i, v := range c.bools[lo:hi] {
-			if op.applyFloat(float64(v), b) {
-				sel = append(sel, int32(lo+i))
-			}
-		}
-	case String:
-		// Numeric operand against a string column coerces each distinct
-		// string once (Value.Compare parses the string side).
-		pass := c.passByCode(op, operand)
-		for i, code := range c.codes[lo:hi] {
-			if pass[code] {
-				sel = append(sel, int32(lo+i))
-			}
+			buf[j] = int32(lo + i)
+			j += tab[v&1]
 		}
 	}
-	return sel
+	return sel[:len(sel)+j]
 }
 
 // FilterSel appends to out the positions from sel whose value satisfies
 // `value op operand` — the conjunct-refinement kernel (evaluate the next
-// WHERE conjunct only on survivors of the previous ones).
+// WHERE conjunct only on survivors of the previous ones). Same branch-free
+// compaction as FilterRange.
 func (c *Column) FilterSel(sel []int32, op RangeOp, operand Value, out []int32) []int32 {
 	n := c.Len()
-	if c.typ == String {
-		pass := c.passByCode(op, operand)
-		for _, p := range sel {
-			if p >= 0 && int(p) < n && pass[c.codes[p]] {
-				out = append(out, p)
-			}
-		}
+	if len(sel) == 0 {
 		return out
 	}
+	if c.typ == String {
+		pass := c.passByCode(op, operand)
+		out, buf := selGrow(out, len(sel))
+		j := 0
+		for _, p := range sel {
+			if p < 0 || int(p) >= n {
+				continue
+			}
+			buf[j] = p
+			j += b2i(pass[c.codes[p]])
+		}
+		return out[:len(out)+j]
+	}
 	b := operand.AsFloat()
+	wLt, wGt, wEq := op.wants()
+	out, buf := selGrow(out, len(sel))
+	j := 0
 	switch c.typ {
 	case Int64:
+		ip, none, _ := intPredFor(op, b)
+		if none {
+			return out
+		}
 		for _, p := range sel {
-			if p >= 0 && int(p) < n && op.applyFloat(float64(c.ints[p]), b) {
-				out = append(out, p)
+			if p < 0 || int(p) >= n {
+				continue
 			}
+			buf[j] = p
+			j += ip.test(c.ints[p])
 		}
 	case Float64:
 		for _, p := range sel {
-			if p >= 0 && int(p) < n && op.applyFloat(c.flts[p], b) {
-				out = append(out, p)
+			if p < 0 || int(p) >= n {
+				continue
 			}
+			buf[j] = p
+			j += passFloat(c.flts[p], b, wLt, wGt, wEq)
 		}
 	case Bool:
+		var tab [2]int
+		tab[0] = passFloat(0, b, wLt, wGt, wEq)
+		tab[1] = passFloat(1, b, wLt, wGt, wEq)
 		for _, p := range sel {
-			if p >= 0 && int(p) < n && op.applyFloat(float64(c.bools[p]), b) {
-				out = append(out, p)
+			if p < 0 || int(p) >= n {
+				continue
 			}
+			buf[j] = p
+			j += tab[c.bools[p]&1]
 		}
 	}
-	return out
+	return out[:len(out)+j]
 }
 
 // passKey identifies one memoized predicate-outcome table.
@@ -283,9 +600,11 @@ type passKey struct {
 // maxPassTables caps the per-column predicate memo. Columns are shared
 // and live as long as the process, so without a cap every distinct
 // (op, operand) a long-running session — or a stream of remote clients —
-// ever filters with would pin an O(|dict|) table forever. At the cap an
-// arbitrary table is evicted: tables are pure memos and rebuild on
-// demand, so eviction never changes results.
+// ever filters with would pin an O(|dict|) table forever. At the cap the
+// least-recently-used table is evicted: tables are pure memos and rebuild
+// on demand, so eviction never changes results, and LRU keeps the hot
+// conjuncts of active gestures cached through storms of one-off
+// predicates.
 const maxPassTables = 64
 
 // passByCode evaluates the predicate once per distinct dictionary code of
@@ -309,20 +628,34 @@ func (c *Column) passByCode(op RangeOp, operand Value) []bool {
 	c.passMu.Lock()
 	defer c.passMu.Unlock()
 	if pass, ok := c.passCache[key]; ok && len(pass) >= n {
+		c.touchPass(key)
 		return pass
 	}
 	pass := c.extendPass(op, operand, c.passCache[key], n)
 	if c.passCache == nil {
 		c.passCache = make(map[passKey][]bool)
+		c.passUse = make(map[passKey]uint64)
 	}
 	if _, exists := c.passCache[key]; !exists && len(c.passCache) >= maxPassTables {
-		for victim := range c.passCache {
-			delete(c.passCache, victim)
-			break
+		var victim passKey
+		oldest := uint64(math.MaxUint64)
+		for k := range c.passCache {
+			if u := c.passUse[k]; u < oldest {
+				oldest, victim = u, k
+			}
 		}
+		delete(c.passCache, victim)
+		delete(c.passUse, victim)
 	}
 	c.passCache[key] = pass
+	c.touchPass(key)
 	return pass
+}
+
+// touchPass stamps key as most recently used. Callers hold passMu.
+func (c *Column) touchPass(key passKey) {
+	c.passTick++
+	c.passUse[key] = c.passTick
 }
 
 // extendPass appends outcomes for dictionary codes [len(pass), n).

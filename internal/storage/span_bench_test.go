@@ -1,0 +1,296 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Per-kernel microbenchmarks over 1M-row columns — the tracked kernel
+// baseline. scripts/bench.sh runs these (plus the end-to-end touch
+// benchmarks) and emits BENCH_kernels.json; the CI bench-smoke step
+// keeps them compiling. Filter kernels run at 1%, 50% and 99%
+// selectivity: 50% is the branch-predictor worst case the branch-free
+// inner loops exist for.
+
+const benchRows = 1 << 20
+
+func benchIntCol() *Column {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int64, benchRows)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(100))
+	}
+	return NewIntColumn("v", vals)
+}
+
+func benchFloatCol() *Column {
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]float64, benchRows)
+	for i := range vals {
+		vals[i] = rng.Float64() * 100
+	}
+	return NewFloatColumn("v", vals)
+}
+
+func benchBoolCol() *Column {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]bool, benchRows)
+	for i := range vals {
+		vals[i] = rng.Intn(2) == 0
+	}
+	return NewBoolColumn("v", vals)
+}
+
+func benchStringCol() *Column {
+	rng := rand.New(rand.NewSource(4))
+	words := make([]string, 100)
+	for i := range words {
+		words[i] = fmt.Sprintf("w%02d", i)
+	}
+	vals := make([]string, benchRows)
+	for i := range vals {
+		vals[i] = words[rng.Intn(len(words))]
+	}
+	return NewStringColumn("v", vals)
+}
+
+func benchCols() map[string]*Column {
+	return map[string]*Column{
+		"int64":   benchIntCol(),
+		"float64": benchFloatCol(),
+		"bool":    benchBoolCol(),
+		"string":  benchStringCol(),
+	}
+}
+
+// selectivities maps label → operand for `v < operand` over values
+// uniform in [0, 100).
+var selectivities = []struct {
+	label   string
+	operand int64
+}{
+	{"sel01", 1},
+	{"sel50", 50},
+	{"sel99", 99},
+}
+
+func BenchmarkSumRange(b *testing.B) {
+	for name, c := range benchCols() {
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(benchRows * 8)
+			for i := 0; i < b.N; i++ {
+				sinkF, _ = c.SumRange(0, benchRows)
+			}
+		})
+	}
+}
+
+func BenchmarkSumRangeInt64(b *testing.B) {
+	c := benchIntCol()
+	b.SetBytes(benchRows * 8)
+	for i := 0; i < b.N; i++ {
+		sinkI, _, _ = c.SumRangeInt64(0, benchRows)
+	}
+}
+
+func BenchmarkMinMaxRange(b *testing.B) {
+	for name, c := range benchCols() {
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(benchRows * 8)
+			for i := 0; i < b.N; i++ {
+				sinkF, sinkF2, _ = c.MinMaxRange(0, benchRows)
+			}
+		})
+	}
+}
+
+func BenchmarkFilterRange(b *testing.B) {
+	for _, typ := range []string{"int64", "float64"} {
+		c := benchCols()[typ]
+		for _, sel := range selectivities {
+			b.Run(typ+"/"+sel.label, func(b *testing.B) {
+				b.SetBytes(benchRows * 8)
+				var out []int32
+				for i := 0; i < b.N; i++ {
+					out = c.FilterRange(0, benchRows, RangeLt, IntValue(sel.operand), out[:0])
+				}
+				sinkN = len(out)
+			})
+		}
+	}
+}
+
+func BenchmarkFilterAggRange(b *testing.B) {
+	for _, typ := range []string{"int64", "float64", "bool", "string"} {
+		c := benchCols()[typ]
+		for _, sel := range selectivities {
+			operand := IntValue(sel.operand)
+			if typ == "bool" {
+				operand = IntValue(1)
+			}
+			if typ == "string" {
+				operand = StringValue(fmt.Sprintf("w%02d", sel.operand))
+			}
+			b.Run(typ+"/"+sel.label, func(b *testing.B) {
+				b.SetBytes(benchRows * 8)
+				for i := 0; i < b.N; i++ {
+					fa := c.FilterAggRange(0, benchRows, RangeLt, operand)
+					sinkF = fa.Sum
+					sinkN = fa.N
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFilterCountRange(b *testing.B) {
+	c := benchIntCol()
+	for _, sel := range selectivities {
+		b.Run("int64/"+sel.label, func(b *testing.B) {
+			b.SetBytes(benchRows * 8)
+			for i := 0; i < b.N; i++ {
+				sinkN = c.FilterCountRange(0, benchRows, RangeLt, IntValue(sel.operand))
+			}
+		})
+	}
+}
+
+func BenchmarkFilterAggSel(b *testing.B) {
+	c := benchIntCol()
+	base := c.FilterRange(0, benchRows, RangeLt, IntValue(50), nil)
+	b.Run("int64/sel50of50", func(b *testing.B) {
+		b.SetBytes(int64(len(base)) * 8)
+		for i := 0; i < b.N; i++ {
+			fa := c.FilterAggSel(base, RangeLt, IntValue(25))
+			sinkF = fa.Sum
+		}
+	})
+}
+
+// BenchmarkFilterSumRange is the sum-specialized fused kernel the
+// acceptance bar measures: it must run ≥ 2x faster than
+// BenchmarkFilterThenSumRangeOverSel (the unfused pipeline shape it
+// replaces) at ≥ 50% selectivity on 1M-row int64 — measured ~8x on the
+// reference container, and still ~1.6x against the idealized typed
+// gather compose (BenchmarkFilterThenSumCompose).
+func BenchmarkFilterSumRange(b *testing.B) {
+	for _, typ := range []string{"int64", "float64"} {
+		c := benchCols()[typ]
+		for _, sel := range selectivities {
+			b.Run(typ+"/"+sel.label, func(b *testing.B) {
+				b.SetBytes(benchRows * 8)
+				for i := 0; i < b.N; i++ {
+					fa := c.FilterSumRange(0, benchRows, RangeLt, IntValue(sel.operand))
+					sinkF = fa.Sum
+					sinkN = fa.N
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFilterThenSumCompose is the unfused sum reference:
+// FilterRange materializes the selection, then a second typed pass sums
+// it — the best the storage layer can do without fusion.
+func BenchmarkFilterThenSumCompose(b *testing.B) {
+	c := benchIntCol()
+	for _, sel := range selectivities {
+		b.Run("int64/"+sel.label, func(b *testing.B) {
+			b.SetBytes(benchRows * 8)
+			var out []int32
+			for i := 0; i < b.N; i++ {
+				out = c.FilterRange(0, benchRows, RangeLt, IntValue(sel.operand), out[:0])
+				var sum int64
+				for _, p := range out {
+					sum += c.ints[p]
+				}
+				sinkF = float64(sum)
+				sinkN = len(out)
+			}
+		})
+	}
+}
+
+// BenchmarkFilterThenSumRangeOverSel is the unfused pipeline shape the
+// fused kernels replace: FilterRange materializes the selection, then
+// SumRange absorbs each maximal contiguous run of it (how the span path
+// feeds a running aggregate without fusion). At mid selectivities runs
+// are short, so the per-run dispatch dominates — exactly the overhead
+// fusion removes.
+func BenchmarkFilterThenSumRangeOverSel(b *testing.B) {
+	c := benchIntCol()
+	for _, sel := range selectivities {
+		b.Run("int64/"+sel.label, func(b *testing.B) {
+			b.SetBytes(benchRows * 8)
+			var out []int32
+			for i := 0; i < b.N; i++ {
+				out = c.FilterRange(0, benchRows, RangeLt, IntValue(sel.operand), out[:0])
+				var sum float64
+				n := 0
+				forEachRun(out, func(lo, hi int) {
+					s, k := c.SumRange(lo, hi)
+					sum += s
+					n += k
+				})
+				sinkF = sum
+				sinkN = n
+			}
+		})
+	}
+}
+
+// forEachRun mirrors operator.ForEachRun (storage cannot import operator).
+func forEachRun(sel []int32, fn func(lo, hi int)) {
+	if len(sel) == 0 {
+		return
+	}
+	runStart, prev := sel[0], sel[0]
+	for _, r := range sel[1:] {
+		if r != prev+1 {
+			fn(int(runStart), int(prev)+1)
+			runStart = r
+		}
+		prev = r
+	}
+	fn(int(runStart), int(prev)+1)
+}
+
+// BenchmarkFilterThenAggCompose is the unfused full-aggregate reference
+// for FilterAggRange: FilterRange materializes the selection, then a
+// second pass computes sum, count, min and max over it.
+func BenchmarkFilterThenAggCompose(b *testing.B) {
+	c := benchIntCol()
+	for _, sel := range selectivities {
+		b.Run("int64/"+sel.label, func(b *testing.B) {
+			b.SetBytes(benchRows * 8)
+			var out []int32
+			for i := 0; i < b.N; i++ {
+				out = c.FilterRange(0, benchRows, RangeLt, IntValue(sel.operand), out[:0])
+				var sum int64
+				n := 0
+				mn, mx := int64(1<<62), int64(-(1 << 62))
+				for _, p := range out {
+					v := c.ints[p]
+					sum += v
+					n++
+					if v < mn {
+						mn = v
+					}
+					if v > mx {
+						mx = v
+					}
+				}
+				sinkF = float64(sum)
+				sinkN = n
+			}
+		})
+	}
+}
+
+var (
+	sinkF  float64
+	sinkF2 float64
+	sinkI  int64
+	sinkN  int
+)

@@ -1,0 +1,404 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The fused-kernel property suite: every fused filter+aggregate kernel
+// must equal the compose-of-parts path — FilterRange (or FilterSel) to a
+// selection vector, then a scalar aggregation loop over the selection —
+// for all operators × column types × edge cases (NaN data and operands,
+// empty and inverted ranges, out-of-bounds clamping). CI runs this under
+// -race with the rest of the package.
+
+var fusedOps = []RangeOp{RangeEq, RangeNe, RangeLt, RangeLe, RangeGt, RangeGe}
+
+// composeAgg is the scalar reference: aggregate over the selection
+// exactly as a filter-then-add loop would — int64 accumulation for
+// integer-backed columns (the fused kernels' exactness contract; it
+// matches a float loop bitwise whenever that loop is itself exact, and
+// is the more accurate answer beyond 2^53), float left-to-right for
+// float columns.
+func composeAgg(c *Column, sel []int32) (n int, sum, mn, mx float64) {
+	mn, mx = math.Inf(1), math.Inf(-1)
+	exact := c.Type() != Float64
+	var isum int64
+	for _, p := range sel {
+		v := c.Float(int(p))
+		if exact {
+			isum += c.Int(int(p))
+		} else {
+			sum += v
+		}
+		n++
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	if exact {
+		sum = float64(isum)
+	}
+	return n, sum, mn, mx
+}
+
+// eqFloat compares aggregates bitwise, treating two NaNs as equal.
+func eqFloat(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return a == b
+}
+
+func checkAgainstCompose(t *testing.T, c *Column, lo, hi int, op RangeOp, operand Value, label string) {
+	t.Helper()
+	sel := c.FilterRange(lo, hi, op, operand, nil)
+	// Ground truth: FilterRange itself must match a scalar Value.Compare
+	// loop (the compose reference below builds on FilterRange, so this
+	// anchors the whole suite to the system comparison semantics — in
+	// particular the integer-bound lowering of float comparisons).
+	clo, chi := c.clampRange(lo, hi)
+	want := sel[:0:0]
+	for i := clo; i < chi; i++ {
+		if op.applyCmp(c.Value(i).Compare(operand)) {
+			want = append(want, int32(i))
+		}
+	}
+	if len(sel) != len(want) {
+		t.Fatalf("%s FilterRange[%d,%d) = %d rows, Value.Compare loop = %d", label, lo, hi, len(sel), len(want))
+	}
+	for i := range sel {
+		if sel[i] != want[i] {
+			t.Fatalf("%s FilterRange[%d,%d) row %d = %d, Value.Compare loop = %d", label, lo, hi, i, sel[i], want[i])
+		}
+	}
+	wantN, wantSum, wantMin, wantMax := composeAgg(c, sel)
+	fa := c.FilterAggRange(lo, hi, op, operand)
+	if fa.N != wantN || !eqFloat(fa.Sum, wantSum) || !eqFloat(fa.Min, wantMin) || !eqFloat(fa.Max, wantMax) {
+		t.Fatalf("%s FilterAggRange[%d,%d) = %+v, compose = n=%d sum=%v min=%v max=%v",
+			label, lo, hi, fa, wantN, wantSum, wantMin, wantMax)
+	}
+	if fa.Exact && fa.Sum != float64(fa.IntSum) {
+		t.Fatalf("%s exact sum mismatch: Sum=%v IntSum=%d", label, fa.Sum, fa.IntSum)
+	}
+	if got := c.FilterCountRange(lo, hi, op, operand); got != wantN {
+		t.Fatalf("%s FilterCountRange[%d,%d) = %d, want %d", label, lo, hi, got, wantN)
+	}
+	if fs := c.FilterSumRange(lo, hi, op, operand); fs.N != wantN || !eqFloat(fs.Sum, wantSum) {
+		t.Fatalf("%s FilterSumRange[%d,%d) = %+v, want n=%d sum=%v", label, lo, hi, fs, wantN, wantSum)
+	}
+	if fm := c.FilterMinMaxRange(lo, hi, op, operand); fm.N != wantN || !eqFloat(fm.Min, wantMin) || !eqFloat(fm.Max, wantMax) {
+		t.Fatalf("%s FilterMinMaxRange[%d,%d) = %+v, want n=%d min=%v max=%v", label, lo, hi, fm, wantN, wantMin, wantMax)
+	}
+}
+
+func checkSelAgainstCompose(t *testing.T, c *Column, base []int32, op RangeOp, operand Value, label string) {
+	t.Helper()
+	refined := c.FilterSel(base, op, operand, nil)
+	wantN, wantSum, wantMin, wantMax := composeAgg(c, refined)
+	fa := c.FilterAggSel(base, op, operand)
+	if fa.N != wantN || !eqFloat(fa.Sum, wantSum) || !eqFloat(fa.Min, wantMin) || !eqFloat(fa.Max, wantMax) {
+		t.Fatalf("%s FilterAggSel = %+v, compose = n=%d sum=%v min=%v max=%v",
+			label, fa, wantN, wantSum, wantMin, wantMax)
+	}
+	if got := c.FilterCountSel(base, op, operand); got != wantN {
+		t.Fatalf("%s FilterCountSel = %d, want %d", label, got, wantN)
+	}
+	if fs := c.FilterSumSel(base, op, operand); fs.N != wantN || !eqFloat(fs.Sum, wantSum) {
+		t.Fatalf("%s FilterSumSel = %+v, want n=%d sum=%v", label, fs, wantN, wantSum)
+	}
+	if fm := c.FilterMinMaxSel(base, op, operand); fm.N != wantN || !eqFloat(fm.Min, wantMin) || !eqFloat(fm.Max, wantMax) {
+		t.Fatalf("%s FilterMinMaxSel = %+v, want n=%d min=%v max=%v", label, fm, wantN, wantMin, wantMax)
+	}
+}
+
+// fuzzColumns builds one column per type with adversarial values:
+// duplicates, extremes, NaN/Inf floats, and a small string dictionary.
+func fuzzColumns(rng *rand.Rand, n int) []*Column {
+	ints := make([]int64, n)
+	flts := make([]float64, n)
+	bools := make([]bool, n)
+	strs := make([]string, n)
+	words := []string{"apple", "fig", "pear", "quince", "banana", "apple "}
+	for i := 0; i < n; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			ints[i] = int64(rng.Intn(5)) // heavy duplicates
+		case 1:
+			ints[i] = rng.Int63() - rng.Int63()
+		default:
+			ints[i] = int64(rng.Intn(200)) - 100
+		}
+		switch rng.Intn(8) {
+		case 0:
+			flts[i] = math.NaN()
+		case 1:
+			flts[i] = math.Inf(1 - 2*rng.Intn(2))
+		case 2:
+			flts[i] = math.Copysign(0, -1)
+		default:
+			flts[i] = (rng.Float64() - 0.5) * 200
+		}
+		bools[i] = rng.Intn(2) == 0
+		strs[i] = words[rng.Intn(len(words))]
+	}
+	return []*Column{
+		NewIntColumn("i", ints),
+		NewFloatColumn("f", flts),
+		NewBoolColumn("b", bools),
+		NewStringColumn("s", strs),
+	}
+}
+
+// fuzzOperands yields operands that cross every coercion path, including
+// NaN and values outside the data range.
+func fuzzOperands(rng *rand.Rand) []Value {
+	return []Value{
+		IntValue(int64(rng.Intn(10)) - 5),
+		IntValue(rng.Int63() - rng.Int63()),
+		FloatValue((rng.Float64() - 0.5) * 300),
+		FloatValue(math.NaN()),
+		FloatValue(math.Inf(1)),
+		BoolValue(rng.Intn(2) == 0),
+		StringValue("fig"),
+		StringValue("zzz"),
+		StringValue(""),
+	}
+}
+
+func TestFusedKernelsMatchCompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for round := 0; round < 6; round++ {
+		n := 1 + rng.Intn(700)
+		cols := fuzzColumns(rng, n)
+		ranges := [][2]int{
+			{0, n},             // full
+			{-7, n + 13},       // clamped both ends
+			{n / 3, 2 * n / 3}, // interior
+			{n / 2, n / 2},     // empty
+			{n - 1, 3},         // inverted (clamps empty)
+			{n, n + 5},         // fully out of range
+		}
+		for _, c := range cols {
+			for _, op := range fusedOps {
+				for oi, operand := range fuzzOperands(rng) {
+					label := fmt.Sprintf("round=%d type=%v op=%d operand#%d", round, c.Type(), op, oi)
+					for _, r := range ranges {
+						checkAgainstCompose(t, c, r[0], r[1], op, operand, label)
+					}
+					// Selection-refinement forms over a random base
+					// selection (including out-of-range positions, which
+					// both paths must skip).
+					base := c.FilterRange(0, n, RangeNe, IntValue(math.MaxInt64), nil)
+					if len(base) > 0 {
+						base = base[:rng.Intn(len(base)+1)]
+					}
+					base = append(base, int32(n), int32(-1), int32(n+7))
+					checkSelAgainstCompose(t, c, base, op, operand, label)
+				}
+			}
+		}
+	}
+}
+
+// TestBlockedKernelsMatchWholeRange asserts the blocked fused scans —
+// which lower the predicate once and chunk at cost-model block borders —
+// equal the whole-range kernels for every mode × type × block length,
+// and report per-chunk counts that sum to N.
+func TestBlockedKernelsMatchWholeRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	n := 1000
+	cols := fuzzColumns(rng, n)
+	modes := []FusedMode{FusedCount, FusedSum, FusedMinMax, FusedFull}
+	for _, c := range cols {
+		for _, op := range fusedOps {
+			for oi, operand := range fuzzOperands(rng) {
+				whole := c.FilterAggRange(0, n, op, operand)
+				base := c.FilterRange(0, n, RangeNe, IntValue(math.MaxInt64), nil)
+				for _, mode := range modes {
+					for _, bl := range []int{0, 1, 7, 64, 10000} {
+						label := fmt.Sprintf("type=%v op=%d operand#%d mode=%d bl=%d", c.Type(), op, oi, mode, bl)
+						counted := 0
+						got := c.FilterAggRangeBlocked(0, n, bl, op, operand, mode, func(_, k int) { counted += k })
+						checkModeAgainstFull(t, label+" range", got, whole, mode, c.Type())
+						if counted != whole.N {
+							t.Fatalf("%s: onBlock counts sum to %d, want %d", label, counted, whole.N)
+						}
+						counted = 0
+						gotSel := c.FilterAggSelBlocked(base, bl, op, operand, mode, func(_, k int) { counted += k })
+						wholeSel := c.FilterAggSel(base, op, operand)
+						checkModeAgainstFull(t, label+" sel", gotSel, wholeSel, mode, c.Type())
+						if counted != wholeSel.N {
+							t.Fatalf("%s sel: onBlock counts sum to %d, want %d", label, counted, wholeSel.N)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkModeAgainstFull compares a mode-restricted blocked result to the
+// full whole-range result: N always matches; the sum matches for
+// sum-maintaining modes (float sums only when unchunked semantics agree,
+// so float equality is checked only on integer-backed columns); extrema
+// match for extrema-maintaining modes.
+func checkModeAgainstFull(t *testing.T, label string, got, whole FilterAgg, mode FusedMode, typ Type) {
+	t.Helper()
+	if got.N != whole.N {
+		t.Fatalf("%s: N = %d, want %d", label, got.N, whole.N)
+	}
+	sumModes := mode == FusedSum || mode == FusedFull
+	if sumModes && typ != Float64 && got.IntSum != whole.IntSum {
+		t.Fatalf("%s: IntSum = %d, want %d", label, got.IntSum, whole.IntSum)
+	}
+	if mode == FusedMinMax || mode == FusedFull {
+		if !eqFloat(got.Min, whole.Min) || !eqFloat(got.Max, whole.Max) {
+			t.Fatalf("%s: extrema = (%v, %v), want (%v, %v)", label, got.Min, got.Max, whole.Min, whole.Max)
+		}
+	}
+}
+
+// TestFilterAggRangeEmpty pins the zero-qualifier contract: Min/Max are
+// ±Inf and Sum 0, matching MinMaxRange over an empty range.
+func TestFilterAggRangeEmpty(t *testing.T) {
+	c := NewIntColumn("v", []int64{1, 2, 3})
+	fa := c.FilterAggRange(0, 3, RangeGt, IntValue(100))
+	if fa.N != 0 || fa.Sum != 0 || !math.IsInf(fa.Min, 1) || !math.IsInf(fa.Max, -1) {
+		t.Fatalf("no-qualifier FilterAggRange = %+v", fa)
+	}
+	fa = c.FilterAggRange(2, 2, RangeGe, IntValue(0))
+	if fa.N != 0 || !math.IsInf(fa.Min, 1) {
+		t.Fatalf("empty-range FilterAggRange = %+v", fa)
+	}
+}
+
+// TestFilterAggExactSums verifies the int64 accumulation is exact where
+// a float64 accumulator would round.
+func TestFilterAggExactSums(t *testing.T) {
+	big := int64(1) << 60
+	c := NewIntColumn("v", []int64{big, 1, big, 1, -big, 1})
+	fa := c.FilterAggRange(0, 6, RangeNe, IntValue(big))
+	// Qualifying values: 1, 1, -big, 1.
+	if !fa.Exact || fa.IntSum != 3-big {
+		t.Fatalf("exact sum = %+v, want IntSum %d", fa, 3-big)
+	}
+	if fa.N != 4 || fa.Min != float64(-big) || fa.Max != 1 {
+		t.Fatalf("extrema = %+v", fa)
+	}
+}
+
+// TestFilterAggMergeOrder verifies chunked scans merge to the whole-range
+// answer (the operator layer splits scans at cost-model block borders).
+func TestFilterAggMergeOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(1000))
+	}
+	c := NewIntColumn("v", vals)
+	op, operand := RangeLt, IntValue(500)
+	whole := c.FilterAggRange(0, len(vals), op, operand)
+	var merged FilterAgg
+	merged.Min, merged.Max = math.Inf(1), math.Inf(-1)
+	for lo := 0; lo < len(vals); lo += 512 {
+		hi := lo + 512
+		if hi > len(vals) {
+			hi = len(vals)
+		}
+		chunk := c.FilterAggRange(lo, hi, op, operand)
+		merged.Merge(chunk)
+	}
+	if merged.N != whole.N || merged.Sum != whole.Sum || merged.Min != whole.Min || merged.Max != whole.Max || merged.IntSum != whole.IntSum {
+		t.Fatalf("merged = %+v, whole = %+v", merged, whole)
+	}
+}
+
+// TestSumRangeInt64Exact pins the typed integer sum kernel.
+func TestSumRangeInt64Exact(t *testing.T) {
+	big := int64(1) << 60
+	c := NewIntColumn("v", []int64{big, big, big, -big, 5, -2, 9, 11})
+	sum, n, ok := c.SumRangeInt64(0, 8)
+	if !ok || n != 8 || sum != 2*big+23 {
+		t.Fatalf("SumRangeInt64 = %d, %d, %v", sum, n, ok)
+	}
+	// Unroll remainder handling: sub-multiple-of-4 lengths.
+	for lo := 0; lo < 8; lo++ {
+		for hi := lo; hi <= 8; hi++ {
+			var want int64
+			for i := lo; i < hi; i++ {
+				want += c.Int(i)
+			}
+			got, _, _ := c.SumRangeInt64(lo, hi)
+			if got != want {
+				t.Fatalf("SumRangeInt64(%d,%d) = %d, want %d", lo, hi, got, want)
+			}
+		}
+	}
+	bc := NewBoolColumn("b", []bool{true, true, false, true, false, true, true})
+	if sum, n, ok := bc.SumRangeInt64(0, 7); !ok || sum != 5 || n != 7 {
+		t.Fatalf("bool SumRangeInt64 = %d, %d, %v", sum, n, ok)
+	}
+	fc := NewFloatColumn("f", []float64{1, 2})
+	if _, _, ok := fc.SumRangeInt64(0, 2); ok {
+		t.Fatal("float column should report ok=false")
+	}
+}
+
+// TestPrefixInts pins the exact prefix-sum build kernel.
+func TestPrefixInts(t *testing.T) {
+	c := NewIntColumn("v", []int64{3, -1, 4, 1, -5})
+	dst := make([]int64, 6)
+	if !c.PrefixInts(dst) {
+		t.Fatal("PrefixInts refused an int column")
+	}
+	want := []int64{0, 3, 2, 6, 7, 2}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("prefix[%d] = %d, want %d", i, dst[i], want[i])
+		}
+	}
+	if c.PrefixInts(make([]int64, 3)) {
+		t.Fatal("wrong-length dst should be refused")
+	}
+	fc := NewFloatColumn("f", []float64{1})
+	if fc.PrefixInts(make([]int64, 2)) {
+		t.Fatal("float column should be refused")
+	}
+}
+
+// TestPassCacheLRU asserts eviction order: a hot predicate's memo table
+// survives a storm of 64+ distinct cold predicates because eviction
+// drops the least-recently-used table, not an arbitrary one.
+func TestPassCacheLRU(t *testing.T) {
+	vals := make([]string, 500)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("w%03d", i%40)
+	}
+	c := NewStringColumn("s", vals)
+	hot := StringValue("w007")
+	hotKey := passKey{op: RangeEq, operand: hot}
+
+	c.FilterRange(0, c.Len(), RangeEq, hot, nil)
+	for i := 0; i < 2*maxPassTables; i++ {
+		// One cold, never-repeated predicate...
+		c.FilterRange(0, c.Len(), RangeLt, StringValue(fmt.Sprintf("cold%04d", i)), nil)
+		// ...interleaved with the hot one staying in use.
+		c.FilterRange(0, c.Len(), RangeEq, hot, nil)
+	}
+	c.passMu.Lock()
+	_, hotAlive := c.passCache[hotKey]
+	size := len(c.passCache)
+	c.passMu.Unlock()
+	if !hotAlive {
+		t.Fatal("hot predicate table was evicted by cold traffic")
+	}
+	if size > maxPassTables {
+		t.Fatalf("pass cache grew to %d tables, cap is %d", size, maxPassTables)
+	}
+}

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# bench.sh — run the kernel microbenchmarks and the end-to-end touch
+# benchmarks, and emit BENCH_kernels.json at the repo root: the tracked
+# perf baseline. Re-run after kernel work and commit the diff so
+# regressions show up in review.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 1s)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-1s}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "== storage span kernels (benchtime=$benchtime)" >&2
+go test -run=NONE -bench='.' -benchtime="$benchtime" ./internal/storage/ | tee -a "$raw" >&2
+
+echo "== end-to-end touch pipeline" >&2
+go test -run=NONE -bench='BenchmarkTouchPipeline$|BenchmarkFig4aGestureSpeed$' -benchtime="$benchtime" . | tee -a "$raw" >&2
+
+awk -v go_version="$(go version)" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    line = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"metrics\": {", $1, $2)
+    m = 0
+    for (i = 3; i + 1 <= NF; i += 2) {
+        if (m++) line = line ", "
+        line = line sprintf("\"%s\": %s", $(i + 1), $i)
+    }
+    benches[n++] = line "}}"
+}
+END {
+    printf "{\n"
+    printf "  \"go\": \"%s\",\n", go_version
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++)
+        printf "%s%s\n", benches[i], (i + 1 < n ? "," : "")
+    printf "  ]\n}\n"
+}
+' "$raw" > BENCH_kernels.json
+
+echo "wrote BENCH_kernels.json" >&2
