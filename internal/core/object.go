@@ -749,6 +749,17 @@ func (o *Object) chooseLevel(ev gesture.Event, interTouch time.Duration) int {
 	}
 	speed := math.Hypot(ev.Velocity.X, ev.Velocity.Y)
 	level := o.hierarchy.SelectLevel(o.view.LocalSize().H, speed, interTouch)
+	// With enough gesture history, the extrapolator's measured base-tuple
+	// step is a better gap estimate than the geometric model: it reflects
+	// where consecutive touches actually landed (real sensor cadence and
+	// coordinate mapping), so the level tracks the observed touch spacing
+	// instead of the screen-extent prediction. chooseLevel runs before
+	// this touch is Observed, so the state is genuinely anticipatory.
+	if o.extrap != nil && o.extrap.Observed() >= 2 {
+		if gap := math.Abs(o.extrap.StepSize()); gap >= 1 {
+			level = o.hierarchy.SelectLevelForGap(gap)
+		}
+	}
 	if bound := o.kernel.cfg.ResponseBound; bound > 0 && o.actions.Mode == ModeSummary {
 		level = o.escalateForBound(level, bound)
 	}

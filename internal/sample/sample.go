@@ -241,10 +241,25 @@ func (h *Hierarchy) SelectLevel(extentCm, cmPerSec float64, interTouch time.Dura
 	}
 	rows := h.levels[0].Col.Len()
 	gap := float64(rows) * cmPerSec * interTouch.Seconds() / extentCm
-	if gap < 1 {
+	return h.SelectLevelForGap(gap)
+}
+
+// SelectLevelForGap picks the coarsest level whose stride does not exceed
+// an already-known base-tuple gap between consecutive touches — the
+// direct form of SelectLevel for callers that observe the gap instead of
+// deriving it from screen geometry (the touch extrapolator measures it
+// from the gesture's own history, which folds in the real sensor rate
+// and mapping instead of the geometric model's assumptions).
+func (h *Hierarchy) SelectLevelForGap(gap float64) int {
+	if gap < 1 || math.IsNaN(gap) {
 		return 0
 	}
-	level := int(math.Floor(math.Log2(gap)))
+	// Clamp before the int conversion: int(+Inf) is implementation-defined.
+	lv := math.Floor(math.Log2(gap))
+	if lv >= float64(len(h.levels)) {
+		return len(h.levels) - 1
+	}
+	level := int(lv)
 	if level < 0 {
 		level = 0
 	}

@@ -1,6 +1,7 @@
 package sample
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 	"time"
@@ -144,6 +145,37 @@ func TestSelectLevelDegenerateInputs(t *testing.T) {
 	}
 	if h.SelectLevel(10, 1, 0) != 0 {
 		t.Fatal("zero inter-touch should select base")
+	}
+}
+
+func TestSelectLevelForGap(t *testing.T) {
+	h, _ := buildHierarchy(t, 1024, 4)
+	cases := []struct {
+		gap  float64
+		want int
+	}{
+		{0, 0},
+		{0.5, 0},
+		{1, 0},
+		{2, 1},
+		{3, 1},
+		{4, 2},
+		{1 << 30, h.NumLevels() - 1}, // clamped to the coarsest level
+		{math.NaN(), 0},
+		{math.Inf(1), h.NumLevels() - 1},
+	}
+	for _, tc := range cases {
+		if got := h.SelectLevelForGap(tc.gap); got != tc.want {
+			t.Fatalf("SelectLevelForGap(%v) = %d, want %d", tc.gap, got, tc.want)
+		}
+	}
+	// The geometric form must agree with the gap form on its own gap.
+	rows := 1 << 20
+	h2, _ := buildHierarchy(t, rows, 12)
+	extent, speed, it := 10.0, 2.0, 60*time.Millisecond
+	gap := float64(rows) * speed * it.Seconds() / extent
+	if a, b := h2.SelectLevel(extent, speed, it), h2.SelectLevelForGap(gap); a != b {
+		t.Fatalf("SelectLevel = %d, SelectLevelForGap = %d for the same gap", a, b)
 	}
 }
 

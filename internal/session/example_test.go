@@ -103,7 +103,7 @@ func ExampleSession() {
 	fmt.Printf("running aggregate absorbed %d sample entries\n", last.N)
 	mgr.Evict("solo")
 	// Output:
-	// running aggregate absorbed 76 sample entries
+	// running aggregate absorbed 82 sample entries
 }
 
 // ExampleManager_workers pins the scheduler pool size. The pool is

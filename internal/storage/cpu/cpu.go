@@ -1,0 +1,52 @@
+// Package cpu probes the host processor for the SIMD features the
+// storage kernels dispatch on. It is a deliberately tiny subset of
+// golang.org/x/sys/cpu (which this module does not depend on): one
+// CPUID/XGETBV probe on amd64, a constant on arm64 (NEON is baseline),
+// and all-false everywhere else or under the purego build tag.
+//
+// The flags are computed once at init and never change; readers need no
+// synchronization. The purego tag forces every flag false even on
+// capable hardware — that is the switch that pins the whole storage
+// layer to the pure-Go reference kernels (see ARCHITECTURE.md "Kernel
+// layer" for the build-tag matrix).
+package cpu
+
+// X86 reports amd64 feature bits relevant to the span kernels. All
+// fields are false on other architectures and under the purego tag.
+var X86 struct {
+	// HasAVX2 reports AVX2 support usable from userspace: CPUID
+	// advertises AVX2 and the OS has enabled YMM state (OSXSAVE set and
+	// XCR0 bits 1–2 both on). Both halves matter — a VM or container
+	// that masks XSAVE must not dispatch into VEX-256 kernels.
+	HasAVX2 bool
+	// HasFMA and HasAVX512F are detected for bench provenance
+	// (BENCH_*.json records them) but nothing dispatches on them yet.
+	HasFMA     bool
+	HasAVX512F bool
+}
+
+// ARM64 reports arm64 feature bits. ASIMD (NEON) is architecturally
+// mandatory on arm64, so outside purego builds it is constant true.
+var ARM64 struct {
+	HasASIMD bool
+}
+
+// Features renders the detected flags as a comma-separated list for
+// bench metadata ("avx2,fma", "asimd", or "" when nothing is usable).
+func Features() string {
+	s := ""
+	add := func(on bool, name string) {
+		if !on {
+			return
+		}
+		if s != "" {
+			s += ","
+		}
+		s += name
+	}
+	add(X86.HasAVX2, "avx2")
+	add(X86.HasFMA, "fma")
+	add(X86.HasAVX512F, "avx512f")
+	add(ARM64.HasASIMD, "asimd")
+	return s
+}

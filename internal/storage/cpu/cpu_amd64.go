@@ -1,0 +1,38 @@
+//go:build amd64 && !purego
+
+package cpu
+
+// cpuid executes CPUID with the given leaf/subleaf (implemented in
+// cpu_amd64.s).
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (implemented in cpu_amd64.s). Only valid when
+// CPUID.1:ECX.OSXSAVE is set.
+func xgetbv() (eax, edx uint32)
+
+func init() {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		cpuidOSXSAVE = 1 << 27
+		cpuidFMA     = 1 << 12
+	)
+	osxsave := ecx1&cpuidOSXSAVE != 0
+	// YMM state needs XCR0 bits 1 (SSE) and 2 (AVX) both enabled by the OS.
+	ymmOS := false
+	if osxsave {
+		xcr0, _ := xgetbv()
+		ymmOS = xcr0&0x6 == 0x6
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const (
+		cpuidAVX2    = 1 << 5
+		cpuidAVX512F = 1 << 16
+	)
+	X86.HasAVX2 = ymmOS && ebx7&cpuidAVX2 != 0
+	X86.HasFMA = ymmOS && ecx1&cpuidFMA != 0
+	X86.HasAVX512F = ymmOS && ebx7&cpuidAVX512F != 0
+}

@@ -1,0 +1,9 @@
+//go:build arm64 && !purego
+
+package cpu
+
+func init() {
+	// Advanced SIMD is mandatory in the arm64 base profile Go targets,
+	// so there is nothing to probe.
+	ARM64.HasASIMD = true
+}

@@ -1,0 +1,6 @@
+//go:build purego || (!amd64 && !arm64)
+
+package cpu
+
+// No probe: every feature flag keeps its false zero value, which pins
+// the storage layer to the pure-Go reference kernels.

@@ -1,0 +1,7 @@
+//go:build !race
+
+package storage
+
+// raceEnabled is false in normal builds; see race_on.go for why the
+// SIMD dispatch consults it.
+const raceEnabled = false

@@ -1,0 +1,15 @@
+//go:build race
+
+package storage
+
+// raceEnabled reports that this binary was built with the race detector.
+// The SIMD dispatch flags fold it in (see simd_amd64.go / simd_arm64.go):
+// under -race every kernel takes the pure-Go path, because the race
+// detector cannot instrument loads performed inside assembly — a data
+// race on a shared column's backing slice would go unreported if the hot
+// loops ran in .s files. Forcing the scalar path keeps the concurrent
+// equivalence suites (internal/session under -race) able to observe
+// every read the kernels perform. The asm itself is still exercised
+// under -race by the differential suite (simd_diff_test.go), which calls
+// the kernels directly rather than through the dispatch.
+const raceEnabled = true

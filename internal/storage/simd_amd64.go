@@ -1,0 +1,250 @@
+//go:build amd64 && !purego
+
+package storage
+
+import (
+	"math"
+
+	"dbtouch/internal/storage/cpu"
+)
+
+// AVX2 dispatch (amd64). Each flag gates one kernel family at its
+// dispatch seam in span.go / span_fused.go; they all require AVX2 (the
+// kernels use VPCMPGTQ/VPERMD, which SSE-only hosts lack) and a
+// non-race build (see race_on.go). The purego build tag removes this
+// file entirely and substitutes simd_off.go's constant-false flags, so
+// `go build -tags purego` carries no assembly at all.
+//
+// The assembly in simd_amd64.s processes only whole vector blocks
+// (multiples of 4 or 8 elements); the wrappers here run the remainder
+// through the scalar reference loops and merge. Every merge is exact:
+// int64 sums wrap associatively, counts and extrema are
+// order-insensitive, and the compress kernels write positions in
+// ascending order before the tail continues — so dispatched results are
+// bit-identical to the pure-Go kernels (asserted by simd_diff_test.go
+// and, end to end, by the kernel-vs-compose property suite).
+var (
+	simdSum       = cpu.X86.HasAVX2 && !raceEnabled
+	simdMinMax    = cpu.X86.HasAVX2 && !raceEnabled
+	simdFilterSum = cpu.X86.HasAVX2 && !raceEnabled
+	simdFilterAgg = cpu.X86.HasAVX2 && !raceEnabled
+	simdCompress  = cpu.X86.HasAVX2 && !raceEnabled
+)
+
+// simdAvailable reports whether this build+host can run the SIMD
+// kernels at all (used by the paired scalar/SIMD benchmarks).
+func simdAvailable() bool { return cpu.X86.HasAVX2 && !raceEnabled }
+
+// setSIMD forces every dispatch flag on or off for the paired
+// benchmarks and returns a restore func. "On" is clamped to
+// simdAvailable().
+func setSIMD(on bool) (restore func()) {
+	oldSum, oldMM, oldFS, oldFA, oldC := simdSum, simdMinMax, simdFilterSum, simdFilterAgg, simdCompress
+	set := on && simdAvailable()
+	simdSum, simdMinMax, simdFilterSum, simdFilterAgg, simdCompress = set, set, set, set, set
+	return func() {
+		simdSum, simdMinMax, simdFilterSum, simdFilterAgg, simdCompress = oldSum, oldMM, oldFS, oldFA, oldC
+	}
+}
+
+// Assembly kernels (simd_amd64.s). Length preconditions are the
+// wrappers' responsibility: avxSumInt64/avxFilterSumInt64 and the
+// compress kernels need len(v) % 8 == 0, the 4-lane kernels
+// len(v) % 4 == 0, all with len(v) > 0.
+
+//go:noescape
+func avxSumInt64(v []int64) int64
+
+//go:noescape
+func avxMinMaxInt64(v []int64, lanes *[8]int64)
+
+//go:noescape
+func avxMinMaxFloat64(v []float64, lanes *[8]float64)
+
+//go:noescape
+func avxFilterSumInt64(v []int64, lo, hi int64, kxor uint64) (cnt, isum int64)
+
+//go:noescape
+func avxFilterAggInt64(v []int64, lo, hi int64, kxor uint64, lanes *[8]int64) (cnt, isum int64)
+
+//go:noescape
+func avxCompressInt64(v []int64, lo, hi int64, kxor uint64, base int64, lut *byte, out *int32) int64
+
+//go:noescape
+func avxCompressFloat64(v []float64, b float64, wlt, wgt, weq uint64, base int64, lut *byte, out *int32) int64
+
+// compressLUT maps an 8-bit pass mask to the lane indices of its set
+// bits, packed to the front — the VPERMD shuffle table for the
+// compare+compress kernels.
+var compressLUT = func() (t [256][8]byte) {
+	for m := range t {
+		k := 0
+		for lane := 0; lane < 8; lane++ {
+			if m>>lane&1 != 0 {
+				t[m][k] = byte(lane)
+				k++
+			}
+		}
+	}
+	return
+}()
+
+// kxorFor converts intPred.neg to the mask the asm XORs the fail mask
+// with: all-ones complements it into the pass mask (neg == 0), zero
+// keeps it (neg == 1, RangeNe's complemented interval).
+func kxorFor(p intPred) uint64 {
+	if p.neg != 0 {
+		return 0
+	}
+	return ^uint64(0)
+}
+
+// simdSumInt64 sums v exactly (wrapping int64 addition is associative,
+// so the vector lane order is bit-identical to the scalar loop).
+func simdSumInt64(v []int64) int64 {
+	n := len(v) &^ 7
+	var s int64
+	if n > 0 {
+		s = avxSumInt64(v[:n])
+	}
+	for _, x := range v[n:] {
+		s += x
+	}
+	return s
+}
+
+// simdMinMaxInt64 reports the extrema of v (len(v) > 0 not required:
+// empty input reports the MaxInt64/MinInt64 sentinels like an empty
+// scalar loop).
+func simdMinMaxInt64(v []int64) (mn, mx int64) {
+	mn, mx = math.MaxInt64, math.MinInt64
+	n := len(v) &^ 3
+	if n > 0 {
+		var lanes [8]int64
+		avxMinMaxInt64(v[:n], &lanes)
+		for i := 0; i < 4; i++ {
+			mn = min(mn, lanes[i])
+			mx = max(mx, lanes[4+i])
+		}
+	}
+	for _, x := range v[n:] {
+		mn = min(mn, x)
+		mx = max(mx, x)
+	}
+	return mn, mx
+}
+
+// simdMinMaxFloat64 reports the extrema of v, skipping NaN exactly like
+// the scalar `if v < mn` loop: the asm's ordered compares (LT_OQ/GT_OQ)
+// are false on NaN, so NaN lanes never replace the running extrema.
+func simdMinMaxFloat64(v []float64) (mn, mx float64) {
+	mn, mx = math.Inf(1), math.Inf(-1)
+	n := len(v) &^ 3
+	if n > 0 {
+		var lanes [8]float64
+		avxMinMaxFloat64(v[:n], &lanes)
+		for i := 0; i < 4; i++ {
+			if lanes[i] < mn {
+				mn = lanes[i]
+			}
+			if lanes[4+i] > mx {
+				mx = lanes[4+i]
+			}
+		}
+	}
+	for _, x := range v[n:] {
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	return mn, mx
+}
+
+// simdFilterSumInt64 counts and sums the values passing p.
+func simdFilterSumInt64(v []int64, p intPred) (cnt int, isum int64) {
+	n := len(v) &^ 7
+	if n > 0 {
+		c, s := avxFilterSumInt64(v[:n], p.lo, p.hi, kxorFor(p))
+		cnt, isum = int(c), s
+	}
+	for _, x := range v[n:] {
+		q := p.test(x)
+		cnt += q
+		isum += x & int64(-q)
+	}
+	return cnt, isum
+}
+
+// simdFilterAggInt64 counts, sums and min/maxes the values passing p.
+// The asm returns its four min and four max lanes (pass-masked, with
+// the same MaxInt64/MinInt64 sentinels filterAggInt uses) and the
+// wrapper folds them with the scalar tail.
+func simdFilterAggInt64(v []int64, p intPred) filterAggInt {
+	f := newFilterAggInt()
+	n := len(v) &^ 3
+	if n > 0 {
+		var lanes [8]int64
+		c, s := avxFilterAggInt64(v[:n], p.lo, p.hi, kxorFor(p), &lanes)
+		f.cnt, f.isum = int(c), s
+		for i := 0; i < 4; i++ {
+			f.mn = min(f.mn, lanes[i])
+			f.mx = max(f.mx, lanes[4+i])
+		}
+	}
+	for _, x := range v[n:] {
+		f.absorb(x, p.test(x))
+	}
+	return f
+}
+
+// simdCompressInt64 appends to buf the positions base+i whose v[i]
+// passes p, returning the count written. buf must have room for
+// len(v) entries: the asm stores whole 8-lane blocks unconditionally
+// (the cursor only advances by the pass count), exactly like the scalar
+// kernel's unconditional buf[j] store.
+func simdCompressInt64(v []int64, p intPred, base int, buf []int32) int {
+	j := 0
+	n := len(v) &^ 7
+	if len(buf) < len(v) {
+		n = 0 // callers always size buf via selGrow; stay safe regardless
+	}
+	if n > 0 {
+		j = int(avxCompressInt64(v[:n], p.lo, p.hi, kxorFor(p), int64(base), &compressLUT[0][0], &buf[0]))
+	}
+	for i := n; i < len(v); i++ {
+		buf[j] = int32(base + i)
+		j += p.test(v[i])
+	}
+	return j
+}
+
+// simdCompressFloat64 is the float compress kernel: positions whose
+// value satisfies the decomposed wants masks (passFloat semantics; NaN
+// fails both ordered compares and lands on the wEq mask).
+func simdCompressFloat64(v []float64, b float64, wLt, wGt, wEq int, base int, buf []int32) int {
+	j := 0
+	n := len(v) &^ 7
+	if len(buf) < len(v) {
+		n = 0
+	}
+	if n > 0 {
+		j = int(avxCompressFloat64(v[:n], b, mask64(wLt), mask64(wGt), mask64(wEq), int64(base), &compressLUT[0][0], &buf[0]))
+	}
+	for i := n; i < len(v); i++ {
+		buf[j] = int32(base + i)
+		j += passFloat(v[i], b, wLt, wGt, wEq)
+	}
+	return j
+}
+
+// mask64 widens a 0/1 wants weight to the all-or-nothing qword mask the
+// asm ANDs compare results with.
+func mask64(w int) uint64 {
+	if w != 0 {
+		return ^uint64(0)
+	}
+	return 0
+}

@@ -1,0 +1,88 @@
+//go:build arm64 && !purego
+
+#include "textflag.h"
+
+// NEON span kernels. Same contracts as the AVX2 file: whole vector
+// blocks only (the Go wrappers run remainders through scalar loops),
+// int64 sums wrap associatively so lane order is bit-identical to the
+// scalar reference, and the interval predicate is
+// pass = ((lo > v) | (v > hi)) XOR kxor.
+//
+// Go's arm64 assembler has no CMGT vector mnemonic, so the two
+// signed-greater-than compares are WORD-encoded:
+//   CMGT Vd.2D, Vn.2D, Vm.2D = 0x4EE03400 | Rm<<16 | Rn<<5 | Rd
+// (C7.2.35: Q=1 U=0 size=11). Register numbers are therefore fixed and
+// each WORD is annotated with the instruction it encodes; verify with
+// `GOARCH=arm64 go build` + `go tool objdump`.
+
+// func neonSumInt64(v []int64) int64
+// Four 2-lane accumulators, 8 elements per iteration.
+TEXT ·neonSumInt64(SB), NOSPLIT, $0-32
+	MOVD v_base+0(FP), R0
+	MOVD v_len+8(FP), R1
+	VEOR V4.B16, V4.B16, V4.B16
+	VEOR V5.B16, V5.B16, V5.B16
+	VEOR V6.B16, V6.B16, V6.B16
+	VEOR V7.B16, V7.B16, V7.B16
+
+sumloop:
+	VLD1.P 64(R0), [V0.D2, V1.D2, V2.D2, V3.D2]
+	VADD   V0.D2, V4.D2, V4.D2
+	VADD   V1.D2, V5.D2, V5.D2
+	VADD   V2.D2, V6.D2, V6.D2
+	VADD   V3.D2, V7.D2, V7.D2
+	SUBS   $8, R1, R1
+	BNE    sumloop
+
+	VADD V5.D2, V4.D2, V4.D2
+	VADD V7.D2, V6.D2, V6.D2
+	VADD V6.D2, V4.D2, V4.D2
+	VMOV V4.D[0], R2
+	VMOV V4.D[1], R3
+	ADD  R3, R2, R2
+	MOVD R2, ret+24(FP)
+	RET
+
+// func neonFilterSumInt64(v []int64, lo, hi int64, kxor uint64) (cnt, isum int64)
+// Fused filter+sum: 4 elements per iteration, count via cnt -= pass and
+// summand via v & pass, as in the scalar branch-free loop.
+TEXT ·neonFilterSumInt64(SB), NOSPLIT, $0-64
+	MOVD v_base+0(FP), R0
+	MOVD v_len+8(FP), R1
+	MOVD lo+24(FP), R2
+	MOVD hi+32(FP), R3
+	MOVD kxor+40(FP), R4
+	VDUP R2, V8.D2
+	VDUP R3, V9.D2
+	VDUP R4, V10.D2
+	VEOR V4.B16, V4.B16, V4.B16 // sum lanes
+	VEOR V5.B16, V5.B16, V5.B16 // cnt lanes
+
+fsloop:
+	VLD1.P 32(R0), [V0.D2, V1.D2]
+	WORD   $0x4EE03502          // CMGT V2.2D, V8.2D, V0.2D   (lo > v)
+	WORD   $0x4EE93403          // CMGT V3.2D, V0.2D, V9.2D   (v > hi)
+	VORR   V3.B16, V2.B16, V2.B16
+	VEOR   V10.B16, V2.B16, V2.B16 // pass mask
+	VSUB   V2.D2, V5.D2, V5.D2  // cnt += 1 per pass lane
+	VAND   V2.B16, V0.B16, V0.B16
+	VADD   V0.D2, V4.D2, V4.D2
+	WORD   $0x4EE13502          // CMGT V2.2D, V8.2D, V1.2D
+	WORD   $0x4EE93423          // CMGT V3.2D, V1.2D, V9.2D
+	VORR   V3.B16, V2.B16, V2.B16
+	VEOR   V10.B16, V2.B16, V2.B16
+	VSUB   V2.D2, V5.D2, V5.D2
+	VAND   V2.B16, V1.B16, V1.B16
+	VADD   V1.D2, V4.D2, V4.D2
+	SUBS   $4, R1, R1
+	BNE    fsloop
+
+	VMOV V5.D[0], R2
+	VMOV V5.D[1], R3
+	ADD  R3, R2, R2
+	MOVD R2, cnt+48(FP)
+	VMOV V4.D[0], R2
+	VMOV V4.D[1], R3
+	ADD  R3, R2, R2
+	MOVD R2, isum+56(FP)
+	RET

@@ -1,0 +1,102 @@
+package storage
+
+import "testing"
+
+// Paired scalar-vs-SIMD benchmarks: the same dispatched entry points as
+// the tracked kernel benchmarks, once with the SIMD flags forced off and
+// once forced on, so BENCH_kernels.json carries an explicit speedup pair
+// per kernel on hosts that have the assembly. On builds without SIMD
+// (purego, -race, no AVX2) the simd variants are skipped rather than
+// silently measuring the scalar path twice.
+
+func benchPair(b *testing.B, run func(b *testing.B)) {
+	b.Run("scalar", func(b *testing.B) {
+		restore := setSIMD(false)
+		defer restore()
+		run(b)
+	})
+	b.Run("simd", func(b *testing.B) {
+		if !simdAvailable() {
+			b.Skip("no SIMD kernels in this build/host")
+		}
+		restore := setSIMD(true)
+		defer restore()
+		run(b)
+	})
+}
+
+func BenchmarkSIMDSumRangeInt64(b *testing.B) {
+	c := benchIntCol()
+	benchPair(b, func(b *testing.B) {
+		b.SetBytes(benchRows * 8)
+		for i := 0; i < b.N; i++ {
+			sinkI, _, _ = c.SumRangeInt64(0, benchRows)
+		}
+	})
+}
+
+func BenchmarkSIMDMinMaxRange(b *testing.B) {
+	for _, typ := range []string{"int64", "float64"} {
+		c := benchCols()[typ]
+		b.Run(typ, func(b *testing.B) {
+			benchPair(b, func(b *testing.B) {
+				b.SetBytes(benchRows * 8)
+				for i := 0; i < b.N; i++ {
+					sinkF, sinkF2, _ = c.MinMaxRange(0, benchRows)
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkSIMDFilterSumRange(b *testing.B) {
+	for _, typ := range []string{"int64"} {
+		c := benchCols()[typ]
+		for _, sel := range selectivities {
+			b.Run(typ+"/"+sel.label, func(b *testing.B) {
+				benchPair(b, func(b *testing.B) {
+					b.SetBytes(benchRows * 8)
+					for i := 0; i < b.N; i++ {
+						fa := c.FilterSumRange(0, benchRows, RangeLt, IntValue(sel.operand))
+						sinkF = fa.Sum
+						sinkN = fa.N
+					}
+				})
+			})
+		}
+	}
+}
+
+func BenchmarkSIMDFilterAggRange(b *testing.B) {
+	c := benchIntCol()
+	for _, sel := range selectivities {
+		b.Run("int64/"+sel.label, func(b *testing.B) {
+			benchPair(b, func(b *testing.B) {
+				b.SetBytes(benchRows * 8)
+				for i := 0; i < b.N; i++ {
+					fa := c.FilterAggRange(0, benchRows, RangeLt, IntValue(sel.operand))
+					sinkF = fa.Sum
+					sinkN = fa.N
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkSIMDFilterRange(b *testing.B) {
+	for _, typ := range []string{"int64", "float64"} {
+		c := benchCols()[typ]
+		for _, sel := range selectivities {
+			b.Run(typ+"/"+sel.label, func(b *testing.B) {
+				benchPair(b, func(b *testing.B) {
+					b.SetBytes(benchRows * 8)
+					var out []int32
+					for i := 0; i < b.N; i++ {
+						out = c.FilterRange(0, benchRows, RangeLt, IntValue(sel.operand), out[:0])
+					}
+					sinkN = len(out)
+				})
+			})
+		}
+	}
+}

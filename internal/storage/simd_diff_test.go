@@ -1,0 +1,254 @@
+//go:build amd64 && !purego
+
+package storage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dbtouch/internal/storage/cpu"
+)
+
+// Differential suite: every SIMD wrapper against the scalar reference
+// loop it replaces, bit for bit, across fuzzed lengths (odd tails
+// included) and the adversarial value matrix (NaN, ±Inf, ±0, ±2^53,
+// MinInt64/MaxInt64 wrap). Unlike the dispatch flags, these tests call
+// the asm-backed wrappers directly, so they exercise the assembly even
+// under -race (where the dispatch is forced scalar — see race_on.go)
+// and regardless of setSIMD state. They only need the CPU feature, not
+// simdAvailable().
+
+func skipNoAVX2(t *testing.T) {
+	t.Helper()
+	if !cpu.X86.HasAVX2 {
+		t.Skip("host has no AVX2; nothing to differentiate")
+	}
+}
+
+// diffLengths covers empty, sub-vector, exact-block and ragged-tail
+// spans for both the 4- and 8-lane kernels.
+var diffLengths = []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 100, 255, 256, 257, 1000}
+
+func fuzzInts(rng *rand.Rand, n int) []int64 {
+	edge := []int64{0, 1, -1, math.MaxInt64, math.MinInt64, 1 << 53, -(1 << 53), 100, -100}
+	v := make([]int64, n)
+	for i := range v {
+		switch rng.Intn(4) {
+		case 0:
+			v[i] = edge[rng.Intn(len(edge))]
+		case 1:
+			v[i] = int64(rng.Intn(201) - 100)
+		default:
+			v[i] = rng.Int63() - rng.Int63()
+		}
+	}
+	return v
+}
+
+func fuzzFloats(rng *rand.Rand, n int) []float64 {
+	edge := []float64{0, math.Copysign(0, -1), 1, -1, math.NaN(), math.Inf(1), math.Inf(-1), 1 << 53, -(1 << 53), 0.5, 100}
+	v := make([]float64, n)
+	for i := range v {
+		if rng.Intn(3) == 0 {
+			v[i] = edge[rng.Intn(len(edge))]
+		} else {
+			v[i] = rng.NormFloat64() * 100
+		}
+	}
+	return v
+}
+
+// diffPreds is the intPred edge matrix: interval, one-sided both ways,
+// trivially-true, trivially-false, point, and each negated (RangeNe's
+// complemented-interval shape).
+func diffPreds() []intPred {
+	const minI, maxI = int64(math.MinInt64), int64(math.MaxInt64)
+	base := []intPred{
+		{lo: -50, hi: 50},
+		{lo: minI, hi: 0},
+		{lo: 0, hi: maxI},
+		{lo: minI, hi: maxI},
+		{lo: 7, hi: 7},
+		{lo: 1, hi: -1},
+		{lo: 1 << 53, hi: maxI},
+	}
+	out := make([]intPred, 0, 2*len(base))
+	for _, p := range base {
+		out = append(out, p, intPred{lo: p.lo, hi: p.hi, neg: 1})
+	}
+	return out
+}
+
+func TestSIMDSumInt64Differential(t *testing.T) {
+	skipNoAVX2(t)
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range diffLengths {
+		for round := 0; round < 8; round++ {
+			v := fuzzInts(rng, n)
+			if got, want := simdSumInt64(v), sumInt64(v); got != want {
+				t.Fatalf("n=%d: simd sum %d, scalar %d", n, got, want)
+			}
+		}
+	}
+}
+
+func TestSIMDMinMaxInt64Differential(t *testing.T) {
+	skipNoAVX2(t)
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range diffLengths {
+		for round := 0; round < 8; round++ {
+			v := fuzzInts(rng, n)
+			gmn, gmx := simdMinMaxInt64(v)
+			wmn, wmx := int64(math.MaxInt64), int64(math.MinInt64)
+			for _, x := range v {
+				wmn = min(wmn, x)
+				wmx = max(wmx, x)
+			}
+			if gmn != wmn || gmx != wmx {
+				t.Fatalf("n=%d: simd (%d,%d), scalar (%d,%d)", n, gmn, gmx, wmn, wmx)
+			}
+		}
+	}
+}
+
+func TestSIMDMinMaxFloat64Differential(t *testing.T) {
+	skipNoAVX2(t)
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range diffLengths {
+		for round := 0; round < 8; round++ {
+			v := fuzzFloats(rng, n)
+			gmn, gmx := simdMinMaxFloat64(v)
+			wmn, wmx := math.Inf(1), math.Inf(-1)
+			for _, x := range v {
+				if x < wmn {
+					wmn = x
+				}
+				if x > wmx {
+					wmx = x
+				}
+			}
+			if math.Float64bits(gmn) != math.Float64bits(wmn) || math.Float64bits(gmx) != math.Float64bits(wmx) {
+				t.Fatalf("n=%d: simd (%v,%v), scalar (%v,%v)", n, gmn, gmx, wmn, wmx)
+			}
+		}
+	}
+}
+
+func TestSIMDFilterSumInt64Differential(t *testing.T) {
+	skipNoAVX2(t)
+	rng := rand.New(rand.NewSource(4))
+	for _, p := range diffPreds() {
+		for _, n := range diffLengths {
+			v := fuzzInts(rng, n)
+			gc, gs := simdFilterSumInt64(v, p)
+			wc, ws := 0, int64(0)
+			for _, x := range v {
+				q := p.test(x)
+				wc += q
+				ws += x & int64(-q)
+			}
+			if gc != wc || gs != ws {
+				t.Fatalf("pred %+v n=%d: simd (%d,%d), scalar (%d,%d)", p, n, gc, gs, wc, ws)
+			}
+		}
+	}
+}
+
+func TestSIMDFilterAggInt64Differential(t *testing.T) {
+	skipNoAVX2(t)
+	rng := rand.New(rand.NewSource(5))
+	for _, p := range diffPreds() {
+		for _, n := range diffLengths {
+			v := fuzzInts(rng, n)
+			got := simdFilterAggInt64(v, p)
+			want := newFilterAggInt()
+			for _, x := range v {
+				want.absorb(x, p.test(x))
+			}
+			if got != want {
+				t.Fatalf("pred %+v n=%d: simd %+v, scalar %+v", p, n, got, want)
+			}
+		}
+	}
+}
+
+func TestSIMDCompressInt64Differential(t *testing.T) {
+	skipNoAVX2(t)
+	rng := rand.New(rand.NewSource(6))
+	for _, p := range diffPreds() {
+		for _, n := range diffLengths {
+			v := fuzzInts(rng, n)
+			base := rng.Intn(1000)
+			gbuf := make([]int32, n)
+			wbuf := make([]int32, n)
+			gj := simdCompressInt64(v, p, base, gbuf)
+			wj := 0
+			for i, x := range v {
+				if wj < len(wbuf) {
+					wbuf[wj] = int32(base + i)
+				}
+				wj += p.test(x)
+			}
+			if gj != wj {
+				t.Fatalf("pred %+v n=%d: simd wrote %d, scalar %d", p, n, gj, wj)
+			}
+			for i := 0; i < gj; i++ {
+				if gbuf[i] != wbuf[i] {
+					t.Fatalf("pred %+v n=%d: buf[%d] simd %d, scalar %d", p, n, i, gbuf[i], wbuf[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSIMDCompressFloat64Differential(t *testing.T) {
+	skipNoAVX2(t)
+	rng := rand.New(rand.NewSource(7))
+	operands := []float64{0, 0.5, math.NaN(), math.Inf(1), math.Inf(-1), 1 << 53, -100}
+	for _, b := range operands {
+		for wants := 0; wants < 8; wants++ {
+			wLt, wGt, wEq := wants&1, wants>>1&1, wants>>2&1
+			for _, n := range diffLengths {
+				v := fuzzFloats(rng, n)
+				base := rng.Intn(1000)
+				gbuf := make([]int32, n)
+				wbuf := make([]int32, n)
+				gj := simdCompressFloat64(v, b, wLt, wGt, wEq, base, gbuf)
+				wj := 0
+				for i, x := range v {
+					if wj < len(wbuf) {
+						wbuf[wj] = int32(base + i)
+					}
+					wj += passFloat(x, b, wLt, wGt, wEq)
+				}
+				if gj != wj {
+					t.Fatalf("b=%v wants=%03b n=%d: simd wrote %d, scalar %d", b, wants, n, gj, wj)
+				}
+				for i := 0; i < gj; i++ {
+					if gbuf[i] != wbuf[i] {
+						t.Fatalf("b=%v wants=%03b n=%d: buf[%d] simd %d, scalar %d", b, wants, n, i, gbuf[i], wbuf[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSIMDDispatchFlagsConsistent pins the dispatch contract: under
+// -race every flag must be off (the detector cannot see loads inside
+// assembly), and setSIMD must round-trip the flags.
+func TestSIMDDispatchFlagsConsistent(t *testing.T) {
+	if raceEnabled && (simdSum || simdMinMax || simdFilterSum || simdFilterAgg || simdCompress) {
+		t.Fatal("SIMD dispatch flags must be off under -race")
+	}
+	was := simdSum
+	restore := setSIMD(false)
+	if simdSum || simdFilterSum {
+		t.Fatal("setSIMD(false) left a dispatch flag on")
+	}
+	restore()
+	if simdSum != was {
+		t.Fatal("setSIMD restore did not round-trip")
+	}
+}

@@ -39,6 +39,22 @@ func (c *Column) clampRange(lo, hi int) (int, int) {
 	return lo, hi
 }
 
+// sumInt64Kernel is the dispatched int64 sum: the SIMD kernel when the
+// build+host provides one and the span is long enough to amortize the
+// vector setup, else the scalar reference. Both orders are bit-identical
+// because wrapping int64 addition is associative.
+func sumInt64Kernel(v []int64) int64 {
+	if simdSum && len(v) >= simdMinSpan {
+		return simdSumInt64(v)
+	}
+	return sumInt64(v)
+}
+
+// simdMinSpan is the span length below which kernels skip the SIMD path:
+// shorter spans are dominated by broadcast/reduce setup and the scalar
+// loop wins.
+const simdMinSpan = 16
+
 // sumInt64 sums an int64 slice with four accumulators, breaking the
 // loop-carried dependency chain so independent adds overlap in the
 // pipeline.
@@ -99,7 +115,7 @@ func (c *Column) SumRangeInt64(lo, hi int) (sum int64, n int, ok bool) {
 	lo, hi = c.clampRange(lo, hi)
 	switch c.typ {
 	case Int64:
-		return sumInt64(c.ints[lo:hi]), hi - lo, true
+		return sumInt64Kernel(c.ints[lo:hi]), hi - lo, true
 	case Bool:
 		return sumBytes(c.bools[lo:hi]), hi - lo, true
 	case String:
@@ -174,6 +190,10 @@ func (c *Column) MinMaxRange(lo, hi int) (mn, mx float64, n int) {
 	}
 	switch c.typ {
 	case Int64:
+		if simdMinMax && hi-lo >= simdMinSpan {
+			lov, hiv := simdMinMaxInt64(c.ints[lo:hi])
+			return float64(lov), float64(hiv), hi - lo
+		}
 		lov, hiv := int64(math.MaxInt64), int64(math.MinInt64)
 		for _, v := range c.ints[lo:hi] {
 			lov = min(lov, v)
@@ -181,6 +201,10 @@ func (c *Column) MinMaxRange(lo, hi int) (mn, mx float64, n int) {
 		}
 		return float64(lov), float64(hiv), hi - lo
 	case Float64:
+		if simdMinMax && hi-lo >= simdMinSpan {
+			mn, mx = simdMinMaxFloat64(c.flts[lo:hi])
+			return mn, mx, hi - lo
+		}
 		mn, mx = math.Inf(1), math.Inf(-1)
 		for _, v := range c.flts[lo:hi] {
 			if v < mn {
@@ -507,12 +531,20 @@ func (c *Column) FilterRange(lo, hi int, op RangeOp, operand Value, sel []int32)
 				j++
 			}
 		default:
+			if simdCompress && hi-lo >= simdMinSpan {
+				j = simdCompressInt64(c.ints[lo:hi], p, lo, buf)
+				break
+			}
 			for i, v := range c.ints[lo:hi] {
 				buf[j] = int32(lo + i)
 				j += p.test(v)
 			}
 		}
 	case Float64:
+		if simdCompress && hi-lo >= simdMinSpan {
+			j = simdCompressFloat64(c.flts[lo:hi], b, wLt, wGt, wEq, lo, buf)
+			break
+		}
 		for i, v := range c.flts[lo:hi] {
 			buf[j] = int32(lo + i)
 			j += passFloat(v, b, wLt, wGt, wEq)

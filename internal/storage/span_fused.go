@@ -113,51 +113,20 @@ func (f filterAggInt) result() FilterAgg {
 // kernel behind WHERE + aggregate slides, which skips the selection
 // vector entirely. Equal by construction to FilterRange followed by
 // aggregation over the selection (asserted by TestFusedKernelsMatchCompose).
+//
+// All whole-range fused entry points (this one, FilterSumRange,
+// FilterMinMaxRange, FilterCountRange) lower the predicate once with
+// preparePred and run the mode-specialized fusedChunk inner loops — the
+// same kind-specialized kernels the blocked scans use, so the generic
+// entry points no longer pay the full count+sum+min/max bookkeeping when
+// the caller wants less.
 func (c *Column) FilterAggRange(lo, hi int, op RangeOp, operand Value) FilterAgg {
 	lo, hi = c.clampRange(lo, hi)
 	if hi == lo {
 		return emptyFilterAgg()
 	}
-	if c.typ == String {
-		pass := c.passByCode(op, operand)
-		f := newFilterAggInt()
-		for _, code := range c.codes[lo:hi] {
-			f.absorb(int64(code), b2i(pass[code]))
-		}
-		return f.result()
-	}
-	b := operand.AsFloat()
-	wLt, wGt, wEq := op.wants()
-	switch c.typ {
-	case Int64:
-		ip, none, _ := intPredFor(op, b)
-		f := newFilterAggInt()
-		if !none {
-			for _, v := range c.ints[lo:hi] {
-				f.absorb(v, ip.test(v))
-			}
-		}
-		return f.result()
-	case Bool:
-		return filterAggBools(c.bools[lo:hi], b, wLt, wGt, wEq)
-	case Float64:
-		agg := emptyFilterAgg()
-		for _, v := range c.flts[lo:hi] {
-			lt, gt := v < b, v > b
-			if (lt && wLt != 0) || (gt && wGt != 0) || (!lt && !gt && wEq != 0) {
-				agg.Sum += v
-				agg.N++
-				if v < agg.Min {
-					agg.Min = v
-				}
-				if v > agg.Max {
-					agg.Max = v
-				}
-			}
-		}
-		return agg
-	}
-	return emptyFilterAgg()
+	pp := c.preparePred(op, operand)
+	return c.fusedChunk(&pp, lo, hi, FusedFull)
 }
 
 // filterAggBools aggregates qualifying bool cells: the predicate has only
@@ -189,87 +158,15 @@ func filterAggBools(vals []byte, b float64, wLt, wGt, wEq int) FilterAgg {
 // FilterAggSel filters the positions of sel by `value op operand` and
 // aggregates the qualifying values in the same pass — the fused form of
 // FilterSel + aggregation for the final conjunct of a multi-conjunct
-// WHERE. Out-of-range positions are skipped, matching FilterSel.
+// WHERE. Out-of-range positions are skipped, matching FilterSel. Like
+// the whole-range entry points, the selection forms all route through
+// the mode-specialized fusedSelChunk loops.
 func (c *Column) FilterAggSel(sel []int32, op RangeOp, operand Value) FilterAgg {
-	n := c.Len()
 	if len(sel) == 0 {
 		return emptyFilterAgg()
 	}
-	if c.typ == String {
-		pass := c.passByCode(op, operand)
-		f := newFilterAggInt()
-		for _, p := range sel {
-			if p < 0 || int(p) >= n {
-				continue
-			}
-			code := c.codes[p]
-			f.absorb(int64(code), b2i(pass[code]))
-		}
-		return f.result()
-	}
-	b := operand.AsFloat()
-	wLt, wGt, wEq := op.wants()
-	switch c.typ {
-	case Int64:
-		ip, none, _ := intPredFor(op, b)
-		f := newFilterAggInt()
-		if !none {
-			for _, p := range sel {
-				if p < 0 || int(p) >= n {
-					continue
-				}
-				v := c.ints[p]
-				f.absorb(v, ip.test(v))
-			}
-		}
-		return f.result()
-	case Bool:
-		var tab [2]int
-		tab[0] = passFloat(0, b, wLt, wGt, wEq)
-		tab[1] = passFloat(1, b, wLt, wGt, wEq)
-		cnt, ones := 0, 0
-		for _, p := range sel {
-			if p < 0 || int(p) >= n {
-				continue
-			}
-			v := c.bools[p] & 1
-			q := tab[v]
-			cnt += q
-			ones += q & int(v)
-		}
-		agg := FilterAgg{N: cnt, IntSum: int64(ones), Sum: float64(ones), Exact: true, Min: math.Inf(1), Max: math.Inf(-1)}
-		if cnt > 0 {
-			agg.Min, agg.Max = 1, 0
-			if cnt > ones {
-				agg.Min = 0
-			}
-			if ones > 0 {
-				agg.Max = 1
-			}
-		}
-		return agg
-	case Float64:
-		agg := emptyFilterAgg()
-		for _, p := range sel {
-			if p < 0 || int(p) >= n {
-				continue
-			}
-			v := c.flts[p]
-			lt, gt := v < b, v > b
-			if (lt && wLt != 0) || (gt && wGt != 0) || (!lt && !gt && wEq != 0) {
-				agg.Sum += v
-				agg.N++
-				if v < agg.Min {
-					agg.Min = v
-				}
-				if v > agg.Max {
-					agg.Max = v
-				}
-			}
-		}
-		return agg
-	}
-	return emptyFilterAgg()
+	pp := c.preparePred(op, operand)
+	return c.fusedSelChunk(&pp, sel, c.Len(), FusedFull)
 }
 
 // sumMaskedLe counts and sums values v <= bound — the single-compare
@@ -330,18 +227,16 @@ func sumMaskedGe(vals []int64, bound int64) (cnt int, isum int64) {
 	return c0 + c1 + c2 + c3, s0 + s1 + s2 + s3
 }
 
-// filterSumInts is the sum-specialized fused loop over int64 values: the
-// float comparison lowers to integer bounds (intPredFor), constant
-// predicates collapse to a plain multi-accumulator sum or nothing, the
-// ordered operators run a single integer compare per element, and only
-// Eq/Ne pay for the two-compare interval test.
-func filterSumInts(vals []int64, b float64, op RangeOp) (cnt int, isum int64) {
-	p, none, all := intPredFor(op, b)
+// filterSumIntsPred is the lowered-predicate fused filter+sum core: the
+// SIMD kernel when the build+host provides one (the interval compare
+// covers every predicate shape), else the shape-specialized scalar loops
+// — single-compare masked sums for the one-sided operators, the
+// two-compare interval test only for Eq/Ne.
+func filterSumIntsPred(vals []int64, p intPred) (cnt int, isum int64) {
+	if simdFilterSum && len(vals) >= simdMinSpan {
+		return simdFilterSumInt64(vals, p)
+	}
 	switch {
-	case none || len(vals) == 0:
-		return 0, 0
-	case all:
-		return len(vals), sumInt64(vals)
 	case p.neg == 0 && p.lo == math.MinInt64:
 		return sumMaskedLe(vals, p.hi)
 	case p.neg == 0 && p.hi == math.MaxInt64:
@@ -356,6 +251,35 @@ func filterSumInts(vals []int64, b float64, op RangeOp) (cnt int, isum int64) {
 	}
 }
 
+// filterAggIntsPred is the lowered-predicate full filter+aggregate core:
+// the SIMD kernel when available, else the scalar masked-absorb loop.
+func filterAggIntsPred(vals []int64, p intPred) filterAggInt {
+	if simdFilterAgg && len(vals) >= simdMinSpan {
+		return simdFilterAggInt64(vals, p)
+	}
+	f := newFilterAggInt()
+	for _, v := range vals {
+		f.absorb(v, p.test(v))
+	}
+	return f
+}
+
+// filterSumInts is the sum-specialized fused loop over int64 values: the
+// float comparison lowers to integer bounds (intPredFor), constant
+// predicates collapse to a plain multi-accumulator sum or nothing, and
+// everything else dispatches through filterSumIntsPred.
+func filterSumInts(vals []int64, b float64, op RangeOp) (cnt int, isum int64) {
+	p, none, all := intPredFor(op, b)
+	switch {
+	case none || len(vals) == 0:
+		return 0, 0
+	case all:
+		return len(vals), sumInt64Kernel(vals)
+	default:
+		return filterSumIntsPred(vals, p)
+	}
+}
+
 // FilterSumRange is the sum/avg-specialized fused kernel: count and sum
 // of the qualifying values in [lo, hi), skipping the min/max bookkeeping
 // FilterAggRange carries (the returned extrema are ±Inf). Semantics
@@ -365,95 +289,39 @@ func (c *Column) FilterSumRange(lo, hi int, op RangeOp, operand Value) FilterAgg
 	if hi == lo {
 		return emptyFilterAgg()
 	}
-	agg := emptyFilterAgg()
-	switch c.typ {
-	case Int64:
-		cnt, isum := filterSumInts(c.ints[lo:hi], operand.AsFloat(), op)
-		agg.N, agg.IntSum, agg.Sum, agg.Exact = cnt, isum, float64(isum), true
-	case Float64:
-		b := operand.AsFloat()
-		wLt, wGt, wEq := op.wants()
-		for _, v := range c.flts[lo:hi] {
-			lt, gt := v < b, v > b
-			if (lt && wLt != 0) || (gt && wGt != 0) || (!lt && !gt && wEq != 0) {
-				agg.Sum += v
-				agg.N++
-			}
-		}
-	case Bool:
-		wLt, wGt, wEq := op.wants()
-		fa := filterAggBools(c.bools[lo:hi], operand.AsFloat(), wLt, wGt, wEq)
-		agg.N, agg.IntSum, agg.Sum, agg.Exact = fa.N, fa.IntSum, fa.Sum, true
-	case String:
-		pass := c.passByCode(op, operand)
-		cnt := 0
-		var isum int64
-		for _, code := range c.codes[lo:hi] {
-			p := b2i(pass[code])
-			cnt += p
-			isum += int64(code) & int64(-p)
-		}
-		agg.N, agg.IntSum, agg.Sum, agg.Exact = cnt, isum, float64(isum), true
-	}
-	return agg
+	pp := c.preparePred(op, operand)
+	return c.fusedChunk(&pp, lo, hi, FusedSum)
 }
 
 // FilterSumSel is FilterSumRange over a prior selection.
 func (c *Column) FilterSumSel(sel []int32, op RangeOp, operand Value) FilterAgg {
-	n := c.Len()
-	agg := emptyFilterAgg()
 	if len(sel) == 0 {
-		return agg
+		return emptyFilterAgg()
 	}
-	switch c.typ {
-	case Int64:
-		ip, none, _ := intPredFor(op, operand.AsFloat())
-		cnt := 0
-		var isum int64
-		if !none {
-			for _, p := range sel {
-				if p < 0 || int(p) >= n {
-					continue
-				}
-				v := c.ints[p]
-				q := ip.test(v)
-				cnt += q
-				isum += v & int64(-q)
-			}
-		}
-		agg.N, agg.IntSum, agg.Sum, agg.Exact = cnt, isum, float64(isum), true
-	case Float64:
-		b := operand.AsFloat()
-		wLt, wGt, wEq := op.wants()
-		for _, p := range sel {
-			if p < 0 || int(p) >= n {
-				continue
-			}
-			v := c.flts[p]
-			lt, gt := v < b, v > b
-			if (lt && wLt != 0) || (gt && wGt != 0) || (!lt && !gt && wEq != 0) {
-				agg.Sum += v
-				agg.N++
-			}
-		}
-	default:
-		fa := c.FilterAggSel(sel, op, operand)
-		agg.N, agg.IntSum, agg.Sum, agg.Exact = fa.N, fa.IntSum, fa.Sum, fa.Exact
-	}
-	return agg
+	pp := c.preparePred(op, operand)
+	return c.fusedSelChunk(&pp, sel, c.Len(), FusedSum)
 }
 
 // FilterMinMaxRange is the min/max-specialized fused kernel: count and
 // extrema of the qualifying values in [lo, hi), skipping the sum (the
 // returned Sum is 0). Semantics otherwise identical to FilterAggRange.
 func (c *Column) FilterMinMaxRange(lo, hi int, op RangeOp, operand Value) FilterAgg {
-	fa := c.FilterAggRange(lo, hi, op, operand)
+	lo, hi = c.clampRange(lo, hi)
+	if hi == lo {
+		return emptyFilterAgg()
+	}
+	pp := c.preparePred(op, operand)
+	fa := c.fusedChunk(&pp, lo, hi, FusedMinMax)
 	return FilterAgg{N: fa.N, Min: fa.Min, Max: fa.Max}
 }
 
 // FilterMinMaxSel is FilterMinMaxRange over a prior selection.
 func (c *Column) FilterMinMaxSel(sel []int32, op RangeOp, operand Value) FilterAgg {
-	fa := c.FilterAggSel(sel, op, operand)
+	if len(sel) == 0 {
+		return emptyFilterAgg()
+	}
+	pp := c.preparePred(op, operand)
+	fa := c.fusedSelChunk(&pp, sel, c.Len(), FusedMinMax)
 	return FilterAgg{N: fa.N, Min: fa.Min, Max: fa.Max}
 }
 
@@ -523,42 +391,29 @@ func (c *Column) fusedChunk(pp *preparedPred, lo, hi int, mode FusedMode) Filter
 		case FusedSum:
 			var cnt int
 			var isum int64
-			switch {
-			case pp.all:
-				cnt, isum = len(vals), sumInt64(vals)
-			case pp.ip.neg == 0 && pp.ip.lo == math.MinInt64:
-				cnt, isum = sumMaskedLe(vals, pp.ip.hi)
-			case pp.ip.neg == 0 && pp.ip.hi == math.MaxInt64:
-				cnt, isum = sumMaskedGe(vals, pp.ip.lo)
-			default:
-				for _, v := range vals {
-					q := pp.ip.test(v)
-					cnt += q
-					isum += v & int64(-q)
-				}
+			if pp.all {
+				cnt, isum = len(vals), sumInt64Kernel(vals)
+			} else {
+				cnt, isum = filterSumIntsPred(vals, pp.ip)
 			}
 			return FilterAgg{N: cnt, IntSum: isum, Sum: float64(isum), Exact: true, Min: math.Inf(1), Max: math.Inf(-1)}
 		case FusedCount:
 			cnt := 0
-			if pp.all {
+			switch {
+			case pp.all:
 				cnt = len(vals)
-			} else {
+			case simdFilterSum && len(vals) >= simdMinSpan:
+				cnt, _ = simdFilterSumInt64(vals, pp.ip)
+			default:
 				for _, v := range vals {
 					cnt += pp.ip.test(v)
 				}
 			}
 			return FilterAgg{N: cnt, Exact: true, Min: math.Inf(1), Max: math.Inf(-1)}
 		default: // FusedMinMax, FusedFull
-			f := newFilterAggInt()
-			if pp.all {
-				for _, v := range vals {
-					f.absorb(v, 1)
-				}
-			} else {
-				for _, v := range vals {
-					f.absorb(v, pp.ip.test(v))
-				}
-			}
+			// pp.all lowers to the trivially-true interval, which the
+			// shared core handles without a special case.
+			f := filterAggIntsPred(vals, pp.ip)
 			fa := f.result()
 			if mode == FusedMinMax {
 				fa.Sum, fa.IntSum = 0, 0
@@ -820,94 +675,16 @@ func (c *Column) FilterCountRange(lo, hi int, op RangeOp, operand Value) int {
 	if hi == lo {
 		return 0
 	}
-	if c.typ == String {
-		pass := c.passByCode(op, operand)
-		cnt := 0
-		for _, code := range c.codes[lo:hi] {
-			cnt += b2i(pass[code])
-		}
-		return cnt
-	}
-	b := operand.AsFloat()
-	wLt, wGt, wEq := op.wants()
-	cnt := 0
-	switch c.typ {
-	case Int64:
-		ip, none, all := intPredFor(op, b)
-		switch {
-		case none:
-		case all:
-			cnt = hi - lo
-		default:
-			for _, v := range c.ints[lo:hi] {
-				cnt += ip.test(v)
-			}
-		}
-	case Float64:
-		for _, v := range c.flts[lo:hi] {
-			cnt += passFloat(v, b, wLt, wGt, wEq)
-		}
-	case Bool:
-		var tab [2]int
-		tab[0] = passFloat(0, b, wLt, wGt, wEq)
-		tab[1] = passFloat(1, b, wLt, wGt, wEq)
-		for _, v := range c.bools[lo:hi] {
-			cnt += tab[v&1]
-		}
-	}
-	return cnt
+	pp := c.preparePred(op, operand)
+	return c.fusedChunk(&pp, lo, hi, FusedCount).N
 }
 
 // FilterCountSel reports how many positions of sel satisfy
 // `value op operand` — the COUNT-only twin of FilterAggSel.
 func (c *Column) FilterCountSel(sel []int32, op RangeOp, operand Value) int {
-	n := c.Len()
 	if len(sel) == 0 {
 		return 0
 	}
-	if c.typ == String {
-		pass := c.passByCode(op, operand)
-		cnt := 0
-		for _, p := range sel {
-			if p < 0 || int(p) >= n {
-				continue
-			}
-			cnt += b2i(pass[c.codes[p]])
-		}
-		return cnt
-	}
-	b := operand.AsFloat()
-	wLt, wGt, wEq := op.wants()
-	cnt := 0
-	switch c.typ {
-	case Int64:
-		ip, none, _ := intPredFor(op, b)
-		if none {
-			return 0
-		}
-		for _, p := range sel {
-			if p < 0 || int(p) >= n {
-				continue
-			}
-			cnt += ip.test(c.ints[p])
-		}
-	case Float64:
-		for _, p := range sel {
-			if p < 0 || int(p) >= n {
-				continue
-			}
-			cnt += passFloat(c.flts[p], b, wLt, wGt, wEq)
-		}
-	case Bool:
-		var tab [2]int
-		tab[0] = passFloat(0, b, wLt, wGt, wEq)
-		tab[1] = passFloat(1, b, wLt, wGt, wEq)
-		for _, p := range sel {
-			if p < 0 || int(p) >= n {
-				continue
-			}
-			cnt += tab[c.bools[p]&1]
-		}
-	}
-	return cnt
+	pp := c.preparePred(op, operand)
+	return c.fusedSelChunk(&pp, sel, c.Len(), FusedCount).N
 }

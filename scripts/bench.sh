@@ -12,13 +12,26 @@ benchtime="${1:-1s}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
+echo "== host memory bandwidth (STREAM triad + read sweeps)" >&2
+stream_out="$(go run scripts/stream.go)"
+echo "$stream_out" >&2
+triad_mbps="$(echo "$stream_out" | awk '/^triad_mbps/ {print $2}')"
+read_mbps="$(echo "$stream_out" | awk '/^read_mbps/ {print $2}')"
+read_llc_mbps="$(echo "$stream_out" | awk '/^read_llc_mbps/ {print $2}')"
+cpu_features="$(echo "$stream_out" | awk '/^features/ {print $2}')"
+
 echo "== storage span kernels (benchtime=$benchtime)" >&2
 go test -run=NONE -bench='.' -benchtime="$benchtime" ./internal/storage/ | tee -a "$raw" >&2
 
 echo "== end-to-end touch pipeline" >&2
 go test -run=NONE -bench='BenchmarkTouchPipeline$|BenchmarkFig4aGestureSpeed$' -benchtime="$benchtime" . | tee -a "$raw" >&2
 
-awk -v go_version="$(go version)" '
+awk -v go_version="$(go version)" \
+    -v goamd64="$(go env GOAMD64)" \
+    -v cpu_features="${cpu_features:-}" \
+    -v triad_mbps="${triad_mbps:-0}" \
+    -v read_mbps="${read_mbps:-0}" \
+    -v read_llc_mbps="${read_llc_mbps:-0}" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
     line = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"metrics\": {", $1, $2)
@@ -33,6 +46,11 @@ END {
     printf "{\n"
     printf "  \"go\": \"%s\",\n", go_version
     printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"goamd64\": \"%s\",\n", goamd64
+    printf "  \"cpu_features\": \"%s\",\n", cpu_features
+    printf "  \"stream_triad_mbps\": %s,\n", triad_mbps
+    printf "  \"stream_read_mbps\": %s,\n", read_mbps
+    printf "  \"stream_read_llc_mbps\": %s,\n", read_llc_mbps
     printf "  \"benchmarks\": [\n"
     for (i = 0; i < n; i++)
         printf "%s%s\n", benches[i], (i + 1 < n ? "," : "")

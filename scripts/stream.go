@@ -1,0 +1,102 @@
+// Command stream measures the host's sustainable memory bandwidth and
+// prints machine-parseable lines for scripts/bench.sh:
+//
+//	triad_mbps <N>
+//	read_mbps <N>
+//	read_llc_mbps <N>
+//	features <comma-list>
+//
+// triad is the classic STREAM a[i] = b[i] + s*c[i] over 64 MiB arrays
+// (24 bytes of DRAM traffic per element, including the write-allocate
+// stream) — the ceiling for kernels that materialize output, like
+// FilterRange's selection vector. read is a pure load sweep over the
+// same DRAM-sized array — the ceiling for the aggregation kernels
+// (Sum/MinMax/FilterSum), which only read. read_llc repeats the load
+// sweep over an 8 MiB working set, the size of the 1M-row benchmark
+// columns in BENCH_kernels.json: those columns sit in the last-level
+// cache, so the tracked kernel numbers are read against this ceiling,
+// not DRAM (see ARCHITECTURE.md "Roofline"). A kernel within ~80% of
+// its ceiling is memory-bound and further SIMD work cannot help; one
+// far below it is compute-bound and a candidate.
+//
+// Build and run: go run scripts/stream.go
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"dbtouch/internal/storage/cpu"
+)
+
+const (
+	// 8M float64 per array (64 MiB each) — far beyond any cache, so
+	// the DRAM sweeps stream from memory.
+	elems = 8 << 20
+	// llcElems matches the benchmark columns: 1M values, 8 MiB.
+	llcElems = 1 << 20
+	// Best-of reps: the max filters scheduler noise, matching how
+	// STREAM itself reports.
+	reps = 10
+)
+
+var sink float64
+
+// readSweep reports the best-of-reps load bandwidth over v in MB/s,
+// using eight independent accumulators so the float-add latency chain
+// never gates the loads.
+func readSweep(v []float64) float64 {
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		var s0, s1, s2, s3, s4, s5, s6, s7 float64
+		for i := 0; i+8 <= len(v); i += 8 {
+			s0 += v[i]
+			s1 += v[i+1]
+			s2 += v[i+2]
+			s3 += v[i+3]
+			s4 += v[i+4]
+			s5 += v[i+5]
+			s6 += v[i+6]
+			s7 += v[i+7]
+		}
+		sink += s0 + s1 + s2 + s3 + s4 + s5 + s6 + s7
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(len(v)) * 8 / best.Seconds() / 1e6
+}
+
+func main() {
+	a := make([]float64, elems)
+	b := make([]float64, elems)
+	c := make([]float64, elems)
+	for i := range b {
+		b[i] = float64(i)
+		c[i] = float64(elems - i)
+	}
+	s := 3.0
+
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		for i := range a {
+			a[i] = b[i] + s*c[i]
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	sink += a[0]
+
+	fmt.Printf("triad_mbps %.0f\n", float64(elems)*24/best.Seconds()/1e6)
+	fmt.Printf("read_mbps %.0f\n", readSweep(b))
+	fmt.Printf("read_llc_mbps %.0f\n", readSweep(b[:llcElems]))
+	fmt.Printf("features %s\n", cpu.Features())
+
+	// Keep the accumulated results live so no sweep can be eliminated.
+	if sink == -1 {
+		fmt.Println("unreachable")
+	}
+}
