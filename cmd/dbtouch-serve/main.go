@@ -14,6 +14,14 @@
 //	dbtouch-serve -csv data.csv -table readings
 //	dbtouch-serve -max-sessions 1000    # LRU-evict beyond 1000 sessions
 //	dbtouch-serve -admit-sessions 10000 -max-queued 4096 -workers 8
+//	dbtouch-serve -live 'events:ts=int,key=string,value=int' \
+//	    -retain-rows 100000 -append-rate 50000 -append-burst 10000
+//
+// -live serves an appendable table alongside the static data: clients
+// feed it with the wire protocol's append op while sessions explore
+// consistent snapshots of it (docs: ARCHITECTURE.md, "Ingestion &
+// snapshots"). -retain-rows/-retain-age bound its history, -append-rate
+// caps ingestion (rejected batches get 503 + Retry-After).
 //
 // Sessions run on a bounded work-stealing scheduler (pool size
 // -workers, fairness quantum -fairness-budget); -admit-sessions and
@@ -33,6 +41,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 
 	"dbtouch"
 	"dbtouch/internal/datagen"
@@ -52,6 +61,12 @@ func main() {
 	maxQueued := flag.Int("max-queued", 0, "cap the total queued-batch backlog across sessions (0 = unlimited; at the cap, work is rejected with 503 + Retry-After)")
 	workers := flag.Int("workers", 0, "scheduler pool size (0 = GOMAXPROCS)")
 	budget := flag.Int("fairness-budget", 0, "events one session may absorb per scheduler dispatch (0 = default)")
+	liveSpec := flag.String("live", "", "also serve an appendable live table: 'name:col=type,...' with types int, float, bool, string")
+	retainRows := flag.Int("retain-rows", 0, "live table: cap retained rows (0 = unbounded)")
+	retainAge := flag.Duration("retain-age", 0, "live table: drop rows older than this (0 = unbounded; requires -retain-age-column)")
+	retainAgeCol := flag.String("retain-age-column", "", "live table: INT column of Unix nanosecond timestamps, nondecreasing in row order, read by -retain-age")
+	appendRate := flag.Float64("append-rate", 0, "live table: append rate limit in rows/sec (0 = unlimited; over the limit the server answers 503 + Retry-After)")
+	appendBurst := flag.Int("append-burst", 0, "live table: append limiter burst in rows (0 = rate for one second)")
 	flag.Parse()
 
 	db := dbtouch.Open()
@@ -82,6 +97,27 @@ func main() {
 		db.NewTable(*table).Float(*column, data).MustCreate()
 	}
 
+	if *liveSpec != "" {
+		lt, err := createLiveTable(db, *liveSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbtouch-serve:", err)
+			os.Exit(1)
+		}
+		if *retainRows > 0 || *retainAge > 0 {
+			if err := lt.Retain(*retainRows, *retainAge, *retainAgeCol); err != nil {
+				fmt.Fprintln(os.Stderr, "dbtouch-serve:", err)
+				os.Exit(1)
+			}
+		}
+		if *appendRate > 0 {
+			burst := *appendBurst
+			if burst <= 0 {
+				burst = int(*appendRate)
+			}
+			lt.LimitAppends(*appendRate, burst)
+		}
+	}
+
 	mgr := db.Manager()
 	if *maxSessions > 0 {
 		mgr.SetMaxSessions(*maxSessions)
@@ -109,4 +145,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dbtouch-serve:", err)
 		os.Exit(1)
 	}
+}
+
+// createLiveTable parses 'name:col=type,...' and registers the table.
+func createLiveTable(db *dbtouch.DB, spec string) (*dbtouch.LiveTable, error) {
+	name, colSpec, ok := strings.Cut(spec, ":")
+	if !ok || name == "" || colSpec == "" {
+		return nil, fmt.Errorf("-live: want 'name:col=type,...', got %q", spec)
+	}
+	b := db.NewLiveTable(name)
+	for _, part := range strings.Split(colSpec, ",") {
+		col, typ, ok := strings.Cut(part, "=")
+		if !ok || col == "" {
+			return nil, fmt.Errorf("-live: bad column spec %q", part)
+		}
+		switch typ {
+		case "int":
+			b.Int(col, nil)
+		case "float":
+			b.Float(col, nil)
+		case "bool":
+			b.Bool(col, nil)
+		case "string":
+			b.String(col, nil)
+		default:
+			return nil, fmt.Errorf("-live: column %q has unknown type %q (want int, float, bool or string)", col, typ)
+		}
+	}
+	lt, err := b.Create()
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("serving live table %q (appendable)\n", name)
+	return lt, nil
 }

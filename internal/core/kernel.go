@@ -141,6 +141,12 @@ type Kernel struct {
 	derived       map[*storage.Matrix]bool
 	derivedByName map[string]*storage.Matrix
 
+	// live tracks snapshot pins on live tables; pins is ordered by object
+	// creation so repin/rebind order is deterministic (see live.go).
+	live  *sample.LiveStore
+	pins  []*livePin
+	onPin func(table string, epoch uint64)
+
 	results   []Result
 	onResult  func(Result)
 	subs      []*ResultStream
@@ -290,6 +296,9 @@ func (k *Kernel) newPolicy() iomodel.EvictionPolicy {
 // the given frame, building its sample hierarchy, and returns it. The
 // matrix must be column-major (rotate or project first otherwise).
 func (k *Kernel) CreateColumnObject(m *storage.Matrix, col int, frame touchos.Rect) (*Object, error) {
+	if t, ok := k.catalog.Live(m.Name()); ok {
+		return k.createLiveColumnObject(t, col, frame)
+	}
 	column, err := m.Column(col)
 	if err != nil {
 		return nil, err
@@ -309,14 +318,45 @@ func (k *Kernel) CreateColumnObject(m *storage.Matrix, col int, frame touchos.Re
 	return o, nil
 }
 
+// createLiveColumnObject binds a column object to the kernel's pinned
+// version of a live table; the pin is taken at first use and advanced at
+// every batch start (see live.go).
+func (k *Kernel) createLiveColumnObject(t *storage.Table, col int, frame touchos.Rect) (*Object, error) {
+	lp := k.pinFor(t)
+	m := lp.pin.Snap.Matrix
+	if _, err := m.Column(col); err != nil {
+		return nil, err
+	}
+	shared, err := lp.pin.Samples(col, k.liveSampleLevels(), k.cfg.IO.BlockValues)
+	if err != nil {
+		return nil, err
+	}
+	h := shared.Attach(k.clock, k.cfg.IO, k.newPolicy)
+	o := k.newObject(m, col, frame)
+	o.hierarchy = h
+	o.live = t
+	o.liveGen = lp.pin.Snap.Gen
+	k.finishObject(o)
+	return o, nil
+}
+
 // CreateTableObject registers a visual object over the whole matrix
 // (either layout).
 func (k *Kernel) CreateTableObject(m *storage.Matrix, frame touchos.Rect) (*Object, error) {
+	var live *storage.Table
+	var liveGen uint64
+	if t, ok := k.catalog.Live(m.Name()); ok {
+		lp := k.pinFor(t)
+		m = lp.pin.Snap.Matrix
+		live, liveGen = t, lp.pin.Snap.Gen
+	}
 	if m.NumRows() == 0 {
 		return nil, fmt.Errorf("core: table object over empty matrix %q", m.Name())
 	}
 	o := k.newObject(m, -1, frame)
 	o.cellTracker = iomodel.New(k.clock, k.cfg.IO, k.newPolicy())
+	o.live = live
+	o.liveGen = liveGen
 	k.finishObject(o)
 	return o, nil
 }
@@ -361,6 +401,13 @@ func (k *Kernel) finishObject(o *Object) {
 // shared storage keep anything that is not already the catalog's entry
 // session-private, so per-session tables never leak across sessions.
 func (k *Kernel) registerObjectMatrix(m *storage.Matrix) {
+	// A live table's snapshot matrix carries the table's name: registering
+	// it (shared or derived) would shadow the live entry with one frozen
+	// version, so live names resolve through the catalog's live registry
+	// only.
+	if k.catalog.IsLive(m.Name()) {
+		return
+	}
 	if k.derived == nil {
 		k.catalog.Register(m)
 		return
@@ -441,6 +488,7 @@ func (k *Kernel) wireJoin(o *Object, spec *JoinSpec) {
 // Apply pushes a batch of raw touch events through the dispatcher and
 // returns the results emitted during the batch.
 func (k *Kernel) Apply(events []touchos.TouchEvent) []Result {
+	k.repinLive()
 	k.pruneFaded()
 	mark := len(k.results)
 	k.dispatcher.Dispatch(events, k.handleTouch, k.onIdle)

@@ -59,6 +59,12 @@ type Object struct {
 
 	// conv is the in-progress layout conversion after a rotate gesture.
 	conv *layout.Conversion
+
+	// live binds the object to its source table when the backing matrix is
+	// a live-table snapshot; liveGen tracks the compaction generation the
+	// object last rebound to (see live.go).
+	live    *storage.Table
+	liveGen uint64
 }
 
 // ID returns the object identifier.
@@ -75,6 +81,16 @@ func (o *Object) IsColumn() bool { return o.colIdx >= 0 }
 
 // Actions returns the current touch configuration.
 func (o *Object) Actions() Actions { return o.actions }
+
+// Groups snapshots the incremental group table (nil when grouping is not
+// configured). Its cardinality is the key domain touched so far, not the
+// row count — the boundedness tests lean on that.
+func (o *Object) Groups() []operator.Group {
+	if o.grouper == nil {
+		return nil
+	}
+	return o.grouper.Groups()
+}
 
 // SetActions replaces the touch configuration and resets per-query state
 // (running aggregates, group tables, optimizer statistics).

@@ -157,6 +157,19 @@ func (g *IncrementalGroupBy) PushRange(lo, hi int, keyTracker, valTracker *iomod
 	return absorbed
 }
 
+// Rebind swaps the group-by onto newer (longer) snapshot views of the
+// same columns, growing the seen bitset to cover the new tuples. Group
+// state and absorbed tuples carry over: append-only growth never moves
+// an already-absorbed id, so the bitset stays valid.
+func (g *IncrementalGroupBy) Rebind(keyCol, valCol *storage.Column) {
+	g.keyCol = keyCol
+	g.valCol = valCol
+	need := (keyCol.Len() + 63) / 64
+	for len(g.seen) < need {
+		g.seen = append(g.seen, 0)
+	}
+}
+
 // GroupOf reports the current state of tuple id's group without charging
 // reads (the caller just absorbed the tuple) and without creating it.
 func (g *IncrementalGroupBy) GroupOf(id int) (key string, value float64, ok bool) {

@@ -49,6 +49,25 @@ func NewSymmetricHashJoin(left, right *storage.Column) *SymmetricHashJoin {
 
 func seenBit(seen []uint64, id int) bool { return seen[id>>6]&(1<<(uint(id)&63)) != 0 }
 
+// RebindSide swaps one side's column for a newer (longer) snapshot view,
+// growing that side's seen bitset. Hash tables and the match count carry
+// over: append-only growth never moves an already-inserted id.
+func (j *SymmetricHashJoin) RebindSide(isLeft bool, col *storage.Column) {
+	grow := func(seen []uint64, n int) []uint64 {
+		for len(seen) < (n+63)/64 {
+			seen = append(seen, 0)
+		}
+		return seen
+	}
+	if isLeft {
+		j.left = col
+		j.seenLeft = grow(j.seenLeft, col.Len())
+	} else {
+		j.right = col
+		j.seenRight = grow(j.seenRight, col.Len())
+	}
+}
+
 // PushLeft feeds tuple id of the left input, charging the read to
 // tracker, and returns any new matches against right tuples seen so far.
 func (j *SymmetricHashJoin) PushLeft(id int, tracker *iomodel.Tracker) []JoinMatch {

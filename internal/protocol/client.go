@@ -60,6 +60,18 @@ func (c *Client) Perform(session, name string, g gesture.Gesture) ([]ResultFrame
 	return resp.Results, err
 }
 
+// Append appends rows to a live table on the server and returns the new
+// snapshot epoch and total row count. Cells are coerced server-side
+// (JSON numbers arrive as float64; integer columns coerce them back).
+// A rate-limited append surfaces as an overloaded error with Retry-After.
+func (c *Client) Append(table string, rows [][]any) (epoch uint64, total int, err error) {
+	resp, err := c.Do(Request{Op: OpAppend, Table: table, Rows: rows})
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.Epoch, resp.Rows, nil
+}
+
 // Idle advances the session's virtual time with no touch activity.
 func (c *Client) Idle(session string, d time.Duration) error {
 	_, err := c.Do(Request{Op: OpIdle, Session: session, Idle: d})

@@ -55,6 +55,11 @@ const (
 	OpPin = "pin"
 	// OpStats snapshots the manager (live sessions, evictions, queues).
 	OpStats = "stats"
+	// OpAppend appends Request.Rows to the live table named in
+	// Request.Table — the ingestion entry point. Appends are session-less:
+	// they publish a new snapshot epoch that every session picks up at its
+	// next batch start. Rate-limited appends come back Overloaded.
+	OpAppend = "append"
 )
 
 // Request is one decoded client operation. Field use by op:
@@ -66,6 +71,7 @@ const (
 //	idle         Session, Idle
 //	pin          Session, Object, As, Create (placement rect only)
 //	stats        —
+//	append       Table, Rows
 type Request struct {
 	V  int    `json:"v"`
 	Op string `json:"op"`
@@ -81,6 +87,12 @@ type Request struct {
 	Idle    time.Duration    `json:"idle,omitempty"`
 	Create  *CreateSpec      `json:"create,omitempty"`
 	Actions *ActionsSpec     `json:"actions,omitempty"`
+	// Table names the live table an OpAppend targets.
+	Table string `json:"table,omitempty"`
+	// Rows carries OpAppend's values, one inner slice per row in the
+	// table's column order; cells coerce like filter operands
+	// (CoerceValue).
+	Rows [][]any `json:"rows,omitempty"`
 }
 
 // CreateSpec places an object: one column of a table (Column set) or the
@@ -140,6 +152,10 @@ type Response struct {
 	Results []ResultFrame `json:"results,omitempty"`
 	// Stats answers OpStats.
 	Stats *StatsFrame `json:"stats,omitempty"`
+	// Epoch is the snapshot epoch an OpAppend published; Rows is the live
+	// table's row count in that snapshot.
+	Epoch uint64 `json:"epoch,omitempty"`
+	Rows  int    `json:"rows,omitempty"`
 }
 
 // ResultFrame is the wire rendering of one core.Result — a one-way

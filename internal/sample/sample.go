@@ -152,7 +152,7 @@ func (s *Shared) Attach(clock *vclock.Clock, params iomodel.Params, policy func(
 		}
 		return policy()
 	}
-	h := &Hierarchy{shared: s}
+	h := &Hierarchy{shared: s, clock: clock, params: params, newPolicy: newPolicy}
 	for _, sl := range s.levels {
 		h.levels = append(h.levels, &Level{
 			Stride:  sl.stride,
@@ -196,6 +196,12 @@ func (l *Level) BaseLen() int { return l.Col.Len() * l.Stride }
 type Hierarchy struct {
 	shared *Shared
 	levels []*Level // levels[0] is base data (stride 1)
+
+	// Attach parameters, retained so Rebind can mint trackers for levels
+	// that appear when a live table grows.
+	clock     *vclock.Clock
+	params    iomodel.Params
+	newPolicy func() iomodel.EvictionPolicy
 }
 
 // Build constructs a single-session hierarchy over base: BuildShared
@@ -211,6 +217,35 @@ func Build(base *storage.Column, maxLevels int, clock *vclock.Clock, params iomo
 
 // Shared exposes the immutable half for attaching further sessions.
 func (h *Hierarchy) Shared() *Shared { return h.shared }
+
+// Rebind swaps the hierarchy onto a new Shared (a newer live-table
+// snapshot) while keeping the session's warmth: levels present in both
+// hierarchies keep their trackers — the cost model's cache state is the
+// session's touch history, which append-only growth does not invalidate —
+// levels that appear as the table grows get fresh trackers, and levels
+// past the new depth are dropped (only possible after compaction shrinks
+// the table).
+func (h *Hierarchy) Rebind(s *Shared) {
+	n := len(s.levels)
+	if n < len(h.levels) {
+		h.levels = h.levels[:n]
+	}
+	for i, sl := range s.levels {
+		if i < len(h.levels) {
+			h.levels[i].Stride = sl.stride
+			h.levels[i].Col = sl.col
+			h.levels[i].shared = sl
+			continue
+		}
+		h.levels = append(h.levels, &Level{
+			Stride:  sl.stride,
+			Col:     sl.col,
+			Tracker: iomodel.New(h.clock, h.params, h.newPolicy()),
+			shared:  sl,
+		})
+	}
+	h.shared = s
+}
 
 // NumLevels reports the number of stored levels including base.
 func (h *Hierarchy) NumLevels() int { return len(h.levels) }

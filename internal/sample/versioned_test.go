@@ -1,0 +1,256 @@
+package sample
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"dbtouch/internal/iomodel"
+	"dbtouch/internal/storage"
+	"dbtouch/internal/vclock"
+)
+
+// The versioned-chain contract: a Shared served incrementally from the
+// chain must be indistinguishable from one built from scratch over the
+// same frozen prefix — same level structure, and bit-identical
+// SpanEntries everywhere (exact int sums, left-to-right float sums, zone
+// maps). These tests drive the chain through odd-sized append epochs and
+// differential every epoch against BuildShared.
+
+const vtBlock = 8 // small zone-map blocks so spans cross many boundaries
+
+func vtParams() iomodel.Params {
+	return iomodel.Params{BlockValues: vtBlock, ColdLatency: time.Millisecond, WarmLatency: time.Microsecond}
+}
+
+// spanPoints picks span endpoints that straddle zone-map block edges,
+// level boundaries, and the extremes for a level of length n.
+func spanPoints(n int) []int {
+	pts := []int{0, 1, vtBlock - 1, vtBlock, vtBlock + 1, 3 * vtBlock, n / 2, n - vtBlock - 1, n - 1, n}
+	out := pts[:0]
+	for _, p := range pts {
+		if p >= 0 && p <= n {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// diffShared asserts got (from the chain) and want (frozen BuildShared)
+// agree on level structure and on SpanEntries over every tested span of
+// every level.
+func diffShared(t *testing.T, label string, got, want *Shared) {
+	t.Helper()
+	if got.NumLevels() != want.NumLevels() {
+		t.Fatalf("%s: chain has %d levels, frozen build %d", label, got.NumLevels(), want.NumLevels())
+	}
+	clock := vclock.New()
+	gh := got.Attach(clock, vtParams(), nil)
+	wh := want.Attach(clock, vtParams(), nil)
+	for lvl := 0; lvl < got.NumLevels(); lvl++ {
+		gl, _ := gh.Level(lvl)
+		wl, _ := wh.Level(lvl)
+		if gl.Col.Len() != wl.Col.Len() || gl.Stride != wl.Stride {
+			t.Fatalf("%s level %d: chain len/stride %d/%d, frozen %d/%d",
+				label, lvl, gl.Col.Len(), gl.Stride, wl.Col.Len(), wl.Stride)
+		}
+		pts := spanPoints(gl.Col.Len())
+		for _, from := range pts {
+			for _, to := range pts {
+				if from >= to {
+					continue
+				}
+				gs, gn, gmn, gmx, gerr := gh.SpanEntries(from, to, lvl)
+				ws, wn, wmn, wmx, werr := wh.SpanEntries(from, to, lvl)
+				if (gerr == nil) != (werr == nil) {
+					t.Fatalf("%s level %d [%d,%d): err %v vs %v", label, lvl, from, to, gerr, werr)
+				}
+				if math.Float64bits(gs) != math.Float64bits(ws) || gn != wn ||
+					math.Float64bits(gmn) != math.Float64bits(wmn) || math.Float64bits(gmx) != math.Float64bits(wmx) {
+					t.Fatalf("%s level %d [%d,%d): chain (%v,%d,%v,%v), frozen (%v,%d,%v,%v)",
+						label, lvl, from, to, gs, gn, gmn, gmx, ws, wn, wmn, wmx)
+				}
+			}
+		}
+	}
+}
+
+// batchSizes are deliberately odd and ragged so level lengths, block
+// boundaries, and the minLen level-spawn threshold are all crossed
+// mid-batch.
+var batchSizes = []int{130, 1, 7, 255, 64, 3, 511, 129, 1000, 17}
+
+func TestVersionedMatchesFrozenBuildInt(t *testing.T) {
+	// Values beyond 2^53 verify the exact-int64 prefix path survives
+	// incremental extension.
+	big := int64(1) << 60
+	var vals []int64
+	full := storage.NewEmptyColumn("v", storage.Int64)
+	v := NewVersioned(4, vtBlock)
+	for bi, bs := range batchSizes {
+		for i := 0; i < bs; i++ {
+			x := int64(len(vals))
+			if x%97 == 0 {
+				x = big + x
+			}
+			vals = append(vals, x)
+			full.Append(storage.IntValue(x))
+		}
+		base, err := full.Prefix(len(vals))
+		if err != nil {
+			t.Fatalf("Prefix: %v", err)
+		}
+		got, err := v.ForSnapshot(0, base)
+		if err != nil {
+			t.Fatalf("ForSnapshot: %v", err)
+		}
+		want, err := BuildShared(base, 4)
+		if err != nil {
+			t.Fatalf("BuildShared: %v", err)
+		}
+		diffShared(t, fmt.Sprintf("int batch %d (rows %d)", bi, len(vals)), got, want)
+		// Level 0 must be the snapshot's own column pointer: the fused
+		// slide path relies on that identity.
+		if got.levels[0].col != base {
+			t.Fatalf("batch %d: chain level 0 is not the snapshot column", bi)
+		}
+	}
+}
+
+func TestVersionedMatchesFrozenBuildFloat(t *testing.T) {
+	// Floats with wildly mixed magnitudes make the prefix sum order
+	// observable: only a strictly left-to-right extension matches the
+	// frozen single-pass build bit for bit.
+	full := storage.NewEmptyColumn("v", storage.Float64)
+	n := 0
+	v := NewVersioned(3, vtBlock)
+	for bi, bs := range batchSizes {
+		for i := 0; i < bs; i++ {
+			x := float64(n) * 1.37
+			if n%13 == 0 {
+				x *= 1e15
+			}
+			if n%7 == 0 {
+				x = -x
+			}
+			full.Append(storage.FloatValue(x))
+			n++
+		}
+		base, err := full.Prefix(n)
+		if err != nil {
+			t.Fatalf("Prefix: %v", err)
+		}
+		got, err := v.ForSnapshot(0, base)
+		if err != nil {
+			t.Fatalf("ForSnapshot: %v", err)
+		}
+		want, err := BuildShared(base, 3)
+		if err != nil {
+			t.Fatalf("BuildShared: %v", err)
+		}
+		diffShared(t, fmt.Sprintf("float batch %d (rows %d)", bi, n), got, want)
+	}
+}
+
+func TestVersionedMatchesFrozenBuildString(t *testing.T) {
+	full := storage.NewEmptyColumn("v", storage.String)
+	n := 0
+	v := NewVersioned(2, vtBlock)
+	for bi, bs := range batchSizes[:6] {
+		for i := 0; i < bs; i++ {
+			full.Append(storage.StringValue(fmt.Sprintf("key%d", n%23)))
+			n++
+		}
+		base, err := full.Prefix(n)
+		if err != nil {
+			t.Fatalf("Prefix: %v", err)
+		}
+		got, err := v.ForSnapshot(0, base)
+		if err != nil {
+			t.Fatalf("ForSnapshot: %v", err)
+		}
+		want, err := BuildShared(base, 2)
+		if err != nil {
+			t.Fatalf("BuildShared: %v", err)
+		}
+		diffShared(t, fmt.Sprintf("string batch %d (rows %d)", bi, n), got, want)
+	}
+}
+
+// TestVersionedCacheIdentity: the same (gen, rows) version resolves to
+// the same *Shared (sessions pinning one snapshot share statistics), and
+// prune drops what the keep-set omits without harming correctness.
+func TestVersionedCacheIdentity(t *testing.T) {
+	vals := make([]int64, 300)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	full := storage.NewIntColumn("v", vals)
+	v := NewVersioned(2, vtBlock)
+	base, _ := full.Prefix(200)
+	s1, err := v.ForSnapshot(0, base)
+	if err != nil {
+		t.Fatalf("ForSnapshot: %v", err)
+	}
+	s2, err := v.ForSnapshot(0, base)
+	if err != nil {
+		t.Fatalf("ForSnapshot: %v", err)
+	}
+	if s1 != s2 {
+		t.Fatal("same version returned distinct Shareds")
+	}
+	base2, _ := full.Prefix(300)
+	if _, err := v.ForSnapshot(0, base2); err != nil {
+		t.Fatalf("ForSnapshot: %v", err)
+	}
+	if v.cachedVersions() != 2 {
+		t.Fatalf("cached %d versions, want 2", v.cachedVersions())
+	}
+	v.prune(map[verKey]bool{{gen: 0, rows: 300}: true})
+	if v.cachedVersions() != 1 {
+		t.Fatalf("cached %d versions after prune, want 1", v.cachedVersions())
+	}
+	// The pruned version rebuilds on demand, correctly.
+	s3, err := v.ForSnapshot(0, base)
+	if err != nil {
+		t.Fatalf("ForSnapshot after prune: %v", err)
+	}
+	want, _ := BuildShared(base, 2)
+	diffShared(t, "post-prune rebuild", s3, want)
+}
+
+// TestVersionedGenerationChange: a compaction bumps the generation and
+// rebases positions — the chain must restart its tails for the new gen
+// and serve older-gen pins via one-off frozen builds, both correct.
+func TestVersionedGenerationChange(t *testing.T) {
+	vals := make([]int64, 500)
+	for i := range vals {
+		vals[i] = int64(i * 3)
+	}
+	full := storage.NewIntColumn("v", vals)
+	v := NewVersioned(2, vtBlock)
+	oldBase, _ := full.Prefix(400)
+	if _, err := v.ForSnapshot(0, oldBase); err != nil {
+		t.Fatalf("ForSnapshot gen 0: %v", err)
+	}
+	// Compaction: survivors are rows 200.. of the old array, rebased to 0.
+	surv := make([]int64, 300)
+	copy(surv, vals[200:])
+	compacted := storage.NewIntColumn("v", surv)
+	nb, _ := compacted.Prefix(300)
+	got, err := v.ForSnapshot(1, nb)
+	if err != nil {
+		t.Fatalf("ForSnapshot gen 1: %v", err)
+	}
+	want, _ := BuildShared(nb, 2)
+	diffShared(t, "post-compaction gen 1", got, want)
+	// A session still pinned to the pre-compaction snapshot gets correct
+	// stats through the rebuild path.
+	gotOld, err := v.ForSnapshot(0, oldBase)
+	if err != nil {
+		t.Fatalf("ForSnapshot old gen after compaction: %v", err)
+	}
+	wantOld, _ := BuildShared(oldBase, 2)
+	diffShared(t, "stale-gen pin", gotOld, wantOld)
+}

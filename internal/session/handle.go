@@ -5,6 +5,7 @@ import (
 
 	"dbtouch/internal/core"
 	"dbtouch/internal/protocol"
+	"dbtouch/internal/storage"
 	"dbtouch/internal/touchos"
 )
 
@@ -43,6 +44,8 @@ func (m *Manager) HandleRequest(req protocol.Request) protocol.Response {
 			return protocol.Errorf("evict: session %q not found", req.Session)
 		}
 		return protocol.OK()
+	case protocol.OpAppend:
+		return m.handleAppend(req)
 	case protocol.OpStats:
 		st := m.Stats()
 		frame := protocol.StatsFrame{
@@ -88,6 +91,38 @@ func (m *Manager) HandleRequest(req protocol.Request) protocol.Response {
 	default:
 		return protocol.Errorf("unknown op %q", req.Op)
 	}
+}
+
+// handleAppend routes an OpAppend into the named live table. A
+// rate-limited append (storage.ErrAppendLimited) renders as an
+// overloaded response, so remote feeders back off like overloaded
+// gesture clients do.
+func (m *Manager) handleAppend(req protocol.Request) protocol.Response {
+	if req.Table == "" {
+		return protocol.Errorf("append: missing table name")
+	}
+	if len(req.Rows) == 0 {
+		return protocol.Errorf("append: no rows")
+	}
+	rows := make([][]storage.Value, len(req.Rows))
+	for i, r := range req.Rows {
+		vals := make([]storage.Value, len(r))
+		for j, cell := range r {
+			vals[j] = protocol.CoerceValue(cell)
+		}
+		rows[i] = vals
+	}
+	snap, err := m.Append(req.Table, rows)
+	if err != nil {
+		if errors.Is(err, storage.ErrAppendLimited) {
+			return protocol.Overloadedf("append: %v", err)
+		}
+		return protocol.Errorf("append: %v", err)
+	}
+	resp := protocol.OK()
+	resp.Epoch = snap.Epoch
+	resp.Rows = snap.Rows
+	return resp
 }
 
 // SubscribeSession opens a bounded result stream on the named session —

@@ -1,0 +1,93 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"dbtouch/internal/core"
+	"dbtouch/internal/operator"
+	"dbtouch/internal/storage"
+)
+
+// BenchmarkAppendWhileTouching measures ingestion throughput under
+// exploration pressure: the timed loop appends 256-row batches while a
+// started session continuously slides over the table on the scheduler —
+// every batch forces a snapshot publication, and every slide batch a
+// repin plus incremental statistics extension. This is the live-
+// ingestion cost the roofline doc cites; bench.sh records it in
+// BENCH_kernels.json.
+func BenchmarkAppendWhileTouching(b *testing.B) {
+	const batchRows = 256
+	m := NewManager(core.DefaultConfig())
+	vals := make([]int64, 20_000)
+	for i := range vals {
+		vals[i] = int64(i % 1000)
+	}
+	tb, err := storage.NewTable("events", storage.NewIntColumn("v", vals))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tb.SetRetention(storage.Retention{MaxRows: 100_000}); err != nil {
+		b.Fatal(err)
+	}
+	m.Catalog().RegisterLive(tb)
+	if err := m.SetWorkers(2); err != nil {
+		b.Fatal(err)
+	}
+	s, err := m.Create("toucher")
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj, err := s.CreateColumnObject("events", "v", equivFrame)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj.SetActions(core.Actions{Mode: core.ModeAggregate, Agg: operator.Sum})
+	s.Start()
+
+	stop := make(chan struct{})
+	touchDone := make(chan struct{})
+	go func() {
+		defer close(touchDone)
+		var cur time.Duration
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := m.Dispatch("toucher", livePinSlide(cur)); err != nil {
+				if errors.Is(err, ErrOverloaded) {
+					time.Sleep(100 * time.Microsecond)
+					continue
+				}
+				return
+			}
+			cur += 3 * time.Second
+		}
+	}()
+
+	rows := make([][]storage.Value, batchRows)
+	b.ResetTimer()
+	b.SetBytes(batchRows * 8)
+	next := len(vals)
+	for i := 0; i < b.N; i++ {
+		for j := range rows {
+			rows[j] = []storage.Value{storage.IntValue(int64((next + j) % 1000))}
+		}
+		next += batchRows
+		if _, err := m.Append("events", rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-touchDone
+	s.Drain()
+	m.Close()
+	if tb.Epoch() < uint64(b.N) {
+		b.Fatal(fmt.Sprintf("epoch %d after %d batches", tb.Epoch(), b.N))
+	}
+}

@@ -1,0 +1,165 @@
+package session
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dbtouch/internal/core"
+	"dbtouch/internal/operator"
+	"dbtouch/internal/storage"
+)
+
+// Bounded-retention soak: 100k appended rows against a MaxRows policy,
+// with exploration interleaved throughout. Everything that could grow
+// with ingestion volume must instead stay bounded — the table itself,
+// the retained result window, the pinned-version statistics caches, the
+// kernel counter set, and the incremental group tables.
+func TestLiveRetentionKeepsStateBounded(t *testing.T) {
+	const (
+		maxRows  = 3000
+		nBatches = 1000
+		perBatch = 100
+		keyCard  = 8
+	)
+	m := NewManager(core.DefaultConfig())
+	tb, err := storage.NewTable("events",
+		storage.NewEmptyColumn("ts", storage.Int64),
+		storage.NewEmptyColumn("key", storage.String),
+		storage.NewEmptyColumn("value", storage.Int64),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.SetRetention(storage.Retention{MaxRows: maxRows}); err != nil {
+		t.Fatal(err)
+	}
+	m.Catalog().RegisterLive(tb)
+
+	// Seed rows so the objects have data to bind to.
+	seed := make([][]storage.Value, 128)
+	for i := range seed {
+		seed[i] = []storage.Value{
+			storage.IntValue(int64(i)),
+			storage.StringValue(fmt.Sprintf("k%d", i%keyCard)),
+			storage.IntValue(int64(i % 997)),
+		}
+	}
+	if _, err := m.Append("events", seed); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session A slides over the value column (exercising the versioned
+	// statistics chains); session B groups the whole table by key
+	// (exercising grouper rebind across epochs and compactions).
+	sa, err := m.Create("scanner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oa, err := sa.CreateColumnObject("events", "value", equivFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oa.SetActions(core.Actions{Mode: core.ModeAggregate, Agg: operator.Sum})
+	sb, err := m.Create("grouper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, err := sb.CreateTableObject("events", equivFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob.SetActions(core.Actions{Mode: core.ModeScan, Group: &core.GroupSpec{KeyCol: 1, ValCol: 2, Agg: operator.Sum}})
+
+	next := 128
+	var cur time.Duration
+	for b := 0; b < nBatches; b++ {
+		rows := make([][]storage.Value, perBatch)
+		for i := range rows {
+			rows[i] = []storage.Value{
+				storage.IntValue(int64(next + i)),
+				storage.StringValue(fmt.Sprintf("k%d", (next+i)%keyCard)),
+				storage.IntValue(int64((next + i) % 997)),
+			}
+		}
+		next += perBatch
+		snap, err := m.Append("events", rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Rows > 2*maxRows+perBatch {
+			t.Fatalf("batch %d: table holds %d rows, retention bound is %d", b, snap.Rows, 2*maxRows+perBatch)
+		}
+		if b%50 == 0 {
+			// Touch both sessions; gesture spacing exceeds the fade
+			// horizon, so the kernels' retained result windows stay small.
+			if _, err := m.Dispatch("scanner", livePinSlide(cur)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Dispatch("grouper", livePinSlide(cur)); err != nil {
+				t.Fatal(err)
+			}
+			cur += 3 * time.Second
+		}
+	}
+
+	if got := tb.Rows(); got > 2*maxRows+perBatch {
+		t.Fatalf("final table rows %d exceed retention bound %d", got, 2*maxRows+perBatch)
+	}
+	if tb.Gen() == 0 {
+		t.Fatal("100k appends against a 3k cap never compacted")
+	}
+
+	st := m.LiveStore().Stats()
+	if st.Tables != 1 {
+		t.Fatalf("live store tracks %d tables, want 1", st.Tables)
+	}
+	if st.Pins > 2 {
+		t.Fatalf("%d pins outstanding for 2 sessions", st.Pins)
+	}
+	// Version caches are pruned down to pinned + current on every repin;
+	// they must not scale with the thousand epochs that passed.
+	if st.CachedVersions > 2*st.Chains+2 {
+		t.Fatalf("statistics cache holds %d versions across %d chains", st.CachedVersions, st.Chains)
+	}
+
+	for _, id := range []string{"scanner", "grouper"} {
+		s, _ := m.Get(id)
+		if err := s.Do(func(k *core.Kernel) error {
+			emitted := k.Counters().Get("results.emitted")
+			if emitted == 0 {
+				return fmt.Errorf("%s emitted no results", id)
+			}
+			// The retained window is fade-bounded: far fewer results than
+			// were emitted over the soak.
+			if retained := len(k.Results()); int64(retained) >= emitted/2 {
+				return fmt.Errorf("%s retains %d of %d results — fade pruning broke", id, retained, emitted)
+			}
+			// The counter namespace is a fixed vocabulary, not per-epoch.
+			if n := len(k.Counters().Names()); n > 40 {
+				return fmt.Errorf("%s counter namespace grew to %d entries", id, n)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The group table is keyed by values, not rows: its cardinality is
+	// the key domain even after 100k rows flowed through.
+	var groups int
+	if err := sb.Do(func(k *core.Kernel) error {
+		o, err := k.Object(ob.ID())
+		if err != nil {
+			return err
+		}
+		groups = len(o.Groups())
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if groups > keyCard {
+		t.Fatalf("group table holds %d groups for a %d-key domain", groups, keyCard)
+	}
+	m.Close()
+}

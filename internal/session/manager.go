@@ -24,6 +24,9 @@ const DefaultSessionQueueCap = 64
 type Manager struct {
 	cfg     core.Config
 	catalog *storage.Catalog
+	// live refcounts snapshot pins and caches versioned sample chains for
+	// live tables, shared by every session's kernel.
+	live *sample.LiveStore
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -72,6 +75,7 @@ func NewManager(cfg core.Config) *Manager {
 	m := &Manager{
 		cfg:      cfg,
 		catalog:  storage.NewCatalog(),
+		live:     sample.NewLiveStore(),
 		sessions: make(map[string]*Session),
 		samples:  make(map[sampleKey]*sampleEntry),
 	}
@@ -215,6 +219,22 @@ func (m *Manager) reserveBatch() (backlog, limit int64, ok bool) {
 // Catalog returns the shared catalog. Tables registered here are visible
 // to every session.
 func (m *Manager) Catalog() *storage.Catalog { return m.catalog }
+
+// LiveStore returns the shared live-table snapshot store (pin refcounts
+// and versioned sample chains).
+func (m *Manager) LiveStore() *sample.LiveStore { return m.live }
+
+// Append appends rows to the named live table and returns the published
+// snapshot: the manager-level ingestion entry point the wire protocol
+// routes to. Appends need no session — snapshot publication synchronizes
+// with every session's batch-start repin.
+func (m *Manager) Append(table string, rows [][]storage.Value) (*storage.TableSnapshot, error) {
+	t, ok := m.catalog.Live(table)
+	if !ok {
+		return nil, fmt.Errorf("session: no live table %q", table)
+	}
+	return t.AppendBatch(rows)
+}
 
 // SetMaxSessions caps the number of live sessions; creating one past the
 // cap evicts the least recently dispatched. Zero (the default) disables
@@ -361,6 +381,7 @@ func (m *Manager) Create(id string) (*Session, error) {
 
 	k := core.NewKernel(m.cfg)
 	k.ShareStorage(m.catalog, m.sharedSamples)
+	k.ShareLive(m.live)
 	s := &Session{id: id, manager: m, kernel: k}
 	s.pendingCond = sync.NewCond(&s.pendingMu)
 

@@ -392,6 +392,12 @@ func (s *Session) Close() {
 	// in before closed was set.
 	s.runMu.Lock()
 	s.kernel.CloseSubscriptions()
+	// Release live-table snapshot pins only now — after the drain, under
+	// runMu — so an eviction mid-batch cannot unpin the version the
+	// in-flight batch is still reading, and the shared store's refcounts
+	// keep versions other sessions pinned alive regardless (the
+	// eviction-race regression test drives exactly this schedule).
+	s.kernel.ReleaseLive()
 	s.runMu.Unlock()
 }
 

@@ -12,56 +12,93 @@ import (
 type Catalog struct {
 	mu       sync.RWMutex
 	matrixes map[string]*Matrix
+	lives    map[string]*Table
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{matrixes: make(map[string]*Matrix)}
+	return &Catalog{matrixes: make(map[string]*Matrix), lives: make(map[string]*Table)}
 }
 
 // Register adds m under its name, replacing any previous entry with the
-// same name.
+// same name (including a live table of that name — the two registries
+// share one namespace).
 func (c *Catalog) Register(m *Matrix) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.matrixes[m.Name()] = m
+	delete(c.lives, m.Name())
 }
 
-// Drop removes the named matrix and reports whether it existed.
-func (c *Catalog) Drop(name string) bool {
+// RegisterLive adds a live table under its name, replacing any previous
+// frozen or live entry with the same name.
+func (c *Catalog) RegisterLive(t *Table) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	_, ok := c.matrixes[name]
-	delete(c.matrixes, name)
+	c.lives[t.Name()] = t
+	delete(c.matrixes, t.Name())
+}
+
+// Live resolves a live table by name (nil, false when the name is absent
+// or frozen).
+func (c *Catalog) Live(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.lives[name]
+	return t, ok
+}
+
+// IsLive reports whether name is registered as a live table.
+func (c *Catalog) IsLive(name string) bool {
+	_, ok := c.Live(name)
 	return ok
 }
 
-// Get resolves a matrix by name.
+// Drop removes the named matrix or live table and reports whether it
+// existed.
+func (c *Catalog) Drop(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, okM := c.matrixes[name]
+	_, okL := c.lives[name]
+	delete(c.matrixes, name)
+	delete(c.lives, name)
+	return okM || okL
+}
+
+// Get resolves a matrix by name. For a live table this returns the
+// current snapshot's matrix — an immutable version, not a handle that
+// follows appends; callers that must track epochs resolve via Live.
 func (c *Catalog) Get(name string) (*Matrix, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	m, ok := c.matrixes[name]
-	if !ok {
-		return nil, fmt.Errorf("storage: no matrix named %q", name)
+	if m, ok := c.matrixes[name]; ok {
+		return m, nil
 	}
-	return m, nil
+	if t, ok := c.lives[name]; ok {
+		return t.Snapshot().Matrix, nil
+	}
+	return nil, fmt.Errorf("storage: no matrix named %q", name)
 }
 
-// List returns the registered matrix names in sorted order.
+// List returns the registered names (frozen and live) in sorted order.
 func (c *Catalog) List() []string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	names := make([]string, 0, len(c.matrixes))
+	names := make([]string, 0, len(c.matrixes)+len(c.lives))
 	for name := range c.matrixes {
+		names = append(names, name)
+	}
+	for name := range c.lives {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	return names
 }
 
-// Len reports the number of registered matrixes.
+// Len reports the number of registered entries (frozen and live).
 func (c *Catalog) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return len(c.matrixes)
+	return len(c.matrixes) + len(c.lives)
 }

@@ -202,6 +202,54 @@ func (c *Column) Set(i int, v Value) {
 	}
 }
 
+// Prefix returns a read-only view of the first n values sharing c's
+// backing arrays. The view's slices are capped (three-index sliced) so a
+// later Append on c that grows the backing array in place can never leak
+// past-the-end values into the view — this is the copy-on-tail snapshot
+// primitive used by live tables: the appender only ever writes at indexes
+// ≥ n, so published prefixes stay immutable without copying.
+func (c *Column) Prefix(n int) (*Column, error) {
+	if n < 0 || n > c.Len() {
+		return nil, fmt.Errorf("storage: prefix %d out of range for column %q of length %d", n, c.name, c.Len())
+	}
+	s := &Column{name: c.name, typ: c.typ, dict: c.dict}
+	switch c.typ {
+	case Int64:
+		s.ints = c.ints[:n:n]
+	case Float64:
+		s.flts = c.flts[:n:n]
+	case Bool:
+		s.bools = c.bools[:n:n]
+	case String:
+		s.codes = c.codes[:n:n]
+	}
+	return s, nil
+}
+
+// EmptyLike returns a zero-length column with c's name and type. String
+// columns share c's dictionary so codes appended via AppendAt stay valid.
+func (c *Column) EmptyLike() *Column {
+	out := &Column{name: c.name, typ: c.typ, dict: c.dict}
+	return out
+}
+
+// AppendAt appends src's cell at i to c without Value boxing — the hot
+// path for extending sample-level tails and for retention compaction.
+// The columns must have the same type; string columns must share a
+// dictionary (codes are copied verbatim).
+func (c *Column) AppendAt(src *Column, i int) {
+	switch c.typ {
+	case Int64:
+		c.ints = append(c.ints, src.ints[i])
+	case Float64:
+		c.flts = append(c.flts, src.flts[i])
+	case Bool:
+		c.bools = append(c.bools, src.bools[i])
+	case String:
+		c.codes = append(c.codes, src.codes[i])
+	}
+}
+
 // Slice returns a new column sharing c's backing arrays over [lo, hi).
 func (c *Column) Slice(lo, hi int) (*Column, error) {
 	if lo < 0 || hi > c.Len() || lo > hi {

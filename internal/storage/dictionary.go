@@ -1,9 +1,21 @@
 package storage
 
+import "sync"
+
 // Dictionary maps strings to dense int32 codes so string columns can be
 // stored as fixed-width words, the invariant dbTouch relies on for direct
 // positional addressing (paper §2.6).
+//
+// The dictionary is internally synchronized: live ingestion appends
+// (Intern) may race exploration sessions decoding codes (Lookup) on the
+// same dictionary, because column snapshots share their table's
+// dictionary across append epochs. Codes are assigned once and never
+// reassigned, so a code observed through a published snapshot always
+// decodes to the same string. Lookup/Code sit off the span hot path (the
+// filter kernels memoize per-code outcomes), so the lock is not a
+// kernel-loop cost.
 type Dictionary struct {
+	mu     sync.RWMutex
 	values []string
 	index  map[string]int32
 }
@@ -15,10 +27,18 @@ func NewDictionary() *Dictionary {
 
 // Intern returns the code for s, assigning a new code on first sight.
 func (d *Dictionary) Intern(s string) int32 {
+	d.mu.RLock()
+	code, ok := d.index[s]
+	d.mu.RUnlock()
+	if ok {
+		return code
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if code, ok := d.index[s]; ok {
 		return code
 	}
-	code := int32(len(d.values))
+	code = int32(len(d.values))
 	d.values = append(d.values, s)
 	d.index[s] = code
 	return code
@@ -26,12 +46,16 @@ func (d *Dictionary) Intern(s string) int32 {
 
 // Code returns the code for s and whether it is present, without interning.
 func (d *Dictionary) Code(s string) (int32, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	code, ok := d.index[s]
 	return code, ok
 }
 
 // Lookup returns the string for a code; unknown codes decode to "".
 func (d *Dictionary) Lookup(code int32) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if code < 0 || int(code) >= len(d.values) {
 		return ""
 	}
@@ -39,10 +63,16 @@ func (d *Dictionary) Lookup(code int32) string {
 }
 
 // Len reports the number of distinct strings interned.
-func (d *Dictionary) Len() int { return len(d.values) }
+func (d *Dictionary) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.values)
+}
 
 // Clone returns an independent copy of the dictionary.
 func (d *Dictionary) Clone() *Dictionary {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	c := &Dictionary{
 		values: append([]string(nil), d.values...),
 		index:  make(map[string]int32, len(d.index)),

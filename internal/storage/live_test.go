@@ -1,0 +1,309 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newEventsTable(t *testing.T, rows int) *Table {
+	t.Helper()
+	ts := make([]int64, rows)
+	val := make([]float64, rows)
+	tag := make([]string, rows)
+	for i := 0; i < rows; i++ {
+		ts[i] = int64(i)
+		val[i] = float64(i) / 2
+		tag[i] = fmt.Sprintf("tag%d", i%5)
+	}
+	tb, err := NewTable("events",
+		NewIntColumn("ts", ts),
+		NewFloatColumn("value", val),
+		NewStringColumn("tag", tag),
+	)
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	return tb
+}
+
+func eventRow(i int) []Value {
+	return []Value{IntValue(int64(i)), FloatValue(float64(i) / 2), StringValue(fmt.Sprintf("tag%d", i%5))}
+}
+
+// TestLiveTableSnapshotIsolation pins the copy-on-tail contract: a
+// snapshot captured before an append batch must be bit-identical after
+// arbitrarily many more appends — same row count, same values, same
+// epoch — while the table's own snapshot advances.
+func TestLiveTableSnapshotIsolation(t *testing.T) {
+	tb := newEventsTable(t, 100)
+	before := tb.Snapshot()
+	if before.Epoch != 1 || before.Rows != 100 {
+		t.Fatalf("initial snapshot: epoch %d rows %d, want 1/100", before.Epoch, before.Rows)
+	}
+	col, err := before.Matrix.Column(0)
+	if err != nil {
+		t.Fatalf("Column: %v", err)
+	}
+	wantSum := int64(0)
+	for i := 0; i < col.Len(); i++ {
+		wantSum += col.Int(i)
+	}
+
+	for batch := 0; batch < 20; batch++ {
+		rows := make([][]Value, 37)
+		for i := range rows {
+			rows[i] = eventRow(100 + batch*37 + i)
+		}
+		if _, err := tb.AppendBatch(rows); err != nil {
+			t.Fatalf("AppendBatch: %v", err)
+		}
+	}
+
+	if before.Rows != 100 || col.Len() != 100 {
+		t.Fatalf("pinned snapshot grew: rows %d len %d", before.Rows, col.Len())
+	}
+	gotSum := int64(0)
+	for i := 0; i < col.Len(); i++ {
+		gotSum += col.Int(i)
+	}
+	if gotSum != wantSum {
+		t.Fatalf("pinned snapshot values changed: sum %d, want %d", gotSum, wantSum)
+	}
+	after := tb.Snapshot()
+	if after.Epoch != 21 {
+		t.Fatalf("epoch after 20 batches: %d, want 21", after.Epoch)
+	}
+	if after.Rows != 100+20*37 {
+		t.Fatalf("rows after appends: %d, want %d", after.Rows, 100+20*37)
+	}
+	// The new snapshot's head must equal the old snapshot's rows (no
+	// reordering, pure extension while no retention is set).
+	ncol, err := after.Matrix.Column(0)
+	if err != nil {
+		t.Fatalf("Column: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		if ncol.Int(i) != col.Int(i) {
+			t.Fatalf("row %d changed across appends: %d vs %d", i, ncol.Int(i), col.Int(i))
+		}
+	}
+}
+
+// TestLiveTableEmptyBatchIsNoOp: zero rows must not bump the epoch —
+// replay harnesses count epochs as 1 + non-empty batches.
+func TestLiveTableEmptyBatchIsNoOp(t *testing.T) {
+	tb := newEventsTable(t, 10)
+	before := tb.Snapshot()
+	snap, err := tb.AppendBatch(nil)
+	if err != nil {
+		t.Fatalf("empty AppendBatch: %v", err)
+	}
+	if snap != before {
+		t.Fatalf("empty batch published a new snapshot (epoch %d -> %d)", before.Epoch, snap.Epoch)
+	}
+}
+
+// TestLiveTableMaxRowsRetention checks the row-cap policy: the visible
+// row count stays bounded by MaxRows plus the compaction amortization
+// slack, compaction bumps the generation, and the survivors are exactly
+// the newest rows in order.
+func TestLiveTableMaxRowsRetention(t *testing.T) {
+	tb := newEventsTable(t, 0)
+	if err := tb.SetRetention(Retention{MaxRows: 2000}); err != nil {
+		t.Fatalf("SetRetention: %v", err)
+	}
+	const batch = 100
+	next := 0
+	for next < 100_000 {
+		rows := make([][]Value, batch)
+		for i := range rows {
+			rows[i] = eventRow(next + i)
+		}
+		next += batch
+		snap, err := tb.AppendBatch(rows)
+		if err != nil {
+			t.Fatalf("AppendBatch: %v", err)
+		}
+		// Bound: compaction triggers once stale ≥ max(1024, live), so the
+		// table never exceeds 2×MaxRows plus one batch of slack.
+		if snap.Rows > 2*2000+batch {
+			t.Fatalf("rows %d exceeds retention bound %d", snap.Rows, 2*2000+batch)
+		}
+	}
+	snap := tb.Snapshot()
+	if snap.Gen == 0 {
+		t.Fatal("100k appends against a 2k cap never compacted")
+	}
+	// Survivors are the newest rows: the last row is next-1, and rows
+	// are consecutive from the tail backwards.
+	col, err := snap.Matrix.Column(0)
+	if err != nil {
+		t.Fatalf("Column: %v", err)
+	}
+	for i := 0; i < snap.Rows; i++ {
+		want := int64(next - snap.Rows + i)
+		if col.Int(i) != want {
+			t.Fatalf("row %d after compaction: %d, want %d", i, col.Int(i), want)
+		}
+	}
+	// The string dictionary is shared across compactions, not rebuilt.
+	tag, err := snap.Matrix.Column(2)
+	if err != nil {
+		t.Fatalf("Column: %v", err)
+	}
+	if got := tag.Value(0).S; got != fmt.Sprintf("tag%d", (next-snap.Rows)%5) {
+		t.Fatalf("tag after compaction: %q", got)
+	}
+}
+
+// TestLiveTableMaxAgeRetention checks the age policy end to end with a
+// synthetic nondecreasing timestamp column: once enough rows age out,
+// compaction drops them and the head of the surviving table is young.
+func TestLiveTableMaxAgeRetention(t *testing.T) {
+	tb, err := NewTable("aged", NewEmptyColumn("ts", Int64), NewEmptyColumn("v", Float64))
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	if err := tb.SetRetention(Retention{MaxAge: time.Minute, AgeColumn: "ts"}); err != nil {
+		t.Fatalf("SetRetention: %v", err)
+	}
+	now := time.Now()
+	old := now.Add(-2 * time.Minute).UnixNano()
+	// One batch, 2000 ancient rows then 10 young: the stale run (2000)
+	// clears both compaction thresholds (≥ 1024 and ≥ live), so the
+	// publish that follows this batch has already compacted.
+	rows := make([][]Value, 0, 2010)
+	for i := 0; i < 2000; i++ {
+		rows = append(rows, []Value{IntValue(old + int64(i)), FloatValue(float64(i))})
+	}
+	for i := 0; i < 10; i++ {
+		rows = append(rows, []Value{IntValue(now.UnixNano() + int64(i)), FloatValue(float64(i))})
+	}
+	snap, err := tb.AppendBatch(rows)
+	if err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if snap.Gen != 1 {
+		t.Fatalf("gen %d, want 1 (compaction after aging out the ancient run)", snap.Gen)
+	}
+	if snap.Rows != 10 {
+		t.Fatalf("rows %d after age compaction, want 10", snap.Rows)
+	}
+	col, err := snap.Matrix.Column(0)
+	if err != nil {
+		t.Fatalf("Column: %v", err)
+	}
+	if col.Int(0) < now.Add(-time.Minute).UnixNano() {
+		t.Fatal("stale row survived age compaction")
+	}
+}
+
+// TestLiveTableRetentionNeverEmpties: an all-stale table keeps its
+// newest row so pinned readers always rebind against data.
+func TestLiveTableRetentionNeverEmpties(t *testing.T) {
+	tb, err := NewTable("tiny", NewEmptyColumn("ts", Int64))
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	if err := tb.SetRetention(Retention{MaxAge: time.Millisecond, AgeColumn: "ts"}); err != nil {
+		t.Fatalf("SetRetention: %v", err)
+	}
+	ancient := time.Now().Add(-time.Hour).UnixNano()
+	rows := make([][]Value, 4096)
+	for i := range rows {
+		rows[i] = []Value{IntValue(ancient + int64(i))}
+	}
+	snap, err := tb.AppendBatch(rows)
+	if err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if snap.Rows < 1 {
+		t.Fatalf("retention emptied the table (%d rows)", snap.Rows)
+	}
+}
+
+// TestLiveTableAppendLimit: a tight token bucket admits the burst and
+// rejects the excess with ErrAppendLimited; the table state is untouched
+// by the rejected batch.
+func TestLiveTableAppendLimit(t *testing.T) {
+	tb := newEventsTable(t, 0)
+	tb.SetAppendLimit(1, 10) // 1 row/sec, burst 10
+	rows := make([][]Value, 10)
+	for i := range rows {
+		rows[i] = eventRow(i)
+	}
+	if _, err := tb.AppendBatch(rows); err != nil {
+		t.Fatalf("burst-sized batch rejected: %v", err)
+	}
+	epoch := tb.Epoch()
+	if _, err := tb.AppendBatch(rows); !errors.Is(err, ErrAppendLimited) {
+		t.Fatalf("over-limit batch: err %v, want ErrAppendLimited", err)
+	}
+	if tb.Epoch() != epoch || tb.Rows() != 10 {
+		t.Fatal("rejected batch mutated the table")
+	}
+}
+
+// TestLiveTableConcurrentReaders races one appender against readers that
+// repeatedly snapshot and fully scan — with string interning exercising
+// the dictionary's internal lock. Run under -race this is the dictionary
+// and snapshot memory-model test.
+func TestLiveTableConcurrentReaders(t *testing.T) {
+	tb := newEventsTable(t, 256)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := tb.Snapshot()
+				col, err := snap.Matrix.Column(2)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if col.Len() != snap.Rows {
+					t.Errorf("snapshot rows %d but column len %d", snap.Rows, col.Len())
+					return
+				}
+				for i := 0; i < col.Len(); i += 17 {
+					_ = col.Value(i).S // dictionary Lookup under reader lock
+				}
+			}
+		}()
+	}
+	for b := 0; b < 200; b++ {
+		rows := make([][]Value, 16)
+		for i := range rows {
+			rows[i] = eventRow(256 + b*16 + i)
+		}
+		if _, err := tb.AppendBatch(rows); err != nil {
+			t.Fatalf("AppendBatch: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestLiveTableRowWidthValidation: a ragged row fails the whole batch
+// atomically — nothing is appended, no epoch is published.
+func TestLiveTableRowWidthValidation(t *testing.T) {
+	tb := newEventsTable(t, 10)
+	epoch := tb.Epoch()
+	_, err := tb.AppendBatch([][]Value{eventRow(10), {IntValue(1)}})
+	if err == nil {
+		t.Fatal("ragged batch accepted")
+	}
+	if tb.Epoch() != epoch || tb.Rows() != 10 {
+		t.Fatal("failed batch left partial state")
+	}
+}

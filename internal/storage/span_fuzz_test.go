@@ -1,0 +1,179 @@
+package storage
+
+import (
+	"math"
+	"testing"
+)
+
+// Native fuzz targets for the predicate lowering and the compare+compress
+// kernels. These complement the fixed differential matrix in
+// simd_diff_test.go: the fuzzer explores the (operator, operand, value)
+// cube beyond the hand-picked edges, with the scalar semantics
+// (Value.Compare via passFloat) as ground truth. CI runs them for a few
+// seconds per target as a smoke; longer local runs just work:
+//
+//	go test -fuzz=FuzzIntPredFor -fuzztime=60s ./internal/storage/
+//
+// On hosts without AVX2 the kernel targets still run — the dispatch
+// wrappers fall back to the scalar loops, so the differential is vacuous
+// but never wrong.
+
+// fuzzEdgeBits are float64 payloads whose int64 reinterpretations and
+// float values both sit on lowering boundaries: MinInt64/MaxInt64
+// rounding, the 2^53 exactness cliff, NaN, infinities, and signed zero.
+var fuzzEdgeBits = []uint64{
+	math.Float64bits(0),
+	math.Float64bits(math.Copysign(0, -1)),
+	math.Float64bits(1),
+	math.Float64bits(-1),
+	math.Float64bits(math.NaN()),
+	math.Float64bits(math.Inf(1)),
+	math.Float64bits(math.Inf(-1)),
+	math.Float64bits(1 << 53),
+	math.Float64bits(-(1 << 53)),
+	math.Float64bits(1<<53 + 2),
+	math.Float64bits(math.MaxInt64),
+	math.Float64bits(math.MinInt64),
+	math.Float64bits(9.3e18), // just above MaxInt64
+	math.Float64bits(0.5),
+}
+
+var fuzzEdgeInts = []int64{
+	0, 1, -1,
+	math.MaxInt64, math.MinInt64,
+	math.MaxInt64 - 1, math.MinInt64 + 1,
+	1 << 53, -(1 << 53), 1<<53 + 1, -(1<<53 + 1),
+	100, -100,
+}
+
+// FuzzIntPredFor checks the integer lowering of `float64(v) op b`
+// against the float reference for arbitrary (op, b, v): the lowered
+// interval predicate must agree with passFloat bit for bit, and the
+// constant-outcome flags must be consistent with the per-value verdicts.
+func FuzzIntPredFor(f *testing.F) {
+	for _, bb := range fuzzEdgeBits {
+		for _, v := range fuzzEdgeInts {
+			for op := 0; op < 6; op++ {
+				f.Add(uint8(op), bb, v)
+			}
+		}
+	}
+	f.Fuzz(func(t *testing.T, opByte uint8, bBits uint64, v int64) {
+		op := RangeOp(opByte % 6)
+		b := math.Float64frombits(bBits)
+		p, none, all := intPredFor(op, b)
+		if none && all {
+			t.Fatalf("op=%d b=%v: none and all both true", op, b)
+		}
+		wLt, wGt, wEq := op.wants()
+		want := passFloat(float64(v), b, wLt, wGt, wEq)
+		if got := p.test(v); got != want {
+			t.Fatalf("op=%d b=%v v=%d: lowered pred says %d, float reference says %d (pred %+v)",
+				op, b, v, got, want, p)
+		}
+		if none && want != 0 {
+			t.Fatalf("op=%d b=%v v=%d: flagged none but float reference passes", op, b, v)
+		}
+		if all && want != 1 {
+			t.Fatalf("op=%d b=%v v=%d: flagged all but float reference fails", op, b, v)
+		}
+	})
+}
+
+// FuzzCompressInt64 differentials the int compare+compress kernel (AVX2
+// VPCMPGTQ + LUT-driven PSHUFB compaction on amd64) against the scalar
+// branch-free reference over fuzzer-chosen values, predicate bounds, and
+// slice lengths — ragged tails included, since the fuzzer controls n.
+func FuzzCompressInt64(f *testing.F) {
+	for _, v := range fuzzEdgeInts {
+		f.Add(v, int64(-50), int64(50), false, uint8(7))
+		f.Add(v, int64(math.MinInt64), int64(math.MaxInt64), true, uint8(16))
+		f.Add(v, int64(1), int64(-1), false, uint8(3))
+	}
+	f.Fuzz(func(t *testing.T, seed, lo, hi int64, neg bool, nByte uint8) {
+		n := int(nByte) // 0..255 spans sub-vector through multi-block
+		p := intPred{lo: lo, hi: hi}
+		if neg {
+			p.neg = 1
+		}
+		// Deterministic value stream from the seed: a Weyl sequence mixed
+		// with the edge set so every run hits lowering boundaries.
+		v := make([]int64, n)
+		x := uint64(seed)
+		for i := range v {
+			x = x*6364136223846793005 + 1442695040888963407
+			if x%4 == 0 {
+				v[i] = fuzzEdgeInts[(x>>32)%uint64(len(fuzzEdgeInts))]
+			} else {
+				v[i] = int64(x)
+			}
+		}
+		base := int(x % 1000)
+		gbuf := make([]int32, n)
+		wbuf := make([]int32, n)
+		gj := simdCompressInt64(v, p, base, gbuf)
+		wj := 0
+		for i, val := range v {
+			if wj < len(wbuf) {
+				wbuf[wj] = int32(base + i)
+			}
+			wj += p.test(val)
+		}
+		if gj != wj {
+			t.Fatalf("pred %+v n=%d: kernel wrote %d positions, scalar %d", p, n, gj, wj)
+		}
+		for i := 0; i < gj; i++ {
+			if gbuf[i] != wbuf[i] {
+				t.Fatalf("pred %+v n=%d: buf[%d] kernel %d, scalar %d", p, n, i, gbuf[i], wbuf[i])
+			}
+		}
+	})
+}
+
+// FuzzCompressFloat64 differentials the float compare+compress kernel
+// against passFloat for arbitrary operands (NaN and infinities reachable
+// through bBits) and all eight wants masks.
+func FuzzCompressFloat64(f *testing.F) {
+	for _, bb := range fuzzEdgeBits {
+		f.Add(int64(1), bb, uint8(1), uint8(32))
+		f.Add(int64(2), bb, uint8(5), uint8(9))
+		f.Add(int64(3), bb, uint8(7), uint8(255))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, bBits uint64, wantsByte, nByte uint8) {
+		n := int(nByte)
+		b := math.Float64frombits(bBits)
+		wLt, wGt, wEq := int(wantsByte)&1, int(wantsByte)>>1&1, int(wantsByte)>>2&1
+		v := make([]float64, n)
+		x := uint64(seed)
+		for i := range v {
+			x = x*6364136223846793005 + 1442695040888963407
+			if x%4 == 0 {
+				v[i] = math.Float64frombits(fuzzEdgeBits[(x>>32)%uint64(len(fuzzEdgeBits))])
+			} else {
+				// Reinterpreted bits cover NaN payloads, subnormals, and
+				// both infinities without any float arithmetic in the
+				// generator.
+				v[i] = math.Float64frombits(x)
+			}
+		}
+		base := int(x % 1000)
+		gbuf := make([]int32, n)
+		wbuf := make([]int32, n)
+		gj := simdCompressFloat64(v, b, wLt, wGt, wEq, base, gbuf)
+		wj := 0
+		for i, val := range v {
+			if wj < len(wbuf) {
+				wbuf[wj] = int32(base + i)
+			}
+			wj += passFloat(val, b, wLt, wGt, wEq)
+		}
+		if gj != wj {
+			t.Fatalf("b=%v wants=%03b n=%d: kernel wrote %d positions, scalar %d", b, wantsByte&7, n, gj, wj)
+		}
+		for i := 0; i < gj; i++ {
+			if gbuf[i] != wbuf[i] {
+				t.Fatalf("b=%v wants=%03b n=%d: buf[%d] kernel %d, scalar %d", b, wantsByte&7, n, i, gbuf[i], wbuf[i])
+			}
+		}
+	})
+}

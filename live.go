@@ -1,0 +1,134 @@
+package dbtouch
+
+import (
+	"fmt"
+	"time"
+
+	"dbtouch/internal/storage"
+)
+
+// Live ingestion facade: a live table is appendable while exploration
+// sessions slide over it. Every append batch publishes a new immutable
+// snapshot epoch; each gesture batch pins the newest epoch for its whole
+// duration, so a session always reads a consistent frozen prefix — "now"
+// is a version, not a moving target. See ARCHITECTURE.md, "Ingestion &
+// snapshots".
+
+// LiveTableBuilder assembles a live (appendable) table column by column.
+// Columns may start empty or pre-seeded; all must have equal lengths.
+type LiveTableBuilder struct {
+	db   *DB
+	name string
+	cols []*storage.Column
+}
+
+// NewLiveTable starts building a live table with the given name.
+func (db *DB) NewLiveTable(name string) *LiveTableBuilder {
+	return &LiveTableBuilder{db: db, name: name}
+}
+
+// Int adds an INT column (pass nil to start empty).
+func (b *LiveTableBuilder) Int(name string, vals []int64) *LiveTableBuilder {
+	b.cols = append(b.cols, storage.NewIntColumn(name, vals))
+	return b
+}
+
+// Float adds a FLOAT column.
+func (b *LiveTableBuilder) Float(name string, vals []float64) *LiveTableBuilder {
+	b.cols = append(b.cols, storage.NewFloatColumn(name, vals))
+	return b
+}
+
+// Bool adds a BOOL column.
+func (b *LiveTableBuilder) Bool(name string, vals []bool) *LiveTableBuilder {
+	b.cols = append(b.cols, storage.NewBoolColumn(name, vals))
+	return b
+}
+
+// String adds a dictionary-encoded STRING column.
+func (b *LiveTableBuilder) String(name string, vals []string) *LiveTableBuilder {
+	b.cols = append(b.cols, storage.NewStringColumn(name, vals))
+	return b
+}
+
+// Create registers the live table and returns its handle. Objects placed
+// on it (NewColumnObject/NewTableObject with this table's name) bind to
+// snapshots and follow appends batch by batch.
+func (b *LiveTableBuilder) Create() (*LiveTable, error) {
+	t, err := storage.NewTable(b.name, b.cols...)
+	if err != nil {
+		return nil, fmt.Errorf("dbtouch: creating live table %q: %w", b.name, err)
+	}
+	b.db.kernel.Catalog().RegisterLive(t)
+	return &LiveTable{db: b.db, table: t}, nil
+}
+
+// MustCreate registers the live table, panicking on error.
+func (b *LiveTableBuilder) MustCreate() *LiveTable {
+	t, err := b.Create()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// LiveTable is the ingestion handle for one live table. Appends are safe
+// from any goroutine, including while sessions explore the table.
+type LiveTable struct {
+	db    *DB
+	table *storage.Table
+}
+
+// Append appends one row (values in declaration order, coerced like the
+// query facade: int/int64/float64/bool/string) and publishes a snapshot.
+func (lt *LiveTable) Append(vals ...any) error {
+	row := make([]storage.Value, len(vals))
+	for i, v := range vals {
+		row[i] = toValue(v)
+	}
+	_, err := lt.table.AppendRow(row)
+	return err
+}
+
+// AppendBatch appends many rows under one snapshot publication — readers
+// observe the whole batch or none of it. Under an append rate limit, a
+// rejected batch returns an error satisfying errors.Is(err,
+// storage.ErrAppendLimited); back off and retry.
+func (lt *LiveTable) AppendBatch(rows [][]any) error {
+	batch := make([][]storage.Value, len(rows))
+	for i, r := range rows {
+		vals := make([]storage.Value, len(r))
+		for j, v := range r {
+			vals[j] = toValue(v)
+		}
+		batch[i] = vals
+	}
+	_, err := lt.table.AppendBatch(batch)
+	return err
+}
+
+// Rows reports the currently published row count.
+func (lt *LiveTable) Rows() int { return lt.table.Rows() }
+
+// Epoch reports the currently published snapshot epoch (1 at creation,
+// +1 per non-empty append batch).
+func (lt *LiveTable) Epoch() uint64 { return lt.table.Epoch() }
+
+// Retain installs a retention policy: maxRows caps live rows (0 =
+// unbounded); maxAge drops rows whose ageColumn (an INT column of Unix
+// nanosecond timestamps, nondecreasing in row order) falls behind
+// now-maxAge (0 = unbounded). Reclamation is amortized; see
+// docs/operations.md for the bounds.
+func (lt *LiveTable) Retain(maxRows int, maxAge time.Duration, ageColumn string) error {
+	return lt.table.SetRetention(storage.Retention{MaxRows: maxRows, MaxAge: maxAge, AgeColumn: ageColumn})
+}
+
+// LimitAppends installs a token-bucket append rate limit of rowsPerSec
+// with the given burst (rows). rowsPerSec <= 0 removes the limit.
+func (lt *LiveTable) LimitAppends(rowsPerSec float64, burst int) {
+	lt.table.SetAppendLimit(rowsPerSec, burst)
+}
+
+// Table exposes the storage-level handle for advanced use (snapshot
+// inspection, serving over the wire).
+func (lt *LiveTable) Table() *storage.Table { return lt.table }

@@ -26,6 +26,9 @@ go test -run=NONE -bench='.' -benchtime="$benchtime" ./internal/storage/ | tee -
 echo "== end-to-end touch pipeline" >&2
 go test -run=NONE -bench='BenchmarkTouchPipeline$|BenchmarkFig4aGestureSpeed$' -benchtime="$benchtime" . | tee -a "$raw" >&2
 
+echo "== live ingestion under exploration" >&2
+go test -run=NONE -bench='BenchmarkAppendWhileTouching$' -benchtime="$benchtime" ./internal/session/ | tee -a "$raw" >&2
+
 awk -v go_version="$(go version)" \
     -v goamd64="$(go env GOAMD64)" \
     -v cpu_features="${cpu_features:-}" \
