@@ -5,7 +5,10 @@
 // results stream back as frames.
 //
 //	POST /rpc                            protocol.Request → protocol.Response
-//	GET  /stream?session=ID[&buffer=N]   live results as NDJSON frames
+//	GET  /stream?session=ID[&buffer=N]   live results — NDJSON frames, or
+//	                                     the binary columnar encoding when
+//	                                     the client sends
+//	                                     Accept: application/x-dbtouch-bin
 //
 // Usage:
 //
@@ -16,6 +19,14 @@
 //	dbtouch-serve -admit-sessions 10000 -max-queued 4096 -workers 8
 //	dbtouch-serve -live 'events:ts=int,key=string,value=int' \
 //	    -retain-rows 100000 -append-rate 50000 -append-burst 10000
+//	dbtouch-serve -ftdc-dir /var/lib/dbtouch/ftdc -ftdc-interval 1s \
+//	    -ftdc-retain 67108864           # always-on flight recorder
+//
+// -ftdc-dir turns on the flight recorder: every scheduler/session/
+// storage gauge is sampled each -ftdc-interval into delta-of-delta
+// compressed chunks under the -ftdc-retain disk budget. SIGHUP flushes
+// the partial chunk; decode a capture with dbtouch-ftdc (see
+// docs/operations.md, "Diagnosing an incident from an FTDC capture").
 //
 // -live serves an appendable table alongside the static data: clients
 // feed it with the wire protocol's append op while sessions explore
@@ -41,7 +52,9 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"dbtouch"
 	"dbtouch/internal/datagen"
@@ -67,6 +80,10 @@ func main() {
 	retainAgeCol := flag.String("retain-age-column", "", "live table: INT column of Unix nanosecond timestamps, nondecreasing in row order, read by -retain-age")
 	appendRate := flag.Float64("append-rate", 0, "live table: append rate limit in rows/sec (0 = unlimited; over the limit the server answers 503 + Retry-After)")
 	appendBurst := flag.Int("append-burst", 0, "live table: append limiter burst in rows (0 = rate for one second)")
+	ftdcDir := flag.String("ftdc-dir", "", "flight recorder: capture telemetry chunks into this directory (empty = off; decode with dbtouch-ftdc)")
+	ftdcInterval := flag.Duration("ftdc-interval", 0, "flight recorder: sampling tick (0 = 1s)")
+	ftdcRetain := flag.Int64("ftdc-retain", 0, "flight recorder: capture directory disk budget in bytes, oldest files deleted first (0 = 64 MiB)")
+	ftdcChunk := flag.Int("ftdc-chunk", 0, "flight recorder: samples per compressed chunk (0 = 300)")
 	flag.Parse()
 
 	db := dbtouch.Open()
@@ -136,6 +153,39 @@ func main() {
 	}
 	if *budget > 0 {
 		mgr.SetFairnessBudget(*budget)
+	}
+	if *ftdcDir != "" {
+		fr, err := db.StartFlightRecorder(dbtouch.FlightRecorderOptions{
+			Dir:          *ftdcDir,
+			Interval:     *ftdcInterval,
+			RetainBytes:  *ftdcRetain,
+			ChunkSamples: *ftdcChunk,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbtouch-serve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("flight recorder capturing to %s\n", *ftdcDir)
+		// SIGHUP flushes the partial chunk so an operator can decode the
+		// capture up to the last tick without restarting the server;
+		// SIGINT/SIGTERM flush before exit so a shutdown never loses the
+		// minutes leading up to it.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
+		go func() {
+			for s := range sig {
+				if s == syscall.SIGHUP {
+					if err := fr.Flush(); err != nil {
+						fmt.Fprintln(os.Stderr, "dbtouch-serve: ftdc flush:", err)
+					}
+					continue
+				}
+				if err := fr.Stop(); err != nil {
+					fmt.Fprintln(os.Stderr, "dbtouch-serve: ftdc stop:", err)
+				}
+				os.Exit(0)
+			}
+		}()
 	}
 	for _, name := range db.Tables() {
 		fmt.Printf("serving table %q\n", name)

@@ -112,6 +112,26 @@ func (k *Kernel) ReleaseLive() {
 	k.pins = nil
 }
 
+// prefetchOnGrow hands an append-only hop to the prefetcher: a forward
+// gesture whose warm frontier had run into the old end of the data gets
+// the newly published tail warmed from that frontier (paper §2.6's
+// extrapolation carried across snapshot versions) instead of paying cold
+// misses when it resumes. oldLen is the tracked level's length before
+// the rebind; limits are per-level indexes, matching the clamp the idle
+// path uses.
+func (o *Object) prefetchOnGrow(oldLen int) {
+	if o.prefetcher == nil || !o.prefetcher.Enabled || o.hierarchy == nil || oldLen <= 0 {
+		return
+	}
+	lvl, err := o.hierarchy.Level(o.lastLevel)
+	if err != nil {
+		return
+	}
+	if o.prefetcher.OnGrow(oldLen, lvl.Col.Len(), lvl.Tracker) {
+		o.kernel.counters.Add("prefetch.grow_warms", 1)
+	}
+}
+
 // liveSampleLevels reports the hierarchy depth live column objects use.
 func (k *Kernel) liveSampleLevels() int {
 	if !k.cfg.UseSamples {
@@ -132,8 +152,12 @@ func (k *Kernel) liveSampleLevels() int {
 func (o *Object) rebindLive(pin *sample.Pinned) error {
 	snap := pin.Snap
 	o.matrix = snap.Matrix
+	oldLen := 0
 	if o.IsColumn() {
 		k := o.kernel
+		if lvl, err := o.hierarchy.Level(o.lastLevel); err == nil {
+			oldLen = lvl.Col.Len()
+		}
 		shared, err := pin.Samples(o.colIdx, k.liveSampleLevels(), k.cfg.IO.BlockValues)
 		if err != nil {
 			return err
@@ -145,6 +169,7 @@ func (o *Object) rebindLive(pin *sample.Pinned) error {
 		o.liveGen = snap.Gen
 		o.SetActions(o.actions)
 	} else {
+		o.prefetchOnGrow(oldLen)
 		if o.grouper != nil {
 			keyCol, errK := o.matrix.Column(o.actions.Group.KeyCol)
 			valCol, errV := o.matrix.Column(o.actions.Group.ValCol)

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dbtouch/internal/gesture"
+	"dbtouch/internal/storage"
+	"dbtouch/internal/touchos"
+)
+
+// TestLiveGrowthExtendsPrefetchFrontier pins the snapshot-aware prefetch
+// contract: when a live table grows under a parked forward gesture, the
+// repin-triggered warm resumes from the extrapolated frontier — the new
+// rows are warm before the gesture resumes into them — and the warm-hit
+// counters keep rising across epochs instead of the gesture paying cold
+// misses at every version hop.
+func TestLiveGrowthExtendsPrefetchFrontier(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UseSamples = false // track base tuple ids so index space is plain
+
+	const initial = 6000
+	vals := make([]int64, initial)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	tbl, err := storage.NewTable("ev", storage.NewIntColumn("v", vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewKernel(cfg)
+	k.Catalog().RegisterLive(tbl)
+	obj, err := k.CreateColumnObject(tbl.Snapshot().Matrix, 0, touchos.NewRect(2, 2, 2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	next := int64(initial)
+	grow := func(n int) {
+		rows := make([][]storage.Value, n)
+		for i := range rows {
+			rows[i] = []storage.Value{storage.IntValue(next)}
+			next++
+		}
+		if _, err := tbl.AppendBatch(rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var prevHits int64
+	for epoch := 0; epoch < 3; epoch++ {
+		// A forward slide across the whole object parks the prefetch
+		// frontier at the current end of the data...
+		start := time.Duration(0)
+		if epoch > 0 {
+			start = k.Clock().Now() + time.Millisecond
+		}
+		if got := len(k.Apply(slideEvents(obj, 2*time.Second, start))); got == 0 {
+			t.Fatalf("epoch %d: slide produced no results", epoch)
+		}
+		now := k.Clock().Now()
+		k.RunIdle(now, now+time.Second)
+
+		lvl, err := obj.hierarchy.Level(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oldLen := lvl.Col.Len()
+		hits := lvl.Tracker.Stats().WarmHits
+		if hits <= prevHits {
+			t.Fatalf("epoch %d: warm hits stalled at %d (previous %d)", epoch, hits, prevHits)
+		}
+		prevHits = hits
+
+		// ...then the table grows while the finger is down-but-still, and
+		// the batch-start repin must warm the appended tail from the
+		// frontier, off the touch path.
+		warmsBefore := k.Counters().Get("prefetch.grow_warms")
+		grow(2500)
+		k.Apply(nil)
+		if got := k.Counters().Get("prefetch.grow_warms"); got != warmsBefore+1 {
+			t.Fatalf("epoch %d: prefetch.grow_warms = %d, want %d", epoch, got, warmsBefore+1)
+		}
+		lvl, err = obj.hierarchy.Level(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := lvl.Col.Len(); got != oldLen+2500 {
+			t.Fatalf("epoch %d: rebound level holds %d rows, want %d", epoch, got, oldLen+2500)
+		}
+		if !lvl.Tracker.IsWarm(oldLen) {
+			t.Fatalf("epoch %d: first appended row (index %d) is cold after the grow warm", epoch, oldLen)
+		}
+	}
+}
+
+// TestBackwardGestureSkipsGrowWarm pins the asymmetry: growth lands at
+// the high end of the data, so a backward gesture (moving away from it)
+// must not spend its idle budget warming rows it is not heading toward.
+func TestBackwardGestureSkipsGrowWarm(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UseSamples = false
+
+	vals := make([]int64, 6000)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	tbl, err := storage.NewTable("ev", storage.NewIntColumn("v", vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewKernel(cfg)
+	k.Catalog().RegisterLive(tbl)
+	obj, err := k.CreateColumnObject(tbl.Snapshot().Matrix, 0, touchos.NewRect(2, 2, 2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Slide bottom-to-top: tuple ids decrease.
+	f := obj.View().Frame()
+	synth := gesture.Synth{}
+	events := synth.Slide(
+		touchos.Point{X: f.Origin.X + f.Size.W/2, Y: f.Origin.Y + f.Size.H - 0.05},
+		touchos.Point{X: f.Origin.X + f.Size.W/2, Y: f.Origin.Y + 0.05},
+		0, 2*time.Second,
+	)
+	k.Apply(events)
+	now := k.Clock().Now()
+	k.RunIdle(now, now+time.Second)
+
+	rows := make([][]storage.Value, 2500)
+	for i := range rows {
+		rows[i] = []storage.Value{storage.IntValue(int64(6000 + i))}
+	}
+	if _, err := tbl.AppendBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	k.Apply(nil)
+	if got := k.Counters().Get("prefetch.grow_warms"); got != 0 {
+		t.Fatalf("backward gesture triggered %d grow warms, want 0", got)
+	}
+}

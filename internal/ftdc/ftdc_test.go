@@ -1,0 +1,286 @@
+package ftdc
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// genColumn synthesizes a gauge trajectory of the shapes telemetry
+// actually takes: constants, counters, random walks, and violent
+// excursions to the int64 edges.
+func genColumn(rng *rand.Rand, n int) []int64 {
+	col := make([]int64, n)
+	switch rng.Intn(5) {
+	case 0: // constant gauge
+		v := rng.Int63n(1000)
+		for i := range col {
+			col[i] = v
+		}
+	case 1: // monotone counter with steady rate
+		v, step := rng.Int63n(1e6), rng.Int63n(5000)
+		for i := range col {
+			col[i] = v
+			v += step + rng.Int63n(7)
+		}
+	case 2: // random walk
+		v := int64(0)
+		for i := range col {
+			v += rng.Int63n(2001) - 1000
+			col[i] = v
+		}
+	case 3: // spiky queue depth
+		for i := range col {
+			if rng.Intn(10) == 0 {
+				col[i] = rng.Int63n(1e9)
+			}
+		}
+	default: // adversarial edges: wrap-around territory
+		edges := []int64{0, 1, -1, math.MaxInt64, math.MinInt64, math.MaxInt64 - 1, math.MinInt64 + 1}
+		for i := range col {
+			col[i] = edges[rng.Intn(len(edges))]
+		}
+	}
+	return col
+}
+
+// TestChunkRoundTripExact is the codec's acceptance gate: every gauge
+// value decodes bit-for-bit, including wrap-around deltas.
+func TestChunkRoundTripExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		metrics := 1 + rng.Intn(12)
+		samples := 1 + rng.Intn(400)
+		names := make([]string, metrics)
+		cols := make([][]int64, metrics)
+		for i := range names {
+			names[i] = "metric_" + string(rune('a'+i))
+			cols[i] = genColumn(rng, samples)
+		}
+		payload := appendChunk(nil, names, cols)
+		c, err := decodeChunk(payload)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !reflect.DeepEqual(c.Names, names) {
+			t.Fatalf("trial %d: names %v != %v", trial, c.Names, names)
+		}
+		if !reflect.DeepEqual(c.Columns, cols) {
+			t.Fatalf("trial %d: columns diverged", trial)
+		}
+	}
+}
+
+// TestChunkCompression pins what makes always-on capture affordable:
+// near-constant gauges cost well under a byte per sample.
+func TestChunkCompression(t *testing.T) {
+	const samples = 300
+	names := []string{"workers", "parked", "steals"}
+	cols := make([][]int64, len(names))
+	for i := range cols {
+		col := make([]int64, samples)
+		for j := range col {
+			col[j] = 8 // constant gauge
+		}
+		cols[i] = col
+	}
+	payload := appendChunk(nil, names, cols)
+	raw := 8 * samples * len(names)
+	if len(payload) > raw/50 {
+		t.Fatalf("constant gauges compressed to %d bytes (raw %d); want ≥ 50x", len(payload), raw)
+	}
+	t.Logf("300 constant samples x 3 metrics: %d bytes (%.1fx vs raw)", len(payload), float64(raw)/float64(len(payload)))
+}
+
+// TestRecorderRoundTrip drives Record → chunks on disk → ReadDir and
+// requires exact reproduction, across chunk and file boundaries.
+func TestRecorderRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := NewRecorder(Options{Dir: dir, MaxChunkSamples: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"ts", "live", "steals"}
+	const ticks = 200
+	want := make([][]int64, ticks)
+	rng := rand.New(rand.NewSource(9))
+	v := [3]int64{1e9, 0, 0}
+	for i := 0; i < ticks; i++ {
+		v[0] += 1000 + rng.Int63n(5)
+		v[1] = rng.Int63n(100)
+		v[2] += rng.Int63n(50)
+		want[i] = []int64{v[0], v[1], v[2]}
+		if err := rec.Record(names, want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	chunks, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [][]int64
+	for _, c := range chunks {
+		if !reflect.DeepEqual(c.Names, names) {
+			t.Fatalf("chunk names %v", c.Names)
+		}
+		for s := 0; s < c.SampleCount(); s++ {
+			row := make([]int64, len(c.Columns))
+			for m := range c.Columns {
+				row[m] = c.Columns[m][s]
+			}
+			got = append(got, row)
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("capture diverged: %d rows decoded, want %d", len(got), len(want))
+	}
+	// 200 ticks at 32 samples/chunk = 7 chunks (6 full + flush of 8).
+	if len(chunks) != 7 {
+		t.Fatalf("got %d chunks, want 7", len(chunks))
+	}
+}
+
+// TestSchemaChangeSplitsChunk: adding a metric mid-capture closes the
+// chunk, so no column is ever misattributed.
+func TestSchemaChangeSplitsChunk(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := NewRecorder(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Record([]string{"a"}, []int64{1})
+	rec.Record([]string{"a"}, []int64{2})
+	rec.Record([]string{"a", "b"}, []int64{3, 30})
+	rec.Record([]string{"a"}, []int64{4})
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	chunks, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 3 {
+		t.Fatalf("got %d chunks, want 3 (schema change splits)", len(chunks))
+	}
+	if !reflect.DeepEqual(chunks[0].Column("a"), []int64{1, 2}) ||
+		!reflect.DeepEqual(chunks[1].Column("b"), []int64{30}) ||
+		!reflect.DeepEqual(chunks[2].Column("a"), []int64{4}) {
+		t.Fatalf("chunks misattributed: %+v", chunks)
+	}
+}
+
+// TestRecorderRetention soaks the recorder far past its disk budget and
+// requires the directory to stay bounded while the newest data survives.
+func TestRecorderRetention(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, MaxChunkSamples: 16, MaxFileBytes: 4 << 10, RetainBytes: 16 << 10}
+	rec, err := NewRecorder(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"ts", "noise"}
+	rng := rand.New(rand.NewSource(3))
+	var lastTS int64
+	for i := 0; i < 20000; i++ {
+		lastTS = int64(i) * 1000
+		// Incompressible noise, so chunks have real size.
+		if err := rec.Record(names, []int64{lastTS, rng.Int63()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var total int64
+	files, err := captureFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		total += f.size
+	}
+	bound := opts.RetainBytes + opts.MaxFileBytes + 8<<10 // budget + live file + one chunk of slack
+	if total > bound {
+		t.Fatalf("capture dir holds %d bytes, bound %d", total, bound)
+	}
+	if rec.Stats().FilesRemoved == 0 {
+		t.Fatal("soak never triggered retention")
+	}
+
+	chunks, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) == 0 {
+		t.Fatal("retention deleted everything")
+	}
+	ts := chunks[len(chunks)-1].Column("ts")
+	if got := ts[len(ts)-1]; got != lastTS {
+		t.Fatalf("newest sample ts=%d, want %d — retention must delete oldest first", got, lastTS)
+	}
+}
+
+// TestReaderToleratesTruncation: a capture cut mid-chunk (crash, live
+// file) yields its decodable prefix without error.
+func TestReaderToleratesTruncation(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := NewRecorder(Options{Dir: dir, MaxChunkSamples: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 24; i++ { // 3 full chunks
+		rec.Record([]string{"v"}, []int64{int64(i)})
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, err := captureFiles(dir)
+	if err != nil || len(files) == 0 {
+		t.Fatalf("capture files: %v %v", files, err)
+	}
+	path := files[0].name
+	full, _ := os.ReadFile(path)
+	for _, cut := range []int64{files[0].size - 3, files[0].size / 2, 2} {
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		chunks, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		for _, c := range chunks {
+			if c.SampleCount() != 8 {
+				t.Fatalf("cut at %d: partial chunk decoded", cut)
+			}
+		}
+	}
+}
+
+// TestReaderRejectsCorruption: flipped bytes inside a chunk error rather
+// than decode silently wrong.
+func TestReaderRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := NewRecorder(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Record([]string{"v"}, []int64{7})
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := captureFiles(dir)
+	data, _ := os.ReadFile(files[0].name)
+	data[4] ^= 0xFF // corrupt chunk magic
+	bad := filepath.Join(dir, "ftdc-00000002.bin")
+	os.WriteFile(bad, data, 0o644)
+	if _, err := ReadFile(bad); err == nil {
+		t.Fatal("corrupt chunk decoded without error")
+	}
+}

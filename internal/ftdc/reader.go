@@ -1,0 +1,75 @@
+package ftdc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadFile decodes every chunk in one capture file. A truncated tail —
+// the normal state of the file a live recorder is still writing, or of a
+// capture cut off by a crash — is not an error: the chunks decoded
+// before the truncation are returned. A corrupt chunk body returns the
+// chunks decoded so far alongside the error, so a damaged capture still
+// yields its readable prefix.
+func ReadFile(path string) ([]Chunk, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ftdc: %w", err)
+	}
+	defer f.Close()
+	var (
+		chunks []Chunk
+		prefix [4]byte
+	)
+	for {
+		if _, err := io.ReadFull(f, prefix[:]); err != nil {
+			// io.EOF: clean end. Unexpected EOF: a torn length prefix from
+			// an in-progress or interrupted write — equally fine.
+			return chunks, nil
+		}
+		n := binary.LittleEndian.Uint32(prefix[:])
+		if n == 0 || n > maxChunkBytes {
+			return chunks, fmt.Errorf("ftdc: %s: chunk length %d out of range", path, n)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return chunks, nil // torn chunk body
+		}
+		c, err := decodeChunk(payload)
+		if err != nil {
+			return chunks, fmt.Errorf("ftdc: %s: %w", path, err)
+		}
+		chunks = append(chunks, c)
+	}
+}
+
+// ReadDir decodes a whole capture directory in recording order (capture
+// files are sequence-numbered). Per-file tolerance matches ReadFile.
+func ReadDir(dir string) ([]Chunk, error) {
+	files, err := captureFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	var chunks []Chunk
+	for _, f := range files {
+		c, err := ReadFile(f.name)
+		chunks = append(chunks, c...)
+		if err != nil {
+			return chunks, err
+		}
+	}
+	return chunks, nil
+}
+
+// Column returns the named metric's values, or nil if the chunk does not
+// carry it.
+func (c Chunk) Column(name string) []int64 {
+	for i, n := range c.Names {
+		if n == name {
+			return c.Columns[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package ftdc
+
+import (
+	"sync"
+	"time"
+)
+
+// SampleFunc returns one tick's metric vector: parallel name and value
+// slices. The sampler calls it on every tick; implementations should be
+// cheap reads of existing gauges, not fresh computation.
+type SampleFunc func() (names []string, values []int64)
+
+// Sampler drives a Recorder on a fixed tick. Start/Stop are idempotent;
+// Stop flushes so the capture ends at the last observed tick.
+type Sampler struct {
+	rec      *Recorder
+	interval time.Duration
+	sample   SampleFunc
+
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewSampler wires a sample function to a recorder. interval <= 0 takes
+// DefaultInterval.
+func NewSampler(rec *Recorder, interval time.Duration, sample SampleFunc) *Sampler {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	return &Sampler{rec: rec, interval: interval, sample: sample}
+}
+
+// Start begins sampling. The first sample is taken immediately, so even
+// a short-lived process leaves a capture.
+func (s *Sampler) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop != nil {
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.run(s.stop, s.done)
+}
+
+// Stop ends sampling and flushes the partial chunk.
+func (s *Sampler) Stop() {
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+	s.rec.Flush()
+}
+
+func (s *Sampler) run(stop, done chan struct{}) {
+	defer close(done)
+	tick := time.NewTicker(s.interval)
+	defer tick.Stop()
+	for {
+		names, values := s.sample()
+		if len(names) > 0 {
+			// A failed write (disk full, directory removed) must not take
+			// the engine down with it: the recorder is best-effort by
+			// design, and the next flush retries.
+			_ = s.rec.Record(names, values)
+		}
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+	}
+}

@@ -111,6 +111,10 @@ type Stats struct {
 	IdleSpent time.Duration
 	// Invocations counts idle windows used.
 	Invocations int
+	// GrowWarms counts data-growth warms: the object's backing data grew
+	// under a paused forward gesture and the frontier was extended into
+	// the new rows instead of restarting cold.
+	GrowWarms int
 }
 
 // Prefetcher converts idle windows into warm blocks along the predicted
@@ -263,6 +267,83 @@ func (p *Prefetcher) warmDescending(tracker *iomodel.Tracker, start, target int,
 		}
 	}
 	return used
+}
+
+// OnGrow extends the warm frontier when the object's backing data grows
+// under a paused gesture (a live table published new rows and the kernel
+// repinned). Limits are in index space of the tracked level: oldLimit is
+// the level length the previous warms clamped against, newLimit the
+// length after the hop. The warm resumes from the extrapolated frontier
+// — which a forward gesture parked at the end of the data had pinned to
+// the old boundary — instead of restarting cold, so when the gesture
+// resumes into the appended rows they are already warm. The time budget
+// is the smoothed inter-touch gap: the window the gesture's own rhythm
+// says we have before the next touch lands. Reports whether a warm ran.
+func (p *Prefetcher) OnGrow(oldLimit, newLimit int, tracker *iomodel.Tracker) bool {
+	if p == nil || !p.Enabled || p.Extrapolator == nil || tracker == nil {
+		return false
+	}
+	if !p.haveAnchor || newLimit <= oldLimit || oldLimit <= 0 {
+		return false
+	}
+	// Only forward gestures meet appended rows; a backward gesture moves
+	// away from where growth lands, and a parked one gets the symmetric
+	// neighborhood from the normal idle path.
+	if p.Extrapolator.Direction() != 1 {
+		return false
+	}
+	budget := p.Extrapolator.InterTouch()
+	if budget <= 0 {
+		return false
+	}
+	// Only when the previous warm ran into the old data boundary: if the
+	// frontier is still well inside the old range, growth did not block
+	// it and the ordinary idle warms keep extending it.
+	bv := tracker.Params().BlockValues
+	if p.frontier < oldLimit-bv {
+		return false
+	}
+	horizon := p.Horizon
+	if horizon <= 0 {
+		horizon = 500 * time.Millisecond
+	}
+	slack := p.Slack
+	if slack <= 0 {
+		slack = 0.08
+	}
+	stepMag := p.Extrapolator.StepSize()
+	if stepMag < 0 {
+		stepMag = -stepMag
+	}
+	steps := float64(horizon) / float64(budget)
+	if steps < 1 {
+		steps = 1
+	}
+	span := stepMag * steps
+	margin := int(slack * span)
+	if margin < 64 {
+		margin = 64
+	}
+	start := p.frontier
+	if start < 0 {
+		start = 0
+	}
+	target := start + int(span) + margin
+	if target > newLimit-1 {
+		target = newLimit - 1
+	}
+	if target < start {
+		return false
+	}
+	cost, frontier := tracker.PrefetchRange(start, target, budget)
+	if frontier > p.frontier {
+		p.frontier = frontier
+	}
+	p.account(cost)
+	if cost > 0 {
+		p.stats.GrowWarms++
+	}
+	return cost > 0
 }
 
 func (p *Prefetcher) account(used time.Duration) {

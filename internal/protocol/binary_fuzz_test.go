@@ -1,0 +1,53 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// FuzzBinaryFrameDecode hammers the wire trust boundary: arbitrary bytes
+// fed to the frame decoder and the length-prefixed stream scanner must
+// error cleanly — never panic, never allocate proportionally to a lying
+// header. Seeds cover valid frames of every shape plus the adversarial
+// cases the unit tests pin.
+func FuzzBinaryFrameDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 5, 300} {
+		enc := AppendBinaryResults(nil, "seed", 7, genResults(rng, n))
+		f.Add(enc[4:]) // frame payload sans length prefix
+		f.Add(enc)     // length-prefixed stream bytes
+	}
+	slide := AppendBinaryResults(nil, "s", 1, genSlideRun(rng, 64))
+	f.Add(slide[4 : len(slide)/2])                                                // truncated mid-frame
+	f.Add([]byte{binaryMagic, BinaryVersion, frameKindResults, 0, 0, 1, 0, 0xFF}) // lying row count
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})                                         // oversized length prefix
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hdr, frames, err := DecodeBinaryFrame(data)
+		if err == nil {
+			// Anything the decoder accepts must respect its own bounds.
+			if len(frames) == 0 || len(frames) > MaxBinaryFrameResults {
+				t.Fatalf("accepted frame with %d results", len(frames))
+			}
+			if len(hdr.Session) > len(data) {
+				t.Fatalf("session %q longer than input", hdr.Session)
+			}
+		}
+
+		// The same bytes as a length-prefixed stream: Next must terminate
+		// with io.EOF or an error, never hang on the in-memory reader.
+		stream := append(binary.LittleEndian.AppendUint32(nil, uint32(len(data))), data...)
+		sc := NewBinaryScanner(bytes.NewReader(stream))
+		decoded := 0
+		for {
+			if _, err := sc.Next(); err != nil {
+				break
+			}
+			if decoded++; decoded > MaxBinaryFrameResults {
+				t.Fatalf("scanner produced more than %d results from one frame", MaxBinaryFrameResults)
+			}
+		}
+	})
+}

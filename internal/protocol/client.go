@@ -1,13 +1,9 @@
 package protocol
 
 import (
-	"bufio"
 	"context"
-	"encoding/json"
 	"fmt"
-	"net/http"
-	"net/url"
-	"strconv"
+	"io"
 	"time"
 
 	"dbtouch/internal/gesture"
@@ -93,40 +89,38 @@ func (c *Client) Stats() (StatsFrame, error) {
 // Stream subscribes to a session's live results and invokes fn for each
 // frame until fn returns false, the context is cancelled, or the server
 // closes the stream. buffer sizes the server-side ring (0 = default).
+// The client offers the binary columnar encoding and falls back to v1
+// NDJSON if the server predates it — either side can be older than the
+// other, and fn sees identical frames regardless of which encoding won.
 func (c *Client) Stream(ctx context.Context, session string, buffer int, fn func(ResultFrame) bool) error {
-	u := c.Base + "/stream?session=" + url.QueryEscape(session)
-	if buffer > 0 {
-		u += "&buffer=" + strconv.Itoa(buffer)
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	return c.streamWith(ctx, session, buffer, BinaryContentType+", "+NDJSONContentType, fn)
+}
+
+// StreamNDJSON is Stream pinned to the v1 NDJSON encoding — what a
+// pre-binary client sends, and the record/replay ground truth.
+func (c *Client) StreamNDJSON(ctx context.Context, session string, buffer int, fn func(ResultFrame) bool) error {
+	return c.streamWith(ctx, session, buffer, NDJSONContentType, fn)
+}
+
+func (c *Client) streamWith(ctx context.Context, session string, buffer int, accept string, fn func(ResultFrame) bool) error {
+	fs, err := c.OpenStream(ctx, session, buffer, accept)
 	if err != nil {
 		return err
 	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("protocol: stream: %s", resp.Status)
-	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 64*1024), maxRequestBytes)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	defer fs.Close()
+	for {
+		frame, err := fs.Next()
+		if err == io.EOF {
+			return nil
 		}
-		var frame ResultFrame
-		if err := json.Unmarshal(line, &frame); err != nil {
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
 			return fmt.Errorf("protocol: stream frame: %w", err)
 		}
 		if !fn(frame) {
 			return nil
 		}
 	}
-	if err := sc.Err(); err != nil && ctx.Err() == nil {
-		return err
-	}
-	return nil
 }

@@ -2,12 +2,15 @@ package protocol
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
+	"strings"
 
 	"dbtouch/internal/core"
 )
@@ -31,6 +34,13 @@ const maxResponseBytes = 64 << 20
 // buffer is allocated up front, so an unbounded query parameter would
 // let one request exhaust server memory.
 const maxStreamBuffer = 1 << 16
+
+// maxBinaryBatch caps how many queued results one binary frame coalesces:
+// the first result is taken blocking, then TryNext drains whatever has
+// already accumulated, so a fast producer amortizes the frame header over
+// thousands of values while an idle session still flushes every result
+// immediately.
+const maxBinaryBatch = 4096
 
 // Router handles decoded protocol requests. session.Manager implements
 // it; tests may substitute fakes.
@@ -107,7 +117,16 @@ func NewHTTPHandler(r Router) http.Handler {
 		}
 		defer stream.Close()
 		flusher, canFlush := w.(http.Flusher)
-		w.Header().Set("Content-Type", "application/x-ndjson")
+		// Content negotiation through the version gate: a v2 client asks
+		// for the binary columnar encoding via Accept; everyone else gets
+		// the v1 NDJSON frames unchanged. The response Content-Type tells
+		// the client which decoder won.
+		binary := strings.Contains(req.Header.Get("Accept"), BinaryContentType)
+		if binary {
+			w.Header().Set("Content-Type", BinaryContentType)
+		} else {
+			w.Header().Set("Content-Type", NDJSONContentType)
+		}
 		if canFlush {
 			flusher.Flush()
 		}
@@ -121,6 +140,33 @@ func NewHTTPHandler(r Router) http.Handler {
 			case <-done:
 			}
 		}()
+		if binary {
+			var buf []byte
+			batch := make([]core.Result, 0, 64)
+			for {
+				result, ok := stream.Next()
+				if !ok {
+					return
+				}
+				// Coalesce whatever the session has already queued into one
+				// columnar frame; an idle stream still ships frame-per-result.
+				batch = append(batch[:0], result)
+				for len(batch) < maxBinaryBatch {
+					r, ok := stream.TryNext()
+					if !ok {
+						break
+					}
+					batch = append(batch, r)
+				}
+				buf = AppendBinaryResults(buf[:0], id, 0, batch)
+				if _, err := w.Write(buf); err != nil {
+					return
+				}
+				if canFlush {
+					flusher.Flush()
+				}
+			}
+		}
 		enc := json.NewEncoder(w)
 		for {
 			result, ok := stream.Next()
@@ -187,4 +233,64 @@ func (c *Client) Do(req Request) (Response, error) {
 		return resp, fmt.Errorf("protocol: server: %s", resp.Error)
 	}
 	return resp, nil
+}
+
+// FrameStream iterates result frames from a /stream connection in
+// whichever encoding the server chose; ContentType records the winner.
+// Next returns io.EOF when the server closes the stream cleanly.
+type FrameStream struct {
+	// ContentType is the negotiated encoding: BinaryContentType or
+	// NDJSONContentType.
+	ContentType string
+
+	body io.ReadCloser
+	bin  *BinaryScanner
+	dec  *json.Decoder
+}
+
+// Next returns the next result frame or io.EOF at a clean end of stream.
+func (fs *FrameStream) Next() (ResultFrame, error) {
+	if fs.bin != nil {
+		return fs.bin.Next()
+	}
+	var f ResultFrame
+	if err := fs.dec.Decode(&f); err != nil {
+		return ResultFrame{}, err
+	}
+	return f, nil
+}
+
+// Close releases the underlying connection.
+func (fs *FrameStream) Close() error { return fs.body.Close() }
+
+// OpenStream opens the session's result stream with the given Accept
+// preference and wires up the decoder the server chose. Most callers use
+// Client.Stream / Client.StreamNDJSON, which wrap this in the callback
+// loop; tests use it directly to pin negotiation outcomes.
+func (c *Client) OpenStream(ctx context.Context, session string, buffer int, accept string) (*FrameStream, error) {
+	u := c.Base + "/stream?session=" + url.QueryEscape(session)
+	if buffer > 0 {
+		u += "&buffer=" + strconv.Itoa(buffer)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", accept)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		resp.Body.Close()
+		return nil, fmt.Errorf("protocol: stream: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	fs := &FrameStream{ContentType: resp.Header.Get("Content-Type"), body: resp.Body}
+	if strings.Contains(fs.ContentType, BinaryContentType) {
+		fs.bin = NewBinaryScanner(resp.Body)
+	} else {
+		fs.dec = json.NewDecoder(resp.Body)
+	}
+	return fs, nil
 }

@@ -1,0 +1,198 @@
+package protocol_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dbtouch/internal/protocol"
+	"dbtouch/internal/script"
+)
+
+// mixedScript is deterministic and idle-free, so every streamed result is
+// accounted for by a perform response.
+const mixedScript = `column obj t v 2 2 2 10
+summarize obj avg 10
+slide obj 1s
+aggregate obj sum
+slide obj 800ms 0.2 0.8
+`
+
+// TestMixedVersionStreams pins the version-gate contract end to end over
+// HTTP: a v2 client negotiating the binary encoding and a v1 client
+// pinned to NDJSON subscribe to the same session and must observe
+// identical result frames, matching the perform responses exactly.
+func TestMixedVersionStreams(t *testing.T) {
+	db := newInstance(t)
+	srv := httptest.NewServer(protocol.NewHTTPHandler(db.Manager()))
+	defer srv.Close()
+	c := &protocol.Client{Base: srv.URL}
+	if err := c.Open("s"); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	binStream, err := c.OpenStream(ctx, "s", streamBuffer, protocol.BinaryContentType+", "+protocol.NDJSONContentType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer binStream.Close()
+	if !strings.Contains(binStream.ContentType, protocol.BinaryContentType) {
+		t.Fatalf("binary-capable client negotiated %q", binStream.ContentType)
+	}
+	jsonStream, err := c.OpenStream(ctx, "s", streamBuffer, protocol.NDJSONContentType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jsonStream.Close()
+	if !strings.Contains(jsonStream.ContentType, protocol.NDJSONContentType) {
+		t.Fatalf("v1 client negotiated %q", jsonStream.ContentType)
+	}
+
+	var (
+		mu         sync.Mutex
+		binFrames  []protocol.ResultFrame
+		jsonFrames []protocol.ResultFrame
+	)
+	collect := func(fs *protocol.FrameStream, dst *[]protocol.ResultFrame) {
+		for {
+			f, err := fs.Next()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			*dst = append(*dst, f)
+			mu.Unlock()
+		}
+	}
+	go collect(binStream, &binFrames)
+	go collect(jsonStream, &jsonFrames)
+
+	commands, err := script.Parse(strings.NewReader(mixedScript))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := script.Encode(commands, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []protocol.ResultFrame
+	for i, req := range reqs {
+		resp, err := c.Do(req)
+		if err != nil {
+			t.Fatalf("request %d (%s): %v", i, req.Op, err)
+		}
+		want = append(want, resp.Results...)
+	}
+	if len(want) == 0 {
+		t.Fatal("script produced no results")
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		nb, nj := len(binFrames), len(jsonFrames)
+		mu.Unlock()
+		if nb >= len(want) && nj >= len(want) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("streams stalled: binary %d, ndjson %d, want %d frames", nb, nj, len(want))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if !reflect.DeepEqual(binFrames[:len(want)], want) {
+		t.Fatalf("binary stream diverged from perform responses")
+	}
+	if !reflect.DeepEqual(jsonFrames[:len(want)], want) {
+		t.Fatalf("ndjson stream diverged from perform responses")
+	}
+	// Byte-identical once re-rendered: the contract that lets either
+	// encoding stand in for the other in record/replay.
+	bj, _ := json.Marshal(binFrames[:len(want)])
+	jj, _ := json.Marshal(jsonFrames[:len(want)])
+	if string(bj) != string(jj) {
+		t.Fatal("binary and ndjson streams render different JSON")
+	}
+}
+
+// TestVersionEchoAndRejection pins the /rpc envelope rules: a v1 request
+// is answered with a v1 envelope (byte-identical to a pre-binary server),
+// a v2 request gets v2 back, and a future version is rejected.
+func TestVersionEchoAndRejection(t *testing.T) {
+	db := newInstance(t)
+	srv := httptest.NewServer(protocol.NewHTTPHandler(db.Manager()))
+	defer srv.Close()
+
+	post := func(body string) string {
+		resp, err := http.Post(srv.URL+"/rpc", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+
+	v1 := post(`{"v":1,"op":"open","session":"a"}`)
+	if !strings.Contains(v1, `"v":1`) || !strings.Contains(v1, `"ok":true`) {
+		t.Fatalf("v1 request answered %s; want a v1 OK envelope", v1)
+	}
+	v2 := post(`{"v":2,"op":"open","session":"b"}`)
+	if !strings.Contains(v2, `"v":2`) || !strings.Contains(v2, `"ok":true`) {
+		t.Fatalf("v2 request answered %s; want a v2 OK envelope", v2)
+	}
+	future := post(`{"v":99,"op":"open","session":"c"}`)
+	if !strings.Contains(future, `"ok":false`) || !strings.Contains(future, "unsupported version") {
+		t.Fatalf("future version answered %s; want rejection", future)
+	}
+}
+
+// TestBinaryClientAgainstV1Server covers the other direction of the
+// version skew: a binary-capable client talking to a server that predates
+// the binary encoding falls back to NDJSON via Content-Type and decodes
+// the stream identically.
+func TestBinaryClientAgainstV1Server(t *testing.T) {
+	want := []protocol.ResultFrame{
+		{Kind: "aggregate", ObjectID: 1, TupleID: 10, Agg: 1.5, N: 10},
+		{Kind: "aggregate", ObjectID: 1, TupleID: 20, Agg: 2.5, N: 20},
+		{Kind: "scan", ObjectID: 2, TupleID: 3, Value: "7"},
+	}
+	// A v1 server: ignores Accept, always answers NDJSON.
+	old := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, f := range want {
+			_ = enc.Encode(f)
+		}
+	}))
+	defer old.Close()
+
+	c := &protocol.Client{Base: old.URL}
+	var got []protocol.ResultFrame
+	err := c.Stream(context.Background(), "s", 0, func(f protocol.ResultFrame) bool {
+		got = append(got, f)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fallback stream diverged:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -31,7 +31,17 @@ import (
 
 // Version is the current protocol version. Decoders accept any version
 // in [1, Version]; newer versions are rejected, never misread.
-const Version = 1
+//
+// Version history:
+//
+//	v1: JSON requests/responses, NDJSON result streams.
+//	v2: adds the binary columnar stream encoding (binary.go), negotiated
+//	    per connection via the Accept header on GET /stream. Requests
+//	    and /rpc responses are unchanged; servers answer each request in
+//	    the version it spoke, so a v1 client sees byte-identical
+//	    envelopes and NDJSON remains the fallback and the record/replay
+//	    ground truth.
+const Version = 2
 
 // Request operations.
 const (
@@ -293,9 +303,14 @@ func DecodeRequest(data []byte) (Request, error) {
 	return r, nil
 }
 
-// EncodeResponse stamps the current version and marshals the response.
+// EncodeResponse marshals the response, stamping the current version
+// when the caller did not choose one. Handlers answer in the version the
+// request spoke (HandleRequest echoes it), so v1 clients receive
+// envelopes byte-identical to a v1 server's.
 func EncodeResponse(r Response) ([]byte, error) {
-	r.V = Version
+	if r.V < 1 || r.V > Version {
+		r.V = Version
+	}
 	return json.Marshal(r)
 }
 

@@ -30,6 +30,15 @@ func (m *Manager) HandleRequest(req protocol.Request) protocol.Response {
 	if err := req.CheckVersion(); err != nil {
 		return protocol.Errorf("%v", err)
 	}
+	// Answer in the version the request spoke: a v1 client sees response
+	// envelopes byte-identical to a v1 server's, which is what makes the
+	// protocol bump invisible until a client opts into v2 features.
+	resp := m.routeRequest(req)
+	resp.V = req.V
+	return resp
+}
+
+func (m *Manager) routeRequest(req protocol.Request) protocol.Response {
 	switch req.Op {
 	case protocol.OpOpen:
 		if req.Session == "" {

@@ -54,6 +54,24 @@ func (c *Catalog) IsLive(name string) bool {
 	return ok
 }
 
+// LiveTables lists the registered live tables in name order — the
+// iteration surface for telemetry that aggregates append/retention
+// counters across every table.
+func (c *Catalog) LiveTables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.lives))
+	for name := range c.lives {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*Table, 0, len(names))
+	for _, name := range names {
+		out = append(out, c.lives[name])
+	}
+	return out
+}
+
 // Drop removes the named matrix or live table and reports whether it
 // existed.
 func (c *Catalog) Drop(name string) bool {

@@ -113,6 +113,7 @@ func sumCodes(v []int32) int64 {
 // and must use SumRange.
 func (c *Column) SumRangeInt64(lo, hi int) (sum int64, n int, ok bool) {
 	lo, hi = c.clampRange(lo, hi)
+	c.countSpan(lo, hi)
 	switch c.typ {
 	case Int64:
 		return sumInt64Kernel(c.ints[lo:hi]), hi - lo, true
@@ -131,6 +132,7 @@ func (c *Column) SumRangeInt64(lo, hi int) (sum int64, n int, ok bool) {
 func (c *Column) SumRange(lo, hi int) (sum float64, n int) {
 	lo, hi = c.clampRange(lo, hi)
 	if c.typ == Float64 {
+		c.countSpan(lo, hi)
 		for _, v := range c.flts[lo:hi] {
 			sum += v
 		}
@@ -188,6 +190,7 @@ func (c *Column) MinMaxRange(lo, hi int) (mn, mx float64, n int) {
 	if hi == lo {
 		return math.Inf(1), math.Inf(-1), 0
 	}
+	c.countSpan(lo, hi)
 	switch c.typ {
 	case Int64:
 		if simdMinMax && hi-lo >= simdMinSpan {
@@ -246,6 +249,7 @@ func (c *Column) CountRange(lo, hi int) int {
 // switches.
 func (c *Column) AddRangeTo(lo, hi int, add func(float64)) int {
 	lo, hi = c.clampRange(lo, hi)
+	c.countSpan(lo, hi)
 	switch c.typ {
 	case Int64:
 		for _, v := range c.ints[lo:hi] {
@@ -503,6 +507,7 @@ func (c *Column) FilterRange(lo, hi int, op RangeOp, operand Value, sel []int32)
 	if hi == lo {
 		return sel
 	}
+	c.countSpan(lo, hi)
 	if c.typ == String {
 		// String and numeric operands both go through the memoized
 		// per-code outcome table (numeric operands coerce each distinct
@@ -570,6 +575,7 @@ func (c *Column) FilterSel(sel []int32, op RangeOp, operand Value, out []int32) 
 	if len(sel) == 0 {
 		return out
 	}
+	c.countSel(len(sel))
 	if c.typ == String {
 		pass := c.passByCode(op, operand)
 		out, buf := selGrow(out, len(sel))

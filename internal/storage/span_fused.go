@@ -381,6 +381,7 @@ func (c *Column) preparePred(op RangeOp, operand Value) preparedPred {
 
 // fusedChunk runs one prepared chunk [lo, hi) (already clamped).
 func (c *Column) fusedChunk(pp *preparedPred, lo, hi int, mode FusedMode) FilterAgg {
+	c.countSpan(lo, hi)
 	switch c.typ {
 	case Int64:
 		vals := c.ints[lo:hi]
@@ -567,6 +568,7 @@ func (c *Column) FilterAggSelBlocked(sel []int32, blockLen int, op RangeOp, oper
 
 // fusedSelChunk runs one prepared segment of a selection.
 func (c *Column) fusedSelChunk(pp *preparedPred, sel []int32, n int, mode FusedMode) FilterAgg {
+	c.countSel(len(sel))
 	switch c.typ {
 	case Int64:
 		if pp.none {

@@ -1,0 +1,40 @@
+package storage
+
+import "sync/atomic"
+
+// kernelBytes accumulates the bytes span kernels have scanned since
+// process start: one atomic add per span call (spans are thousands of
+// values, so the cost disappears). It is deliberately a cumulative
+// counter, not a rate — the flight recorder captures it every tick and
+// the reader differentiates it into the kernel-GB/s trajectory.
+var kernelBytes atomic.Int64
+
+// KernelBytes reports the cumulative bytes scanned by span kernels.
+func KernelBytes() int64 { return kernelBytes.Load() }
+
+// elemWidth is the in-memory width of one value in c's representation.
+func (c *Column) elemWidth() int64 {
+	switch {
+	case c.ints != nil || c.flts != nil:
+		return 8
+	case c.codes != nil:
+		return 4
+	case c.bools != nil:
+		return 1
+	}
+	return 8
+}
+
+// countSpan credits a kernel scan of [lo, hi) to the cumulative counter.
+func (c *Column) countSpan(lo, hi int) {
+	if hi > lo {
+		kernelBytes.Add(int64(hi-lo) * c.elemWidth())
+	}
+}
+
+// countSel credits a selection-vector kernel pass of n values.
+func (c *Column) countSel(n int) {
+	if n > 0 {
+		kernelBytes.Add(int64(n) * c.elemWidth())
+	}
+}

@@ -29,6 +29,9 @@ go test -run=NONE -bench='BenchmarkTouchPipeline$|BenchmarkFig4aGestureSpeed$' -
 echo "== live ingestion under exploration" >&2
 go test -run=NONE -bench='BenchmarkAppendWhileTouching$' -benchtime="$benchtime" ./internal/session/ | tee -a "$raw" >&2
 
+echo "== wire serialization (binary vs JSON result frames)" >&2
+go test -run=NONE -bench='BenchmarkResultFrame(Encode|Decode)(Binary|JSON)$' -benchtime="$benchtime" ./internal/protocol/ | tee -a "$raw" >&2
+
 awk -v go_version="$(go version)" \
     -v goamd64="$(go env GOAMD64)" \
     -v cpu_features="${cpu_features:-}" \
