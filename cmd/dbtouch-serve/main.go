@@ -21,6 +21,16 @@
 //	    -retain-rows 100000 -append-rate 50000 -append-burst 10000
 //	dbtouch-serve -ftdc-dir /var/lib/dbtouch/ftdc -ftdc-interval 1s \
 //	    -ftdc-retain 67108864           # always-on flight recorder
+//	dbtouch-serve -session-dir /var/lib/dbtouch/sessions \
+//	    -session-retain 268435456       # durable, resumable sessions
+//
+// -session-dir turns on session durability: every executed request is
+// appended to a per-session log (compacted into checkpoints past
+// -session-compact bytes, the directory bounded by -session-retain),
+// and a crashed or evicted session resumes exactly where it stopped —
+// send {"op":"resume","session":ID} after a restart, or use a client
+// with AutoResume. Live-table appends are persisted and restored at
+// startup too. See docs/operations.md, "Session durability".
 //
 // -ftdc-dir turns on the flight recorder: every scheduler/session/
 // storage gauge is sampled each -ftdc-interval into delta-of-delta
@@ -59,6 +69,7 @@ import (
 	"dbtouch"
 	"dbtouch/internal/datagen"
 	"dbtouch/internal/protocol"
+	"dbtouch/internal/sessionlog"
 )
 
 func main() {
@@ -84,6 +95,9 @@ func main() {
 	ftdcInterval := flag.Duration("ftdc-interval", 0, "flight recorder: sampling tick (0 = 1s)")
 	ftdcRetain := flag.Int64("ftdc-retain", 0, "flight recorder: capture directory disk budget in bytes, oldest files deleted first (0 = 64 MiB)")
 	ftdcChunk := flag.Int("ftdc-chunk", 0, "flight recorder: samples per compressed chunk (0 = 300)")
+	sessionDir := flag.String("session-dir", "", "session durability: persist per-session request logs into this directory (empty = off; crashed or evicted sessions become resumable via the resume op)")
+	sessionRetain := flag.Int64("session-retain", 0, "session durability: log directory disk budget in bytes, oldest parked session histories deleted first (0 = unbounded)")
+	sessionCompact := flag.Int64("session-compact", 0, "session durability: compact a session's log into a checkpoint past this many tail bytes (0 = 256 KiB)")
 	flag.Parse()
 
 	db := dbtouch.Open()
@@ -114,8 +128,10 @@ func main() {
 		db.NewTable(*table).Float(*column, data).MustCreate()
 	}
 
+	var lt *dbtouch.LiveTable
 	if *liveSpec != "" {
-		lt, err := createLiveTable(db, *liveSpec)
+		var err error
+		lt, err = createLiveTable(db, *liveSpec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dbtouch-serve:", err)
 			os.Exit(1)
@@ -125,13 +141,6 @@ func main() {
 				fmt.Fprintln(os.Stderr, "dbtouch-serve:", err)
 				os.Exit(1)
 			}
-		}
-		if *appendRate > 0 {
-			burst := *appendBurst
-			if burst <= 0 {
-				burst = int(*appendRate)
-			}
-			lt.LimitAppends(*appendRate, burst)
 		}
 	}
 
@@ -154,8 +163,46 @@ func main() {
 	if *budget > 0 {
 		mgr.SetFairnessBudget(*budget)
 	}
+
+	var sessions *sessionlog.Store
+	if *sessionDir != "" {
+		var err error
+		sessions, err = sessionlog.Open(sessionlog.Options{
+			Dir:          *sessionDir,
+			RetainBytes:  *sessionRetain,
+			CompactBytes: *sessionCompact,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbtouch-serve:", err)
+			os.Exit(1)
+		}
+		mgr.EnableDurability(sessions)
+		// Replay persisted live-table appends before installing any append
+		// rate limit: restoring our own durable rows must never be
+		// throttled like fresh ingestion.
+		tables, restored, err := mgr.RestoreTables()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbtouch-serve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("session durability on: logs in %s, %d sessions resumable", *sessionDir, len(mgr.ResumableSessions()))
+		if tables > 0 {
+			fmt.Printf(", restored %d rows into %d live tables", restored, tables)
+		}
+		fmt.Println()
+	}
+	if lt != nil && *appendRate > 0 {
+		burst := *appendBurst
+		if burst <= 0 {
+			burst = int(*appendRate)
+		}
+		lt.LimitAppends(*appendRate, burst)
+	}
+
+	var fr *dbtouch.FlightRecorder
 	if *ftdcDir != "" {
-		fr, err := db.StartFlightRecorder(dbtouch.FlightRecorderOptions{
+		var err error
+		fr, err = db.StartFlightRecorder(dbtouch.FlightRecorderOptions{
 			Dir:          *ftdcDir,
 			Interval:     *ftdcInterval,
 			RetainBytes:  *ftdcRetain,
@@ -166,22 +213,35 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("flight recorder capturing to %s\n", *ftdcDir)
-		// SIGHUP flushes the partial chunk so an operator can decode the
-		// capture up to the last tick without restarting the server;
-		// SIGINT/SIGTERM flush before exit so a shutdown never loses the
-		// minutes leading up to it.
+	}
+	if fr != nil || sessions != nil {
+		// SIGHUP flushes the partial FTDC chunk so an operator can decode
+		// the capture up to the last tick without restarting the server;
+		// SIGINT/SIGTERM stop the recorder and close the session-log store
+		// before exit. Session logs are written through per request, so
+		// the close only releases file handles — a kill -9 loses nothing
+		// either, which is exactly what the resume smoke test exercises.
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
 		go func() {
 			for s := range sig {
 				if s == syscall.SIGHUP {
-					if err := fr.Flush(); err != nil {
-						fmt.Fprintln(os.Stderr, "dbtouch-serve: ftdc flush:", err)
+					if fr != nil {
+						if err := fr.Flush(); err != nil {
+							fmt.Fprintln(os.Stderr, "dbtouch-serve: ftdc flush:", err)
+						}
 					}
 					continue
 				}
-				if err := fr.Stop(); err != nil {
-					fmt.Fprintln(os.Stderr, "dbtouch-serve: ftdc stop:", err)
+				if fr != nil {
+					if err := fr.Stop(); err != nil {
+						fmt.Fprintln(os.Stderr, "dbtouch-serve: ftdc stop:", err)
+					}
+				}
+				if sessions != nil {
+					if err := sessions.Close(); err != nil {
+						fmt.Fprintln(os.Stderr, "dbtouch-serve: session log close:", err)
+					}
 				}
 				os.Exit(0)
 			}

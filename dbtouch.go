@@ -227,6 +227,25 @@ func (db *DB) Session(id string) (*DB, error) {
 	return &DB{manager: db.manager, sess: s, kernel: s.Kernel()}, nil
 }
 
+// Resume re-materializes an evicted or crashed session from its
+// persisted request log and returns a fresh handle bound to it. It
+// requires session durability (Manager().EnableDurability with a
+// sessionlog store): the manager replays the session's checkpoint and
+// log tail, landing it exactly where the old handle left off — a
+// handle that went inert through eviction is replaced, not revived, so
+// discard it and drive the returned one. Resuming a still-live session
+// returns a second handle onto it without replaying anything.
+func (db *DB) Resume(id string) (*DB, error) {
+	if _, err := db.manager.Resume(id); err != nil {
+		return nil, err
+	}
+	s, ok := db.manager.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("dbtouch: session %q vanished after resume", id)
+	}
+	return &DB{manager: db.manager, sess: s, kernel: s.Kernel()}, nil
+}
+
 // SessionID reports which session this handle drives.
 func (db *DB) SessionID() string { return db.sess.ID() }
 

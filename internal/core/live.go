@@ -50,6 +50,21 @@ func (k *Kernel) liveStore() *sample.LiveStore {
 // copy of exactly the version the live run saw.
 func (k *Kernel) OnPin(fn func(table string, epoch uint64)) { k.onPin = fn }
 
+// PinnedEpochs reports the live-table snapshot epochs the kernel
+// currently pins, keyed by table name (nil when it pins nothing) — the
+// session log records them as checkpoint metadata. Same confinement as
+// every kernel read: call only from the goroutine driving the kernel.
+func (k *Kernel) PinnedEpochs() map[string]uint64 {
+	if len(k.pins) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(k.pins))
+	for _, lp := range k.pins {
+		out[lp.table.Name()] = lp.pin.Snap.Epoch
+	}
+	return out
+}
+
 // pinFor returns the kernel's pin for t, taking the initial pin at the
 // current snapshot on first use (object creation).
 func (k *Kernel) pinFor(t *storage.Table) *livePin {

@@ -74,6 +74,16 @@ func (c *Client) Idle(session string, d time.Duration) error {
 	return err
 }
 
+// Resume re-materializes an evicted or crashed session from the
+// server's persisted request log, returning how many logged requests
+// the server replayed. Resuming a session that is already live succeeds
+// with 0. Requires a server running with session durability
+// (dbtouch-serve -session-dir).
+func (c *Client) Resume(session string) (replayed int, err error) {
+	resp, err := c.Do(Request{Op: OpResume, Session: session})
+	return resp.Replayed, err
+}
+
 // Stats snapshots the server's session manager.
 func (c *Client) Stats() (StatsFrame, error) {
 	resp, err := c.Do(Request{Op: OpStats})
@@ -100,6 +110,58 @@ func (c *Client) Stream(ctx context.Context, session string, buffer int, fn func
 // pre-binary client sends, and the record/replay ground truth.
 func (c *Client) StreamNDJSON(ctx context.Context, session string, buffer int, fn func(ResultFrame) bool) error {
 	return c.streamWith(ctx, session, buffer, NDJSONContentType, fn)
+}
+
+// StreamResumed is Stream with transparent reconnect: when the stream
+// drops — the server restarted, or the session was LRU-evicted and its
+// subscriptions closed — the client resumes the session from its
+// persisted log and reopens the stream, so fn keeps seeing frames
+// across session death. Frames emitted while disconnected are not
+// replayed (subscriptions observe results from the moment they attach);
+// what reconnect guarantees is that the session's state continues
+// exactly where its log left off. Returns nil when ctx is cancelled or
+// fn returns false; a drop that cannot be resumed (session wire-evicted,
+// server unreachable, durability disabled) returns the resume error.
+func (c *Client) StreamResumed(ctx context.Context, session string, buffer int, fn func(ResultFrame) bool) error {
+	accept := BinaryContentType + ", " + NDJSONContentType
+	resumed := false
+	for {
+		fs, err := c.OpenStream(ctx, session, buffer, accept)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			if resumed {
+				// One resume already failed to make the stream openable;
+				// surface rather than loop.
+				return fmt.Errorf("protocol: stream %q after resume: %w", session, err)
+			}
+			if _, rerr := c.Resume(session); rerr != nil {
+				return fmt.Errorf("protocol: resuming session %q: %w", session, rerr)
+			}
+			resumed = true
+			continue
+		}
+		resumed = false
+		for {
+			frame, err := fs.Next()
+			if err != nil {
+				fs.Close()
+				break // stream dropped: resume and reconnect below
+			}
+			if !fn(frame) {
+				fs.Close()
+				return nil
+			}
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		if _, rerr := c.Resume(session); rerr != nil {
+			return fmt.Errorf("protocol: resuming session %q: %w", session, rerr)
+		}
+		resumed = true
+	}
 }
 
 func (c *Client) streamWith(ctx context.Context, session string, buffer int, accept string, fn func(ResultFrame) bool) error {

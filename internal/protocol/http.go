@@ -192,6 +192,12 @@ type Client struct {
 	Base string
 	// HTTPClient overrides http.DefaultClient when set.
 	HTTPClient *http.Client
+	// AutoResume makes the client transparent to session loss: when a
+	// session-scoped request fails with Gone (the session was evicted or
+	// the server restarted), the client sends one OpResume and retries
+	// the request once. Requires a server running with session
+	// durability; without one the original Gone failure surfaces.
+	AutoResume bool
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -203,8 +209,31 @@ func (c *Client) httpClient() *http.Client {
 
 // Do sends one request and decodes the server's response envelope. A
 // transport-level failure returns an error; a server-side failure comes
-// back inside the Response (OK=false) wrapped as an error too.
+// back inside the Response (OK=false) wrapped as an error too. With
+// AutoResume set, a Gone failure on a session-scoped request triggers
+// one OpResume + retry before surfacing.
 func (c *Client) Do(req Request) (Response, error) {
+	resp, err := c.do(req)
+	if err != nil && resp.Gone && c.AutoResume && req.Session != "" && resumableOp(req.Op) {
+		if _, rerr := c.Resume(req.Session); rerr != nil {
+			return resp, err // surface the original failure
+		}
+		return c.do(req)
+	}
+	return resp, err
+}
+
+// resumableOp reports whether a Gone failure on op is worth a resume +
+// retry: session-scoped work, not lifecycle or server-scoped ops.
+func resumableOp(op string) bool {
+	switch op {
+	case OpCreate, OpConfigure, OpPerform, OpIdle, OpPin:
+		return true
+	}
+	return false
+}
+
+func (c *Client) do(req Request) (Response, error) {
 	data, err := EncodeRequest(req)
 	if err != nil {
 		return Response{}, err

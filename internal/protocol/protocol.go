@@ -70,6 +70,16 @@ const (
 	// they publish a new snapshot epoch that every session picks up at its
 	// next batch start. Rate-limited appends come back Overloaded.
 	OpAppend = "append"
+	// OpResume re-materializes the session named in Request.Session from
+	// its persisted request log (servers running with session durability
+	// tee every executed request into one): the server replays checkpoint
+	// plus tail through its normal request path, landing bit-identical to
+	// a session that never died, and answers with Response.Replayed. A
+	// resume of a session that is already live succeeds with Replayed 0.
+	// Ops are extensible within a protocol version — an old server answers
+	// OpResume with a clean "unknown op" failure — so this needs no
+	// version bump.
+	OpResume = "resume"
 )
 
 // Request is one decoded client operation. Field use by op:
@@ -82,6 +92,7 @@ const (
 //	pin          Session, Object, As, Create (placement rect only)
 //	stats        —
 //	append       Table, Rows
+//	resume       Session
 type Request struct {
 	V  int    `json:"v"`
 	Op string `json:"op"`
@@ -166,6 +177,13 @@ type Response struct {
 	// table's row count in that snapshot.
 	Epoch uint64 `json:"epoch,omitempty"`
 	Rows  int    `json:"rows,omitempty"`
+	// Gone marks a failure as "session not found": the session was
+	// evicted or the server restarted. A resume-aware client reacts by
+	// sending OpResume and retrying (Client.AutoResume automates it).
+	Gone bool `json:"gone,omitempty"`
+	// Replayed answers OpResume: how many logged requests were replayed
+	// to reconstruct the session.
+	Replayed int `json:"replayed,omitempty"`
 }
 
 // ResultFrame is the wire rendering of one core.Result — a one-way
@@ -245,6 +263,15 @@ type StatsFrame struct {
 	QueuedBatches    int64          `json:"queuedBatches,omitempty"`
 	MaxQueuedBatches int64          `json:"maxQueuedBatches,omitempty"`
 	Sessions         []SessionFrame `json:"sessions,omitempty"`
+	// Durability gauges (all zero when the server runs without a session
+	// log): requests teed to session/table logs, append/compaction
+	// failures, checkpoint compactions, resumes served and requests
+	// replayed by them.
+	LoggedRequests   int64 `json:"loggedRequests,omitempty"`
+	LogErrors        int64 `json:"logErrors,omitempty"`
+	LogCompactions   int64 `json:"logCompactions,omitempty"`
+	Resumes          int64 `json:"resumes,omitempty"`
+	ReplayedRequests int64 `json:"replayedRequests,omitempty"`
 }
 
 // SessionFrame is one session's row in a StatsFrame. State is the

@@ -33,7 +33,7 @@ func (m *Manager) HandleRequest(req protocol.Request) protocol.Response {
 	// Answer in the version the request spoke: a v1 client sees response
 	// envelopes byte-identical to a v1 server's, which is what makes the
 	// protocol bump invisible until a client opts into v2 features.
-	resp := m.routeRequest(req)
+	resp := m.serveRequest(req)
 	resp.V = req.V
 	return resp
 }
@@ -50,7 +50,9 @@ func (m *Manager) routeRequest(req protocol.Request) protocol.Response {
 		return protocol.OK()
 	case protocol.OpEvict:
 		if !m.Evict(req.Session) {
-			return protocol.Errorf("evict: session %q not found", req.Session)
+			resp := protocol.Errorf("evict: session %q not found", req.Session)
+			resp.Gone = true
+			return resp
 		}
 		return protocol.OK()
 	case protocol.OpAppend:
@@ -62,6 +64,9 @@ func (m *Manager) routeRequest(req protocol.Request) protocol.Response {
 			Workers: st.Workers, Parked: st.Parked, Runnable: st.Runnable,
 			Running: st.Running, Steals: st.Steals, Dispatches: st.Dispatches,
 			QueuedBatches: st.QueuedBatches, MaxQueuedBatches: st.MaxQueuedBatches,
+			LoggedRequests: st.LoggedRequests, LogErrors: st.LogErrors,
+			LogCompactions: st.LogCompactions, Resumes: st.Resumes,
+			ReplayedRequests: st.ReplayedRequests,
 		}
 		for _, s := range st.Sessions {
 			frame.Sessions = append(frame.Sessions, protocol.SessionFrame{
@@ -74,7 +79,12 @@ func (m *Manager) routeRequest(req protocol.Request) protocol.Response {
 	}
 	s, ok := m.Get(req.Session)
 	if !ok {
-		return protocol.Errorf("%s: session %q not found", req.Op, req.Session)
+		// Gone tells a resume-aware client this is worth an OpResume +
+		// retry rather than a hard failure (the session may only have
+		// been LRU-evicted, or the server restarted).
+		resp := protocol.Errorf("%s: session %q not found", req.Op, req.Session)
+		resp.Gone = true
+		return resp
 	}
 	switch req.Op {
 	case protocol.OpIdle:

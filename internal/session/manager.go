@@ -53,6 +53,12 @@ type Manager struct {
 	queuedBatches    atomic.Int64
 	maxQueuedBatches atomic.Int64
 	sessionQueueCap  atomic.Int64
+
+	// dur is the session-persistence state, nil until EnableDurability.
+	// Behind an atomic pointer (not m.mu) because the tee path must
+	// never call into the store while holding m.mu — the store's Protect
+	// callback takes m.mu from under the store's own lock.
+	dur atomic.Pointer[durability]
 }
 
 // sampleKey identifies one shared hierarchy: sample columns depend only
@@ -305,6 +311,17 @@ type Stats struct {
 	// in-flight); MaxQueuedBatches is its cap (0 = unlimited).
 	QueuedBatches    int64
 	MaxQueuedBatches int64
+	// Session-durability gauges, all zero until EnableDurability:
+	// LoggedRequests counts requests teed to the session log; LogErrors
+	// counts append/compaction failures (durability degraded, requests
+	// still served); LogCompactions counts checkpoint rewrites; Resumes
+	// and ReplayedRequests count successful OpResumes and the requests
+	// they replayed.
+	LoggedRequests   int64
+	LogErrors        int64
+	LogCompactions   int64
+	Resumes          int64
+	ReplayedRequests int64
 	// Sessions lists per-session rows sorted by id.
 	Sessions []SessionStat
 }
@@ -327,6 +344,13 @@ func (m *Manager) Stats() Stats {
 	m.mu.Unlock()
 	st.QueuedBatches = m.queuedBatches.Load()
 	st.MaxQueuedBatches = m.maxQueuedBatches.Load()
+	if d := m.durability(); d != nil {
+		st.LoggedRequests = d.logged.Load()
+		st.LogErrors = d.logErrs.Load()
+		st.LogCompactions = d.store.Stats().Compactions
+		st.Resumes = d.resumes.Load()
+		st.ReplayedRequests = d.replayed.Load()
+	}
 	for i, s := range live {
 		st.Sessions[i].Started = s.Started()
 		st.Sessions[i].State = s.State()
@@ -407,6 +431,9 @@ func (m *Manager) Create(id string) (*Session, error) {
 
 	if victim != nil {
 		victim.Close()
+		// LRU eviction only parks the victim's log (closing its cached
+		// file handle); the session stays resumable via OpResume.
+		m.parkLog(victim.id)
 	}
 	return s, nil
 }
@@ -505,6 +532,7 @@ func (m *Manager) Evict(id string) bool {
 		return false
 	}
 	s.Close()
+	m.parkLog(id)
 	return true
 }
 
@@ -523,6 +551,10 @@ func (m *Manager) Close() {
 	// the pool alive.
 	for _, s := range all {
 		s.Close()
+		// Every logged request is already on disk; parking just releases
+		// the cached file handles. The store itself belongs to whoever
+		// enabled durability and is closed there.
+		m.parkLog(s.id)
 	}
 	// A Start/Enqueue racing this Close can lazily rebuild the pool
 	// after we detach it; loop until no pool reappears so no worker

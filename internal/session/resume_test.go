@@ -1,0 +1,254 @@
+package session_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dbtouch"
+	"dbtouch/internal/gesture"
+	"dbtouch/internal/protocol"
+	"dbtouch/internal/sessionlog"
+)
+
+// Resume-path behavior around the crash-equivalence core: the facade
+// handle lifecycle, the typed failure modes, and the gauges.
+
+// TestEvictedFacadeResume (the evicted-facade satellite): a facade
+// handle whose session the manager evicted goes inert; db.Resume
+// re-materializes the session and hands back a live replacement whose
+// stream continues exactly where the old one stopped, matching a
+// never-evicted control run.
+func TestEvictedFacadeResume(t *testing.T) {
+	const seed, sid = 11, "crash-11"
+	reqs := wireRequests(t, seed, sid)
+	cut := len(reqs) / 2
+
+	ctrlDB, ctrlStore := newDurableInstance(t, t.TempDir())
+	defer ctrlStore.Close()
+	defer ctrlDB.Manager().Close()
+	var control [][]byte
+	feed(t, ctrlDB.Manager(), reqs, &control)
+
+	db, store := newDurableInstance(t, t.TempDir())
+	defer store.Close()
+	defer db.Manager().Close()
+	var got [][]byte
+	feed(t, db.Manager(), reqs[:cut], &got)
+
+	// Attach a facade handle onto the live wire session: Resume on a
+	// live session is a no-op attach.
+	h, err := db.Resume(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SessionID() != sid {
+		t.Fatalf("handle bound to %q, want %q", h.SessionID(), sid)
+	}
+
+	if !db.Manager().Evict(sid) {
+		t.Fatal("evict failed")
+	}
+	// The old handle is inert now: gestures are dropped, not errors.
+	if res, err := h.Perform(gesture.NewTap(1, 0.5)); err != nil || res != nil {
+		t.Fatalf("evicted handle: got (%v, %v), want inert (nil, nil)", res, err)
+	}
+
+	h2, err := db.Resume(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.SessionID() != sid {
+		t.Fatalf("resumed handle bound to %q", h2.SessionID())
+	}
+	// The replacement handle is live: its subscription sees the frames
+	// of every post-resume request.
+	stream := h2.Subscribe(1 << 16)
+	defer stream.Close()
+	feed(t, db.Manager(), reqs[cut:], &got)
+	assertStreams(t, control, got, "evicted facade resume")
+	if _, ok := stream.TryNext(); !ok {
+		t.Fatal("resumed handle's subscription saw no frames")
+	}
+}
+
+// TestResumeGauges pins the observability contract: logged requests,
+// resumes and replayed counts flow through Stats and the wire
+// StatsFrame.
+func TestResumeGauges(t *testing.T) {
+	const seed, sid = 13, "crash-13"
+	reqs := wireRequests(t, seed, sid)
+	// A second script into the same session (minus its open) pushes the
+	// log tail past the store's compaction threshold.
+	reqs = append(reqs, wireRequests(t, seed+1, sid)[1:]...)
+
+	db, store := newDurableInstance(t, t.TempDir())
+	defer store.Close()
+	defer db.Manager().Close()
+	var got [][]byte
+	feed(t, db.Manager(), reqs, &got)
+
+	st := db.Manager().Stats()
+	if st.LoggedRequests != int64(len(reqs)) {
+		t.Fatalf("LoggedRequests = %d, want %d", st.LoggedRequests, len(reqs))
+	}
+	if st.LogErrors != 0 {
+		t.Fatalf("LogErrors = %d, want 0", st.LogErrors)
+	}
+	if st.LogCompactions == 0 {
+		t.Fatal("no compactions despite the tiny CompactBytes threshold")
+	}
+	if st.Resumes != 0 || st.ReplayedRequests != 0 {
+		t.Fatalf("resume gauges non-zero before any resume: %+v", st)
+	}
+
+	db.Manager().Evict(sid)
+	if n := resume(t, db, sid); n != len(reqs) {
+		t.Fatalf("replayed %d, want %d", n, len(reqs))
+	}
+	resp := db.Manager().HandleRequest(protocol.Request{V: protocol.Version, Op: protocol.OpStats})
+	if !resp.OK || resp.Stats == nil {
+		t.Fatalf("stats: %s", resp.Error)
+	}
+	if resp.Stats.Resumes != 1 || resp.Stats.ReplayedRequests != int64(len(reqs)) {
+		t.Fatalf("wire stats resumes=%d replayed=%d, want 1/%d",
+			resp.Stats.Resumes, resp.Stats.ReplayedRequests, len(reqs))
+	}
+	// Replayed requests are served from the log, not re-teed into it.
+	if resp.Stats.LoggedRequests != int64(len(reqs)) {
+		t.Fatalf("replay re-logged: LoggedRequests = %d, want %d",
+			resp.Stats.LoggedRequests, len(reqs))
+	}
+}
+
+// TestResumeFailureModes pins the typed failures: no durability, no
+// log (Gone), wire-evicted session (history forgotten, Gone), and a
+// log corrupted beyond its tail (ErrTornLog, never a partial session).
+func TestResumeFailureModes(t *testing.T) {
+	t.Run("disabled", func(t *testing.T) {
+		db := dbtouch.Open()
+		defer db.Manager().Close()
+		resp := db.Manager().HandleRequest(protocol.Request{V: protocol.Version, Op: protocol.OpResume, Session: "x"})
+		if resp.OK || resp.Gone {
+			t.Fatalf("want plain failure without durability, got %+v", resp)
+		}
+	})
+
+	t.Run("no log", func(t *testing.T) {
+		db, store := newDurableInstance(t, t.TempDir())
+		defer store.Close()
+		defer db.Manager().Close()
+		resp := db.Manager().HandleRequest(protocol.Request{V: protocol.Version, Op: protocol.OpResume, Session: "never-existed"})
+		if resp.OK || !resp.Gone {
+			t.Fatalf("want Gone failure for unknown session, got %+v", resp)
+		}
+		if _, err := db.Manager().Resume("never-existed"); !errors.Is(err, sessionlog.ErrNoLog) {
+			t.Fatalf("err = %v, want ErrNoLog", err)
+		}
+	})
+
+	t.Run("wire evict forgets history", func(t *testing.T) {
+		const sid = "crash-17"
+		db, store := newDurableInstance(t, t.TempDir())
+		defer store.Close()
+		defer db.Manager().Close()
+		var got [][]byte
+		feed(t, db.Manager(), wireRequests(t, 17, sid), &got)
+		resp := db.Manager().HandleRequest(protocol.Request{V: protocol.Version, Op: protocol.OpEvict, Session: sid})
+		if !resp.OK {
+			t.Fatalf("evict: %s", resp.Error)
+		}
+		resp = db.Manager().HandleRequest(protocol.Request{V: protocol.Version, Op: protocol.OpResume, Session: sid})
+		if resp.OK || !resp.Gone {
+			t.Fatalf("resume after wire evict: want Gone failure, got %+v", resp)
+		}
+	})
+
+	t.Run("mid-log corruption", func(t *testing.T) {
+		const sid = "crash-19"
+		dir := t.TempDir()
+		db, store := newDurableInstance(t, dir)
+		var got [][]byte
+		feed(t, db.Manager(), wireRequests(t, 19, sid), &got)
+		db.Manager().Evict(sid)
+		store.Close()
+		db.Manager().Close()
+
+		// Flip a byte well inside the log: damage that truncation cannot
+		// explain must surface as ErrTornLog, never a partial replay.
+		logPath := filepath.Join(dir, "s-"+sid+".log")
+		data, err := os.ReadFile(logPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) < 64 {
+			t.Fatalf("log only %d bytes; session log never compacted tail?", len(data))
+		}
+		data[20] ^= 0xFF
+		if err := os.WriteFile(logPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		db2, store2 := newDurableInstance(t, dir)
+		defer store2.Close()
+		defer db2.Manager().Close()
+		if _, err := db2.Manager().Resume(sid); !errors.Is(err, sessionlog.ErrTornLog) {
+			t.Fatalf("err = %v, want ErrTornLog", err)
+		}
+		// Never partial-batch state: the failed resume left no session.
+		if _, ok := db2.Manager().Get(sid); ok {
+			t.Fatal("failed resume left a partially replayed session live")
+		}
+	})
+}
+
+// TestOpenResetsHistory: re-opening an id whose predecessor died (and
+// was never resumed) starts a fresh log — resume afterwards replays
+// only the new incarnation.
+func TestOpenResetsHistory(t *testing.T) {
+	const sid = "reborn"
+	dir := t.TempDir()
+	db, store := newDurableInstance(t, dir)
+	defer store.Close()
+	defer db.Manager().Close()
+	m := db.Manager()
+
+	var got [][]byte
+	feed(t, m, wireRequests(t, 23, sid), &got)
+	m.Evict(sid)
+
+	// Second incarnation: open succeeds because the session is not live,
+	// and wipes the predecessor's history.
+	open := protocol.Request{V: protocol.Version, Op: protocol.OpOpen, Session: sid}
+	if resp := m.HandleRequest(open); !resp.OK {
+		t.Fatalf("reopen: %s", resp.Error)
+	}
+	if resp := m.HandleRequest(protocol.Request{V: protocol.Version, Op: protocol.OpIdle, Session: sid, Idle: 1e9}); !resp.OK {
+		t.Fatalf("idle: %s", resp.Error)
+	}
+	m.Evict(sid)
+	if n := resume(t, db, sid); n != 2 {
+		t.Fatalf("replayed %d requests, want 2 (open + idle of the new incarnation)", n)
+	}
+}
+
+// TestResumableSessions lists parked histories.
+func TestResumableSessions(t *testing.T) {
+	db, store := newDurableInstance(t, t.TempDir())
+	defer store.Close()
+	defer db.Manager().Close()
+	m := db.Manager()
+	for _, sid := range []string{"b", "a"} {
+		if resp := m.HandleRequest(protocol.Request{V: protocol.Version, Op: protocol.OpOpen, Session: sid}); !resp.OK {
+			t.Fatalf("open %s: %s", sid, resp.Error)
+		}
+	}
+	m.Evict("a")
+	got := m.ResumableSessions()
+	want := fmt.Sprint([]string{"a", "b"})
+	if fmt.Sprint(got) != want {
+		t.Fatalf("ResumableSessions = %v, want %s", got, want)
+	}
+}

@@ -1,0 +1,159 @@
+package session
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dbtouch/internal/core"
+	"dbtouch/internal/gesture"
+	"dbtouch/internal/operator"
+	"dbtouch/internal/storage"
+	"dbtouch/internal/touchos"
+)
+
+// Week-long static-session retention audit (ROADMAP item 5, frozen-table
+// half of TestLiveRetentionKeepsStateBounded): a session exploring an
+// immutable table for a virtual week — a million tap gestures spaced
+// ~600ms apart — must hold only bounded state. No ingestion, no
+// compaction: every growth here would be a leak in the kernel's own
+// bookkeeping (retained results, counters, group tables, histograms).
+func TestStaticRetentionWeekLongSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-gesture sweep")
+	}
+	const (
+		gestures = 1_000_000
+		spacing  = 600 * time.Millisecond // x 1M taps ≈ 6.9 virtual days
+		perBatch = 2000
+		keyCard  = 8
+	)
+	m := NewManager(core.DefaultConfig())
+	defer m.Close()
+	const rows = 50_000
+	ts := make([]int64, rows)
+	keys := make([]string, rows)
+	vals := make([]int64, rows)
+	for i := 0; i < rows; i++ {
+		ts[i] = int64(i)
+		keys[i] = fmt.Sprintf("k%d", i%keyCard)
+		vals[i] = int64(i % 997)
+	}
+	mx, err := storage.NewMatrix("events",
+		storage.NewIntColumn("ts", ts),
+		storage.NewStringColumn("key", keys),
+		storage.NewIntColumn("value", vals),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Catalog().Register(mx)
+
+	// Same two-session shape as the live audit: a scanner aggregating a
+	// column and a grouper folding the table by key.
+	sa, err := m.Create("scanner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oa, err := sa.CreateColumnObject("events", "value", equivFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oa.SetActions(core.Actions{Mode: core.ModeAggregate, Agg: operator.Sum})
+	sb, err := m.Create("grouper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, err := sb.CreateTableObject("events", equivFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob.SetActions(core.Actions{Mode: core.ModeScan, Group: &core.GroupSpec{KeyCol: 1, ValCol: 2, Agg: operator.Sum}})
+
+	// Taps march down the object in a deterministic cycle; applied in
+	// batches so the test stays fast while each tap remains its own
+	// gesture (the synthesizer separates them on the virtual clock).
+	var synth gesture.Synth
+	x := equivFrame.Origin.X + equivFrame.Size.W/2
+	var cur time.Duration
+	done := 0
+	for done < gestures {
+		n := perBatch
+		if gestures-done < n {
+			n = gestures - done
+		}
+		var events []touchos.TouchEvent
+		for i := 0; i < n; i++ {
+			frac := 0.05 + 0.9*float64((done+i)%97)/97
+			y := equivFrame.Origin.Y + frac*equivFrame.Size.H
+			events = append(events, synth.Tap(touchos.Point{X: x, Y: y}, cur)...)
+			cur += spacing
+		}
+		// The scanner takes every tap; the grouper rides along at a tenth
+		// of the rate (a week of occasional regrouping).
+		if _, err := m.Dispatch("scanner", events); err != nil {
+			t.Fatal(err)
+		}
+		if done%(10*perBatch) == 0 {
+			if _, err := m.Dispatch("grouper", events[:len(events)/10]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		done += n
+	}
+	if week := 6 * 24 * time.Hour; cur < week {
+		t.Fatalf("virtual sweep only covered %v, want at least %v", cur, week)
+	}
+
+	for _, id := range []string{"scanner", "grouper"} {
+		s, _ := m.Get(id)
+		if err := s.Do(func(k *core.Kernel) error {
+			emitted := k.Counters().Get("results.emitted")
+			if emitted == 0 {
+				return fmt.Errorf("%s emitted no results", id)
+			}
+			// Fade pruning bounds the retained window regardless of how
+			// many results a week produced. Pruning runs between applied
+			// batches, so the window is at most one batch of taps plus
+			// whatever was still visible — never a function of the total.
+			if retained := len(k.Results()); retained > perBatch+64 || int64(retained) >= emitted/2 {
+				return fmt.Errorf("%s retains %d of %d results — fade pruning broke", id, retained, emitted)
+			}
+			// The counter namespace is a fixed vocabulary: a million
+			// gestures must not mint new names.
+			if n := len(k.Counters().Names()); n > 40 {
+				return fmt.Errorf("%s counter namespace grew to %d entries", id, n)
+			}
+			// The touch-latency histogram is fixed-bucket: observations
+			// accumulate, state does not.
+			if h := k.TouchLatency(); h.Count() == 0 {
+				return fmt.Errorf("%s recorded no touch latencies", id)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Group-table cardinality is the key domain, not the touch count.
+	var groups int
+	if err := sb.Do(func(k *core.Kernel) error {
+		o, err := k.Object(ob.ID())
+		if err != nil {
+			return err
+		}
+		groups = len(o.Groups())
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if groups > keyCard {
+		t.Fatalf("group table holds %d groups for a %d-key domain", groups, keyCard)
+	}
+
+	// The scanner's virtual clock really lived through the week: gestures
+	// advanced it past the spacing sum's order of magnitude.
+	if now := sa.Kernel().Clock().Now(); now < 6*24*time.Hour {
+		t.Fatalf("scanner clock at %v after a week-long sweep", now)
+	}
+}

@@ -27,6 +27,12 @@ var ftdcNames = []string{
 	"live_rows",
 	"retention_gens",
 	"kernel_bytes",
+	"logged_requests",
+	"log_errors",
+	"log_compactions",
+	"log_appended_bytes",
+	"resumes",
+	"replayed_requests",
 }
 
 // FTDCSample captures the manager's gauge vector for the flight
@@ -77,5 +83,16 @@ func (m *Manager) FTDCSample() (names []string, values []int64) {
 		v[15] += int64(snap.Gen)
 	}
 	v[16] = storage.KernelBytes()
+	// Durability gauges stay zero when no session-log store is attached,
+	// keeping the schema (and so chunk column identity) fixed either way.
+	if d := m.durability(); d != nil {
+		st := d.store.Stats()
+		v[17] = d.logged.Load()
+		v[18] = d.logErrs.Load()
+		v[19] = st.Compactions
+		v[20] = st.AppendedBytes
+		v[21] = d.resumes.Load()
+		v[22] = d.replayed.Load()
+	}
 	return ftdcNames, v
 }

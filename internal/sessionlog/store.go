@@ -1,0 +1,653 @@
+package sessionlog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Defaults for Options zero values.
+const (
+	// DefaultCompactBytes is the log-tail size that triggers compaction
+	// into a checkpoint.
+	DefaultCompactBytes = 256 << 10
+	// DefaultMaxOpenLogs caps cached appender file descriptors; colder
+	// logs are closed and reopened on demand, so 10k live sessions cost
+	// O(DefaultMaxOpenLogs) fds, not O(sessions).
+	DefaultMaxOpenLogs = 64
+)
+
+// Options configures a Store. Zero values select the defaults.
+type Options struct {
+	// Dir is the log directory (created if missing).
+	Dir string
+	// CompactBytes is the per-log tail threshold: Append reports the
+	// tail size and the session layer compacts once it crosses this.
+	CompactBytes int64
+	// RetainBytes bounds the directory's total size: past it, the
+	// oldest unprotected session file pairs are deleted (they lose
+	// resumability — the same trade the flight recorder makes). 0
+	// disables the bound. Table logs are data, never dropped.
+	RetainBytes int64
+	// MaxOpenLogs caps cached appender fds.
+	MaxOpenLogs int
+	// Protect exempts a session from retention deletion (the session
+	// manager protects live sessions). May be replaced via SetProtect.
+	Protect func(id string) bool
+}
+
+// Stats is a point-in-time snapshot of store counters.
+type Stats struct {
+	// AppendedFrames and AppendedBytes count lifetime appends.
+	AppendedFrames int64
+	AppendedBytes  int64
+	// Compactions counts checkpoint rewrites (sessions and tables).
+	Compactions int64
+	// DroppedSessions counts session logs deleted by retention.
+	DroppedSessions int64
+	// TornTruncations counts torn tails healed on appender reopen.
+	TornTruncations int64
+	// OpenLogs is the current cached-appender count.
+	OpenLogs int
+}
+
+// Replay is one log's decoded history: checkpoint frames followed by
+// the tail, duplicates from a crash between checkpoint-rename and
+// log-truncate already skipped.
+type Replay struct {
+	// Meta is the checkpoint header, nil when no checkpoint exists.
+	Meta *CheckpointMeta
+	// Frames is the full replayable history in sequence order.
+	Frames []Frame
+	// Torn reports a tolerated torn tail: trailing bytes of a partial
+	// final frame were dropped.
+	Torn bool
+	// LastSeq is the sequence number of the last frame (0 if none).
+	LastSeq uint64
+}
+
+// Store owns one directory of session and table logs. All methods are
+// safe for concurrent use; callers serialize per-log execute+append
+// sequences with SessionLocker/TableLocker (the store's own mutex only
+// protects its internal state and makes individual file operations
+// atomic with respect to each other).
+type Store struct {
+	dir          string
+	compactBytes int64
+	retainBytes  int64
+	maxOpen      int
+
+	mu        sync.Mutex
+	protect   func(string) bool
+	appenders map[string]*appender
+	order     []string // appender LRU, oldest first
+	locks     map[string]*sync.Mutex
+	sinceScan int64
+	closed    bool
+	stats     Stats
+}
+
+// appender is one open log file positioned at its end.
+type appender struct {
+	f       *os.File
+	size    int64
+	nextSeq uint64
+}
+
+// Open opens (creating if needed) the log directory.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("sessionlog: empty directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sessionlog: %w", err)
+	}
+	st := &Store{
+		dir:          opts.Dir,
+		compactBytes: opts.CompactBytes,
+		retainBytes:  opts.RetainBytes,
+		maxOpen:      opts.MaxOpenLogs,
+		protect:      opts.Protect,
+		appenders:    make(map[string]*appender),
+		locks:        make(map[string]*sync.Mutex),
+	}
+	if st.compactBytes <= 0 {
+		st.compactBytes = DefaultCompactBytes
+	}
+	if st.maxOpen <= 0 {
+		st.maxOpen = DefaultMaxOpenLogs
+	}
+	return st, nil
+}
+
+// CompactBytes reports the configured compaction threshold.
+func (st *Store) CompactBytes() int64 { return st.compactBytes }
+
+// SetProtect installs the retention exemption callback. The callback
+// runs while the store's mutex is held, so it must not call back into
+// the store.
+func (st *Store) SetProtect(fn func(id string) bool) {
+	st.mu.Lock()
+	st.protect = fn
+	st.mu.Unlock()
+}
+
+// SessionLocker returns the mutex serializing one session's
+// execute+append sequences (and its resume). Lockers are per-id and
+// live for the store's lifetime.
+func (st *Store) SessionLocker(id string) *sync.Mutex { return st.locker(sessionBase(id)) }
+
+// TableLocker is SessionLocker for a table log.
+func (st *Store) TableLocker(name string) *sync.Mutex { return st.locker(tableBase(name)) }
+
+func (st *Store) locker(base string) *sync.Mutex {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	lk, ok := st.locks[base]
+	if !ok {
+		lk = &sync.Mutex{}
+		st.locks[base] = lk
+	}
+	return lk
+}
+
+// AppendSession appends one framed request payload to the session's
+// log with a single unbuffered write (a crash loses at most this
+// frame, and only as a tolerated torn tail). It returns the log's tail
+// size so the caller can trigger compaction past CompactBytes.
+func (st *Store) AppendSession(id string, payload []byte) (tail int64, err error) {
+	return st.appendTo(sessionBase(id), payload)
+}
+
+// AppendTable appends one framed request payload to a table's log.
+func (st *Store) AppendTable(name string, payload []byte) (tail int64, err error) {
+	return st.appendTo(tableBase(name), payload)
+}
+
+func (st *Store) appendTo(base string, payload []byte) (int64, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return 0, fmt.Errorf("sessionlog: store closed")
+	}
+	ap, err := st.appenderLocked(base)
+	if err != nil {
+		return 0, err
+	}
+	buf := AppendFrame(nil, ap.nextSeq, payload)
+	n, err := ap.f.Write(buf)
+	if err != nil {
+		// A short write leaves a torn tail in a file we keep appending
+		// to; truncate back so the log stays clean mid-file.
+		if n > 0 {
+			ap.f.Truncate(ap.size)
+			ap.f.Seek(ap.size, 0)
+		}
+		return ap.size, fmt.Errorf("sessionlog: append %s: %w", base, err)
+	}
+	ap.size += int64(len(buf))
+	ap.nextSeq++
+	st.stats.AppendedFrames++
+	st.stats.AppendedBytes += int64(len(buf))
+	st.sinceScan += int64(len(buf))
+	st.maybeRetainLocked()
+	return ap.size, nil
+}
+
+// appenderLocked returns the cached appender for base, opening the log
+// (healing any torn tail) on a miss and evicting the coldest cached
+// appenders past MaxOpenLogs. Caller holds st.mu.
+func (st *Store) appenderLocked(base string) (*appender, error) {
+	if ap, ok := st.appenders[base]; ok {
+		for i, b := range st.order {
+			if b == base {
+				st.order = append(append(st.order[:i:i], st.order[i+1:]...), base)
+				break
+			}
+		}
+		return ap, nil
+	}
+	path := filepath.Join(st.dir, base+".log")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sessionlog: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sessionlog: %w", err)
+	}
+	frames, tail, err := parseFrames(data)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sessionlog: %s: %w", base, err)
+	}
+	size := int64(len(data) - tail)
+	if tail > 0 {
+		// The torn frame was never acknowledged; drop it so future
+		// appends don't bury a tear mid-file.
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("sessionlog: healing %s: %w", base, err)
+		}
+		st.stats.TornTruncations++
+	}
+	next := uint64(1)
+	if len(frames) > 0 {
+		next = frames[len(frames)-1].Seq + 1
+	} else if meta, err := st.checkpointLastSeq(base); err == nil {
+		next = meta + 1
+	}
+	if _, err := f.Seek(size, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sessionlog: %w", err)
+	}
+	ap := &appender{f: f, size: size, nextSeq: next}
+	st.appenders[base] = ap
+	st.order = append(st.order, base)
+	for len(st.appenders) > st.maxOpen {
+		victim := st.order[0]
+		st.order = st.order[1:]
+		st.appenders[victim].f.Close()
+		delete(st.appenders, victim)
+	}
+	return ap, nil
+}
+
+// checkpointLastSeq reads just the checkpoint header's LastSeq (0 with
+// an error if no checkpoint). Caller holds st.mu.
+func (st *Store) checkpointLastSeq(base string) (uint64, error) {
+	data, err := os.ReadFile(filepath.Join(st.dir, base+".ckpt"))
+	if err != nil {
+		return 0, err
+	}
+	meta, _, err := decodeCheckpointHeader(data)
+	if err != nil {
+		return 0, err
+	}
+	return meta.LastSeq, nil
+}
+
+// LoadSession decodes a session's full replayable history: checkpoint
+// frames plus the log tail, dedup'd by sequence number. A missing
+// session is ErrNoLog; damage beyond a torn tail is ErrTornLog.
+// Callers hold the session's locker to keep the load atomic against
+// appends.
+func (st *Store) LoadSession(id string) (*Replay, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.loadLocked(sessionBase(id))
+}
+
+// LoadTable decodes a table log's history.
+func (st *Store) LoadTable(name string) (*Replay, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.loadLocked(tableBase(name))
+}
+
+func (st *Store) loadLocked(base string) (*Replay, error) {
+	meta, ckptFrames, haveCkpt, err := readCheckpointFile(filepath.Join(st.dir, base+".ckpt"))
+	if err != nil {
+		return nil, err
+	}
+	logData, err := os.ReadFile(filepath.Join(st.dir, base+".log"))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("sessionlog: %w", err)
+	}
+	if !haveCkpt && logData == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoLog, base)
+	}
+	frames, tail, err := parseFrames(logData)
+	if err != nil {
+		return nil, fmt.Errorf("sessionlog: %s.log: %w", base, err)
+	}
+	rep := &Replay{Frames: ckptFrames, Torn: tail > 0}
+	if haveCkpt {
+		rep.Meta = &meta
+		rep.LastSeq = meta.LastSeq
+	}
+	for _, fr := range frames {
+		if fr.Seq <= rep.LastSeq {
+			// Duplicate of a checkpointed frame: a crash landed between
+			// the checkpoint rename and the log truncate.
+			continue
+		}
+		if rep.LastSeq != 0 || len(rep.Frames) > 0 {
+			if fr.Seq != rep.LastSeq+1 {
+				return nil, fmt.Errorf("%w: %s.log: sequence gap (frame %d after %d)",
+					ErrTornLog, base, fr.Seq, rep.LastSeq)
+			}
+		}
+		rep.LastSeq = fr.Seq
+		rep.Frames = append(rep.Frames, fr)
+	}
+	if len(rep.Frames) == 0 && !haveCkpt && tail == 0 && len(logData) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoLog, base)
+	}
+	return rep, nil
+}
+
+// CompactSession rewrites the session's full history into a fresh
+// checkpoint (atomically, via temp file + rename) and truncates the
+// log. The caller holds the session's locker and supplies the advisory
+// meta fields; the store stamps the coverage fields.
+func (st *Store) CompactSession(id string, meta CheckpointMeta) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	meta.Session = id
+	return st.compactLocked(sessionBase(id), meta)
+}
+
+func (st *Store) compactLocked(base string, meta CheckpointMeta) error {
+	rep, err := st.loadLocked(base)
+	if err != nil {
+		return err
+	}
+	if rep.Torn {
+		return fmt.Errorf("%w: refusing to compact %s with a torn tail", ErrTornLog, base)
+	}
+	meta.LastSeq = rep.LastSeq
+	meta.Frames = len(rep.Frames)
+	meta.WrittenUnixNS = time.Now().UnixNano()
+	img, err := encodeCheckpoint(meta, rep.Frames)
+	if err != nil {
+		return fmt.Errorf("sessionlog: encoding checkpoint %s: %w", base, err)
+	}
+	path := filepath.Join(st.dir, base+".ckpt")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, img, 0o644); err != nil {
+		return fmt.Errorf("sessionlog: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("sessionlog: %w", err)
+	}
+	// The log's frames are now covered by the checkpoint; a crash right
+	// here leaves duplicates that loadLocked skips by sequence number.
+	if ap, ok := st.appenders[base]; ok {
+		if err := ap.f.Truncate(0); err != nil {
+			return fmt.Errorf("sessionlog: truncating %s: %w", base, err)
+		}
+		if _, err := ap.f.Seek(0, 0); err != nil {
+			return fmt.Errorf("sessionlog: %w", err)
+		}
+		ap.size = 0
+	} else if err := os.Truncate(filepath.Join(st.dir, base+".log"), 0); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("sessionlog: truncating %s: %w", base, err)
+	}
+	st.stats.Compactions++
+	return nil
+}
+
+// CompactTable atomically replaces a table's log with a single frame
+// carrying replacement (a whole-table append request), keeping the
+// sequence number so later appends stay contiguous. The caller holds
+// the table's locker.
+func (st *Store) CompactTable(name string, replacement []byte) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	base := tableBase(name)
+	rep, err := st.loadLocked(base)
+	if err != nil {
+		return err
+	}
+	if rep.Torn {
+		return fmt.Errorf("%w: refusing to compact %s with a torn tail", ErrTornLog, base)
+	}
+	path := filepath.Join(st.dir, base+".log")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, AppendFrame(nil, rep.LastSeq, replacement), 0o644); err != nil {
+		return fmt.Errorf("sessionlog: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("sessionlog: %w", err)
+	}
+	st.closeAppenderLocked(base) // cached size/offset are stale; reopen lazily
+	st.stats.Compactions++
+	return nil
+}
+
+// Park closes the session's cached appender, keeping its files: the
+// session stays resumable (Manager eviction parks; only a wire evict
+// removes).
+func (st *Store) Park(id string) {
+	st.mu.Lock()
+	st.closeAppenderLocked(sessionBase(id))
+	st.mu.Unlock()
+}
+
+// RemoveSession deletes the session's log and checkpoint — it is no
+// longer resumable. A fresh open of the same id also removes, giving
+// the id a clean history.
+func (st *Store) RemoveSession(id string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	base := sessionBase(id)
+	st.closeAppenderLocked(base)
+	var first error
+	for _, suffix := range []string{".log", ".ckpt"} {
+		if err := os.Remove(filepath.Join(st.dir, base+suffix)); err != nil && !os.IsNotExist(err) && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (st *Store) closeAppenderLocked(base string) {
+	ap, ok := st.appenders[base]
+	if !ok {
+		return
+	}
+	ap.f.Close()
+	delete(st.appenders, base)
+	for i, b := range st.order {
+		if b == base {
+			st.order = append(st.order[:i], st.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Sessions lists every session id with persisted state, sorted.
+func (st *Store) Sessions() []string { return st.list("s-") }
+
+// Tables lists every table with a persisted log, sorted.
+func (st *Store) Tables() []string { return st.list("t-") }
+
+func (st *Store) list(prefix string) []string {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		var base string
+		switch {
+		case strings.HasSuffix(name, ".log"):
+			base = strings.TrimSuffix(name, ".log")
+		case strings.HasSuffix(name, ".ckpt"):
+			base = strings.TrimSuffix(name, ".ckpt")
+		default:
+			continue
+		}
+		id, ok := unescapeName(base[len(prefix):])
+		if !ok || seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SessionBytes reports the session's total on-disk footprint (log +
+// checkpoint) and its log tail alone.
+func (st *Store) SessionBytes(id string) (total, tail int64) {
+	base := sessionBase(id)
+	if fi, err := os.Stat(filepath.Join(st.dir, base+".log")); err == nil {
+		tail = fi.Size()
+		total += fi.Size()
+	}
+	if fi, err := os.Stat(filepath.Join(st.dir, base+".ckpt")); err == nil {
+		total += fi.Size()
+	}
+	return total, tail
+}
+
+// Stats snapshots the store's counters.
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := st.stats
+	s.OpenLogs = len(st.appenders)
+	return s
+}
+
+// Close closes every cached appender. Appends fail afterwards; reads
+// still work (the files are the durable artifact).
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, ap := range st.appenders {
+		ap.f.Close()
+	}
+	st.appenders = make(map[string]*appender)
+	st.order = nil
+	st.closed = true
+	return nil
+}
+
+// maybeRetainLocked enforces the retention budget: when the directory
+// exceeds RetainBytes, the oldest session file pairs that are neither
+// open for append nor protected are deleted (those sessions lose
+// resumability). Table logs count toward the total but are never
+// deleted — they are the data, not a cache of it. Scans are amortized:
+// one directory walk per ~1/8 budget of appended bytes.
+func (st *Store) maybeRetainLocked() {
+	if st.retainBytes <= 0 {
+		return
+	}
+	threshold := st.retainBytes / 8
+	if threshold < 4096 {
+		threshold = 4096
+	}
+	if st.sinceScan < threshold {
+		return
+	}
+	st.sinceScan = 0
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return
+	}
+	type pair struct {
+		base  string
+		bytes int64
+		mtime time.Time
+	}
+	pairs := make(map[string]*pair)
+	var total int64
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		total += info.Size()
+		name := e.Name()
+		var base string
+		switch {
+		case !strings.HasPrefix(name, "s-"):
+			continue
+		case strings.HasSuffix(name, ".log"):
+			base = strings.TrimSuffix(name, ".log")
+		case strings.HasSuffix(name, ".ckpt"):
+			base = strings.TrimSuffix(name, ".ckpt")
+		default:
+			continue
+		}
+		p, ok := pairs[base]
+		if !ok {
+			p = &pair{base: base}
+			pairs[base] = p
+		}
+		p.bytes += info.Size()
+		if info.ModTime().After(p.mtime) {
+			p.mtime = info.ModTime()
+		}
+	}
+	if total <= st.retainBytes {
+		return
+	}
+	victims := make([]*pair, 0, len(pairs))
+	for _, p := range pairs {
+		victims = append(victims, p)
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].mtime.Before(victims[j].mtime) })
+	for _, p := range victims {
+		if total <= st.retainBytes {
+			break
+		}
+		if _, open := st.appenders[p.base]; open {
+			continue
+		}
+		if st.protect != nil {
+			if id, ok := unescapeName(strings.TrimPrefix(p.base, "s-")); ok && st.protect(id) {
+				continue
+			}
+		}
+		os.Remove(filepath.Join(st.dir, p.base+".log"))
+		os.Remove(filepath.Join(st.dir, p.base+".ckpt"))
+		total -= p.bytes
+		st.stats.DroppedSessions++
+	}
+}
+
+// File naming: "s-<escaped id>.log/.ckpt" for sessions, "t-<escaped
+// name>.log" for tables. Escaping is conservative %XX so arbitrary ids
+// round-trip through the filesystem.
+
+func sessionBase(id string) string { return "s-" + escapeName(id) }
+func tableBase(name string) string { return "t-" + escapeName(name) }
+
+func escapeName(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '-' || c == '_' || c == '.' {
+			b.WriteByte(c)
+			continue
+		}
+		fmt.Fprintf(&b, "%%%02X", c)
+	}
+	return b.String()
+}
+
+func unescapeName(s string) (string, bool) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '%' {
+			b.WriteByte(s[i])
+			continue
+		}
+		if i+2 >= len(s) {
+			return "", false
+		}
+		var c byte
+		if _, err := fmt.Sscanf(s[i+1:i+3], "%02X", &c); err != nil {
+			return "", false
+		}
+		b.WriteByte(c)
+		i += 2
+	}
+	return b.String(), true
+}

@@ -1,0 +1,260 @@
+package sessionlog
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildLog writes n frames for session "u" into a fresh store dir and
+// returns the dir, the log path, and the byte offset where the final
+// frame begins.
+func buildLog(t *testing.T, n int) (dir, logPath string, finalStart int64) {
+	t.Helper()
+	dir = t.TempDir()
+	st, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		tail, err := st.AppendSession("u", payloadFor(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == n-2 {
+			finalStart = tail
+		}
+	}
+	st.Close()
+	return dir, filepath.Join(dir, "s-u.log"), finalStart
+}
+
+// TestTruncateEveryByteOffset is the fault-injection contract from the
+// ISSUE: for EVERY possible truncation point inside the final frame,
+// loading must replay cleanly to the last complete request — never a
+// partial frame, never an error. This is the crash model for unbuffered
+// appends: a kill -9 can only shorten the file.
+func TestTruncateEveryByteOffset(t *testing.T) {
+	const frames = 5
+	dir, logPath, finalStart := buildLog(t, frames)
+	full, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for cut := finalStart; cut < int64(len(full)); cut++ {
+		if err := os.WriteFile(logPath, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := st.LoadSession("u")
+		if err != nil {
+			t.Fatalf("cut at byte %d: load failed: %v", cut, err)
+		}
+		if len(rep.Frames) != frames-1 {
+			t.Fatalf("cut at byte %d: replayed %d frames, want %d", cut, len(rep.Frames), frames-1)
+		}
+		for i, fr := range rep.Frames {
+			if string(fr.Payload) != string(payloadFor(i)) {
+				t.Fatalf("cut at byte %d: frame %d corrupted", cut, i)
+			}
+		}
+		if wantTorn := cut > finalStart; rep.Torn != wantTorn {
+			t.Fatalf("cut at byte %d: Torn = %v, want %v", cut, rep.Torn, wantTorn)
+		}
+	}
+}
+
+// TestAppendAfterEveryTruncation is the recovery half: reopening an
+// appender over any torn tail heals the file (truncating the partial
+// frame) and continues the sequence where the last complete frame left
+// off, so post-resume appends never bury a tear mid-file.
+func TestAppendAfterEveryTruncation(t *testing.T) {
+	const frames = 4
+	dir, logPath, finalStart := buildLog(t, frames)
+	full, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := finalStart; cut < int64(len(full)); cut++ {
+		if err := os.WriteFile(logPath, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.AppendSession("u", []byte("recovered")); err != nil {
+			t.Fatalf("cut at byte %d: append after reopen: %v", cut, err)
+		}
+		rep, err := st.LoadSession("u")
+		st.Close()
+		if err != nil {
+			t.Fatalf("cut at byte %d: %v", cut, err)
+		}
+		if len(rep.Frames) != frames {
+			t.Fatalf("cut at byte %d: %d frames after recovery append, want %d", cut, len(rep.Frames), frames)
+		}
+		last := rep.Frames[frames-1]
+		if string(last.Payload) != "recovered" || last.Seq != uint64(frames) {
+			t.Fatalf("cut at byte %d: recovery frame = seq %d %q", cut, last.Seq, last.Payload)
+		}
+	}
+}
+
+// TestMidLogCorruptionIsTornLog: damage that is not a tail — a flipped
+// byte in a non-final frame — must surface as the typed ErrTornLog,
+// never as a silent partial replay.
+func TestMidLogCorruptionIsTornLog(t *testing.T) {
+	_, logPath, finalStart := buildLog(t, 5)
+	full, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte in each non-final frame region.
+	for _, off := range []int64{frameHeader + 2, finalStart - 3} {
+		dir2 := t.TempDir()
+		bad := append([]byte(nil), full...)
+		bad[off] ^= 0xFF
+		if err := os.WriteFile(filepath.Join(dir2, "s-u.log"), bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Open(Options{Dir: dir2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.LoadSession("u"); !errors.Is(err, ErrTornLog) {
+			t.Fatalf("corruption at byte %d: load = %v, want ErrTornLog", off, err)
+		}
+		// The appender must refuse the damaged log too, not append past it.
+		if _, err := st.AppendSession("u", []byte("x")); !errors.Is(err, ErrTornLog) {
+			t.Fatalf("corruption at byte %d: append = %v, want ErrTornLog", off, err)
+		}
+		st.Close()
+	}
+}
+
+// TestCorruptFinalFrameIsToleratedTail: the same flipped byte in the
+// FINAL frame is indistinguishable from a torn write, so it degrades to
+// the torn-tail path — replay the prefix, drop the damage.
+func TestCorruptFinalFrameIsToleratedTail(t *testing.T) {
+	const frames = 5
+	dir, logPath, finalStart := buildLog(t, frames)
+	full, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), full...)
+	bad[finalStart+frameHeader+1] ^= 0xFF
+	if err := os.WriteFile(logPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rep, err := st.LoadSession("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Frames) != frames-1 || !rep.Torn {
+		t.Fatalf("corrupt final frame: %d frames torn=%v, want %d torn", len(rep.Frames), rep.Torn, frames-1)
+	}
+}
+
+// TestTruncatedCheckpointIsTornLog: checkpoints are written atomically
+// (temp + rename), so any truncation of one is corruption — the typed
+// error, not a partial replay.
+func TestTruncatedCheckpointIsTornLog(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppendN(t, st, "u", 10)
+	if err := st.CompactSession("u", CheckpointMeta{}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	ckptPath := filepath.Join(dir, "s-u.ckpt")
+	full, err := os.ReadFile(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A spread of truncation points: inside the magic, the meta frame,
+	// and the compressed body.
+	for _, frac := range []int{1, 4, len(full) / 2, len(full) - 3} {
+		st2, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(ckptPath, full[:frac], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st2.LoadSession("u"); !errors.Is(err, ErrTornLog) {
+			t.Fatalf("checkpoint cut at %d: load = %v, want ErrTornLog", frac, err)
+		}
+		st2.Close()
+	}
+	// Restore and prove the baseline loads.
+	if err := os.WriteFile(ckptPath, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	rep, err := st3.LoadSession("u")
+	if err != nil || len(rep.Frames) != 10 {
+		t.Fatalf("restored checkpoint: %v (%d frames)", err, len(rep.Frames))
+	}
+}
+
+// TestSequenceGapIsTornLog: a log whose frames skip a sequence number
+// (history lost mid-file) must refuse to replay.
+func TestSequenceGapIsTornLog(t *testing.T) {
+	dir := t.TempDir()
+	var buf []byte
+	buf = AppendFrame(buf, 1, payloadFor(0))
+	buf = AppendFrame(buf, 3, payloadFor(2)) // gap: seq 2 missing
+	if err := os.WriteFile(filepath.Join(dir, "s-u.log"), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.LoadSession("u"); !errors.Is(err, ErrTornLog) {
+		t.Fatalf("sequence gap: load = %v, want ErrTornLog", err)
+	}
+}
+
+// TestOversizedLengthPrefixIsTornLog: a length prefix past
+// MaxFrameBytes is corruption, not a frame to wait for.
+func TestOversizedLengthPrefixIsTornLog(t *testing.T) {
+	dir := t.TempDir()
+	var buf []byte
+	buf = AppendFrame(buf, 1, payloadFor(0))
+	// Hand-craft a header claiming an absurd payload, followed by data.
+	huge := make([]byte, frameHeader+8)
+	huge[0], huge[1], huge[2], huge[3] = 0xFF, 0xFF, 0xFF, 0x7F
+	buf = append(buf, huge...)
+	if err := os.WriteFile(filepath.Join(dir, "s-u.log"), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.LoadSession("u"); !errors.Is(err, ErrTornLog) {
+		t.Fatalf("oversized length: load = %v, want ErrTornLog", err)
+	}
+}

@@ -3,6 +3,7 @@ package touchos
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // QuarterTurns counts 90° rotations applied to a view. The paper's rotate
@@ -53,7 +54,10 @@ type View struct {
 	hidden   bool
 }
 
-var nextViewID = 1
+// nextViewID is atomic: views are created from every session's
+// goroutine (kernel construction, object placement), and ids only need
+// to be unique, not dense.
+var nextViewID atomic.Int64
 
 // NewScreen creates a root view of the given size, representing the
 // device screen.
@@ -63,9 +67,7 @@ func NewScreen(w, h float64) *View {
 
 // NewView creates a detached view with the given frame.
 func NewView(name string, frame Rect) *View {
-	v := &View{id: nextViewID, name: name, frame: frame}
-	nextViewID++
-	return v
+	return &View{id: int(nextViewID.Add(1)), name: name, frame: frame}
 }
 
 // ID returns the unique view identifier.

@@ -5,47 +5,30 @@
 # decodes with dbtouch-ftdc inside the retention bound.
 #
 # Usage: scripts/ftdc_roundtrip.sh [seconds-to-capture]   (default 2)
-set -euo pipefail
-cd "$(dirname "$0")/.."
+. "$(dirname "$0")/lib.sh"
+lib_init
 
 capture_secs="${1:-2}"
 addr="127.0.0.1:18931"
 retain=$((64 * 1024))
 
-work="$(mktemp -d)"
-cleanup() {
-  [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true
-  rm -rf "$work"
-}
-trap cleanup EXIT
-
-go build -o "$work/dbtouch-serve" ./cmd/dbtouch-serve
 go build -o "$work/dbtouch-ftdc" ./cmd/dbtouch-ftdc
 
 capture="$work/capture"
-"$work/dbtouch-serve" -addr "$addr" -rows 100000 \
+serve_start -addr "$addr" -rows 100000 \
   -ftdc-dir "$capture" -ftdc-interval 25ms -ftdc-chunk 20 \
-  -ftdc-retain "$retain" >"$work/serve.log" 2>&1 &
-serve_pid=$!
-
-# Wait for the server to answer.
-for _ in $(seq 1 100); do
-  if curl -sf -d '{"v":1,"op":"open","session":"ci"}' "http://$addr/rpc" >/dev/null 2>&1; then
-    break
-  fi
-  sleep 0.1
-done
+  -ftdc-retain "$retain"
+serve_wait "$addr"
 
 # Drive traffic so the gauges actually move during the capture.
-curl -sf -d '{"v":1,"op":"create","session":"ci","object":"o","create":{"table":"t","column":"v","x":2,"y":2,"w":2,"h":10}}' "http://$addr/rpc" >/dev/null
-curl -sf -d '{"v":1,"op":"perform","session":"ci","object":"o","gesture":{"kind":"slide","to":1,"dur":2000000000}}' "http://$addr/rpc" >/dev/null
+rpc "$addr" '{"v":1,"op":"open","session":"ci"}' >/dev/null
+rpc "$addr" '{"v":1,"op":"create","session":"ci","object":"o","create":{"table":"t","column":"v","x":2,"y":2,"w":2,"h":10}}' >/dev/null
+rpc "$addr" '{"v":1,"op":"perform","session":"ci","object":"o","gesture":{"kind":"slide","to":1,"dur":2000000000}}' >/dev/null
 sleep "$capture_secs"
 # SIGHUP flushes the partial chunk mid-flight; SIGTERM flushes and exits.
 kill -HUP "$serve_pid"
 sleep 0.2
-kill -TERM "$serve_pid"
-wait "$serve_pid" 2>/dev/null || true
-serve_pid=""
+serve_stop TERM
 
 # The capture must decode: at least one chunk, and at least the ticks a
 # conservative reading of the capture window guarantees (half the

@@ -1,0 +1,88 @@
+# lib.sh — shared helpers for the end-to-end smoke scripts: workspace
+# setup with cleanup, dbtouch-serve lifecycle, readiness polling and an
+# rpc helper. Source from a script living in scripts/:
+#
+#   . "$(dirname "$0")/lib.sh"
+#   lib_init
+#   serve_start -addr "$addr" -rows 100000
+#   serve_wait "$addr"
+#   rpc "$addr" '{"v":1,"op":"open","session":"ci"}'
+#   serve_stop TERM
+#
+# lib_init creates $work (a temp dir, removed on exit) and cds to the
+# repo root; serve_start builds the server once into $work and runs it
+# with the given flags, logging to $work/serve-N.log; serve_stop sends a
+# signal (default TERM) and waits. Any still-running server is killed -9
+# by the EXIT trap, so a failing assertion never leaks a process.
+
+set -euo pipefail
+
+serve_pid=""
+serve_log_n=0
+
+lib_cleanup() {
+  [ -n "$serve_pid" ] && kill -9 "$serve_pid" 2>/dev/null || true
+  [ -n "${work:-}" ] && rm -rf "$work"
+}
+
+# lib_init — temp workspace + cleanup trap, cwd at the repo root.
+lib_init() {
+  cd "$(dirname "$0")/.."
+  work="$(mktemp -d)"
+  trap lib_cleanup EXIT
+}
+
+# serve_start FLAGS... — build (once) and launch dbtouch-serve in the
+# background with FLAGS, output to a fresh $serve_log.
+serve_start() {
+  if [ ! -x "$work/dbtouch-serve" ]; then
+    go build -o "$work/dbtouch-serve" ./cmd/dbtouch-serve
+  fi
+  serve_log_n=$((serve_log_n + 1))
+  serve_log="$work/serve-$serve_log_n.log"
+  "$work/dbtouch-serve" "$@" >"$serve_log" 2>&1 &
+  serve_pid=$!
+}
+
+# serve_wait ADDR — poll until the server answers /rpc (an open of a
+# throwaway session), dumping the server log on timeout.
+serve_wait() {
+  local addr="$1"
+  for _ in $(seq 1 100); do
+    if curl -sf -d '{"v":1,"op":"open","session":"readiness-probe"}' "http://$addr/rpc" >/dev/null 2>&1; then
+      curl -sf -d '{"v":1,"op":"evict","session":"readiness-probe"}' "http://$addr/rpc" >/dev/null 2>&1 || true
+      return 0
+    fi
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+      echo "FAIL: dbtouch-serve exited during startup" >&2
+      cat "$serve_log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  echo "FAIL: dbtouch-serve never became ready on $addr" >&2
+  cat "$serve_log" >&2
+  exit 1
+}
+
+# serve_stop [SIGNAL] — signal the server (default TERM) and wait for it.
+serve_stop() {
+  local sig="${1:-TERM}"
+  [ -n "$serve_pid" ] || return 0
+  kill "-$sig" "$serve_pid" 2>/dev/null || true
+  wait "$serve_pid" 2>/dev/null || true
+  serve_pid=""
+}
+
+# serve_kill9 — kill -9, the crash the durability layer must survive.
+serve_kill9() {
+  [ -n "$serve_pid" ] || return 0
+  kill -9 "$serve_pid" 2>/dev/null || true
+  wait "$serve_pid" 2>/dev/null || true
+  serve_pid=""
+}
+
+# rpc ADDR JSON — POST one request, print the raw response body.
+rpc() {
+  curl -sf -d "$2" "http://$1/rpc"
+}

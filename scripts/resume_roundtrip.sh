@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# resume_roundtrip.sh — end-to-end durability gate (wired into CI): run
+# dbtouch-serve with a session log directory, drive half an exploration
+# at it, kill -9 the process mid-session, restart it on the same
+# directory, resume over the wire, finish the exploration — and prove
+# the concatenated perform responses are byte-identical to an
+# uninterrupted run on a server that never crashed.
+. "$(dirname "$0")/lib.sh"
+lib_init
+
+# One exploration, split into a prefix (before the crash) and a suffix
+# (after resume). Gestures only — open/create are issued separately so
+# the replayed-request count below is exact.
+prefix_gestures=(
+  '{"kind":"tap","frac":0.1}'
+  '{"kind":"tap","frac":0.3}'
+  '{"kind":"slide","to":1,"dur":2000000000}'
+  '{"kind":"tap","frac":0.5}'
+)
+suffix_gestures=(
+  '{"kind":"tap","frac":0.7}'
+  '{"kind":"slide","from":1,"dur":1000000000}'
+  '{"kind":"tap","frac":0.9}'
+)
+
+session_open() {
+  rpc "$1" '{"v":1,"op":"open","session":"smoke"}' >/dev/null
+  rpc "$1" '{"v":1,"op":"create","session":"smoke","object":"o","create":{"table":"t","column":"v","x":2,"y":2,"w":2,"h":10}}' >/dev/null
+}
+
+# perform ADDR OUT GESTURE... — run gestures, appending each raw
+# response body (deterministic JSON) to OUT.
+perform() {
+  local addr="$1" out="$2" g
+  shift 2
+  for g in "$@"; do
+    printf '%s\n' "$(rpc "$addr" '{"v":1,"op":"perform","session":"smoke","object":"o","gesture":'"$g"'}')" >>"$out"
+  done
+}
+
+# Control: the same exploration, uninterrupted, on a server without
+# durability — the resumed stream must be indistinguishable from it.
+addr=127.0.0.1:18932
+serve_start -addr "$addr" -rows 100000
+serve_wait "$addr"
+session_open "$addr"
+perform "$addr" "$work/control.out" "${prefix_gestures[@]}" "${suffix_gestures[@]}"
+serve_stop TERM
+
+# Crash run: prefix, then the plug is pulled.
+addr=127.0.0.1:18933
+serve_start -addr "$addr" -rows 100000 -session-dir "$work/sessions"
+serve_wait "$addr"
+session_open "$addr"
+perform "$addr" "$work/crash.out" "${prefix_gestures[@]}"
+serve_kill9
+
+# Restart on the same log directory; the dead session must be offered
+# for resume and replay exactly its logged history (open + create +
+# prefix performs).
+serve_start -addr "$addr" -rows 100000 -session-dir "$work/sessions"
+serve_wait "$addr"
+grep -q '1 sessions resumable' "$serve_log" || {
+  echo "FAIL: restarted server does not report the crashed session as resumable" >&2
+  cat "$serve_log" >&2
+  exit 1
+}
+want_replayed=$((2 + ${#prefix_gestures[@]}))
+resume="$(rpc "$addr" '{"v":1,"op":"resume","session":"smoke"}')"
+echo "$resume" | grep -q '"replayed":'"$want_replayed"'[,}]' || {
+  echo "FAIL: resume response $resume, want replayed=$want_replayed" >&2
+  exit 1
+}
+perform "$addr" "$work/crash.out" "${suffix_gestures[@]}"
+serve_stop TERM
+
+if ! cmp -s "$work/control.out" "$work/crash.out"; then
+  echo "FAIL: resumed stream diverged from the uninterrupted run:" >&2
+  diff "$work/control.out" "$work/crash.out" >&2 || true
+  exit 1
+fi
+
+echo "ok: $want_replayed requests replayed, $(wc -l <"$work/crash.out") perform responses byte-identical across kill -9"
