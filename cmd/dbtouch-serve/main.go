@@ -9,6 +9,11 @@
 //	                                     the binary columnar encoding when
 //	                                     the client sends
 //	                                     Accept: application/x-dbtouch-bin
+//	GET  /healthz                        liveness/readiness probe: 200
+//	                                     "ready", or 503 "starting"/
+//	                                     "draining" — what a gateway's
+//	                                     health checker and the smoke
+//	                                     scripts poll
 //
 // Usage:
 //
@@ -58,13 +63,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"dbtouch"
 	"dbtouch/internal/datagen"
@@ -98,6 +106,10 @@ func main() {
 	sessionDir := flag.String("session-dir", "", "session durability: persist per-session request logs into this directory (empty = off; crashed or evicted sessions become resumable via the resume op)")
 	sessionRetain := flag.Int64("session-retain", 0, "session durability: log directory disk budget in bytes, oldest parked session histories deleted first (0 = unbounded)")
 	sessionCompact := flag.Int64("session-compact", 0, "session durability: compact a session's log into a checkpoint past this many tail bytes (0 = 256 KiB)")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "HTTP read deadline for one request (0 = unbounded)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "HTTP keep-alive idle deadline (0 = unbounded)")
+	rpcTimeout := flag.Duration("rpc-timeout", time.Minute, "wall-clock deadline for one /rpc request; past it the client gets 503 + Retry-After (0 = unbounded; /stream is never bounded)")
+	drainGrace := flag.Duration("drain-grace", 0, "on SIGTERM, keep serving this long after flipping /healthz to draining, so a gateway's health checker can migrate sessions before shutdown")
 	flag.Parse()
 
 	db := dbtouch.Open()
@@ -214,44 +226,85 @@ func main() {
 		}
 		fmt.Printf("flight recorder capturing to %s\n", *ftdcDir)
 	}
-	if fr != nil || sessions != nil {
-		// SIGHUP flushes the partial FTDC chunk so an operator can decode
-		// the capture up to the last tick without restarting the server;
-		// SIGINT/SIGTERM stop the recorder and close the session-log store
-		// before exit. Session logs are written through per request, so
-		// the close only releases file handles — a kill -9 loses nothing
-		// either, which is exactly what the resume smoke test exercises.
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
-		go func() {
-			for s := range sig {
-				if s == syscall.SIGHUP {
-					if fr != nil {
-						if err := fr.Flush(); err != nil {
-							fmt.Fprintln(os.Stderr, "dbtouch-serve: ftdc flush:", err)
-						}
-					}
-					continue
-				}
-				if fr != nil {
-					if err := fr.Stop(); err != nil {
-						fmt.Fprintln(os.Stderr, "dbtouch-serve: ftdc stop:", err)
-					}
-				}
-				if sessions != nil {
-					if err := sessions.Close(); err != nil {
-						fmt.Fprintln(os.Stderr, "dbtouch-serve: session log close:", err)
-					}
-				}
-				os.Exit(0)
-			}
-		}()
+	// /healthz speaks the starting/ready/draining lifecycle; the admit
+	// gate turns opens and resumes away while draining so a gateway (or a
+	// retrying client) places the session on a backend that will outlive
+	// it. WriteTimeout stays 0 on purpose — /stream responses are
+	// unbounded by design — so /rpc gets its own wall-clock deadline via
+	// WithRPCTimeout instead.
+	health := protocol.NewHealth()
+	handlerOpts := []protocol.HandlerOption{protocol.WithAdmitGate(health.Ready)}
+	if *rpcTimeout > 0 {
+		handlerOpts = append(handlerOpts, protocol.WithRPCTimeout(*rpcTimeout))
 	}
+	mux := http.NewServeMux()
+	mux.Handle("/healthz", health.Handler())
+	mux.Handle("/", protocol.NewHTTPHandler(mgr, handlerOpts...))
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+		MaxHeaderBytes:    64 << 10,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbtouch-serve:", err)
+		os.Exit(1)
+	}
+
+	// SIGHUP flushes the partial FTDC chunk so an operator can decode the
+	// capture up to the last tick without restarting the server. SIGINT
+	// exits fast: session logs are written through per request, so even a
+	// kill -9 loses nothing (exactly what the resume smoke test
+	// exercises). SIGTERM drains: /healthz flips to draining (the admit
+	// gate closes with it), -drain-grace gives a gateway's prober time to
+	// migrate our sessions, in-flight requests finish, logs park, then
+	// exit.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		for s := range sig {
+			switch s {
+			case syscall.SIGHUP:
+				if fr != nil {
+					if err := fr.Flush(); err != nil {
+						fmt.Fprintln(os.Stderr, "dbtouch-serve: ftdc flush:", err)
+					}
+				}
+				continue
+			case syscall.SIGTERM:
+				health.Set(protocol.HealthDraining)
+				fmt.Println("dbtouch-serve: draining (SIGTERM)")
+				time.Sleep(*drainGrace)
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				if err := srv.Shutdown(ctx); err != nil {
+					srv.Close() // cut still-attached streams
+				}
+				cancel()
+				mgr.Close()
+			default: // SIGINT: fast exit, no drain
+				health.Set(protocol.HealthDraining)
+			}
+			if fr != nil {
+				if err := fr.Stop(); err != nil {
+					fmt.Fprintln(os.Stderr, "dbtouch-serve: ftdc stop:", err)
+				}
+			}
+			if sessions != nil {
+				if err := sessions.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "dbtouch-serve: session log close:", err)
+				}
+			}
+			os.Exit(0)
+		}
+	}()
 	for _, name := range db.Tables() {
 		fmt.Printf("serving table %q\n", name)
 	}
 	fmt.Printf("dbtouch-serve listening on %s (protocol v%d)\n", *addr, protocol.Version)
-	if err := http.ListenAndServe(*addr, protocol.NewHTTPHandler(mgr)); err != nil {
+	health.Set(protocol.HealthReady)
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "dbtouch-serve:", err)
 		os.Exit(1)
 	}

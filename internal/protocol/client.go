@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -125,6 +126,7 @@ func (c *Client) StreamNDJSON(ctx context.Context, session string, buffer int, f
 func (c *Client) StreamResumed(ctx context.Context, session string, buffer int, fn func(ResultFrame) bool) error {
 	accept := BinaryContentType + ", " + NDJSONContentType
 	resumed := false
+	attempt := 0
 	for {
 		fs, err := c.OpenStream(ctx, session, buffer, accept)
 		if err != nil {
@@ -132,8 +134,20 @@ func (c *Client) StreamResumed(ctx context.Context, session string, buffer int, 
 				return nil
 			}
 			if resumed {
-				// One resume already failed to make the stream openable;
-				// surface rather than loop.
+				// A resume already happened and the stream still won't
+				// open. With a retry policy, back off and try again (the
+				// server may be mid-restart); otherwise surface.
+				if c.Retry != nil && attempt < c.Retry.MaxAttempts() {
+					if !c.Retry.wait(ctx, attempt, 0) {
+						return nil
+					}
+					attempt++
+					resumed = false
+					continue
+				}
+				if c.Retry != nil {
+					err = errors.Join(ErrRetriesExhausted, err)
+				}
 				return fmt.Errorf("protocol: stream %q after resume: %w", session, err)
 			}
 			if _, rerr := c.Resume(session); rerr != nil {
@@ -143,6 +157,7 @@ func (c *Client) StreamResumed(ctx context.Context, session string, buffer int, 
 			continue
 		}
 		resumed = false
+		attempt = 0
 		for {
 			frame, err := fs.Next()
 			if err != nil {

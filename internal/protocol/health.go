@@ -1,0 +1,71 @@
+package protocol
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Health is a server's readiness state machine, served at /healthz and
+// polled by the gateway's health checker (and by the smoke scripts'
+// readiness loop). Three states, strictly more honest than a TCP
+// connect:
+//
+//	starting  listening but not yet serving (restores in progress) — 503
+//	ready     admitting and serving traffic                         — 200
+//	draining  shutting down: finish in-flight, admit nothing new    — 503
+//
+// The body distinguishes draining from dead for the gateway: a draining
+// backend's sessions are proactively migrated (their logs are intact
+// and its in-flight work will finish), while a connect failure only
+// trips the circuit breaker.
+type Health struct {
+	state atomic.Int32
+}
+
+// HealthState is one /healthz answer.
+type HealthState int32
+
+// Health states, in lifecycle order.
+const (
+	HealthStarting HealthState = iota
+	HealthReady
+	HealthDraining
+)
+
+// String renders the state as its wire body.
+func (s HealthState) String() string {
+	switch s {
+	case HealthReady:
+		return "ready"
+	case HealthDraining:
+		return "draining"
+	default:
+		return "starting"
+	}
+}
+
+// NewHealth returns a Health in the starting state.
+func NewHealth() *Health { return &Health{} }
+
+// Set moves the state machine.
+func (h *Health) Set(s HealthState) { h.state.Store(int32(s)) }
+
+// Get reports the current state.
+func (h *Health) Get() HealthState { return HealthState(h.state.Load()) }
+
+// Ready reports whether the server is admitting traffic.
+func (h *Health) Ready() bool { return h.Get() == HealthReady }
+
+// Handler serves GET /healthz: 200 with body "ready" when ready, 503
+// with body "starting" or "draining" otherwise. The body is plain text
+// on purpose — parseable by curl -sf, grep and the gateway alike.
+func (h *Health) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s := h.Get()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s != HealthReady {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		w.Write([]byte(s.String() + "\n"))
+	})
+}

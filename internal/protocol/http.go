@@ -11,9 +11,41 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"dbtouch/internal/core"
 )
+
+// admissionGated lists the ops a draining server turns away: the ones
+// that would place a new session (or re-place a resumable one) on a
+// backend that is about to exit. Everything else — performs on live
+// sessions, appends, stats — keeps flowing until shutdown.
+func admissionGated(op string) bool {
+	return op == OpOpen || op == OpResume
+}
+
+// handleWithTimeout routes one request, bounding its wall-clock time
+// when d > 0. On timeout the execution is abandoned (it finishes in the
+// background under the session's own serialization) and the client gets
+// an overloaded envelope — the request may still take effect, which is
+// exactly the lost-response case ReqID dedupe exists for.
+func handleWithTimeout(r Router, req Request, d time.Duration) Response {
+	if d <= 0 {
+		return r.HandleRequest(req)
+	}
+	done := make(chan Response, 1)
+	go func() { done <- r.HandleRequest(req) }()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case resp := <-done:
+		return resp
+	case <-t.C:
+		resp := Overloadedf("%s: request exceeded the server's %v rpc deadline", req.Op, d)
+		resp.V = req.V
+		return resp
+	}
+}
 
 // ErrOverloaded is the client-side face of server admission control: a
 // request answered 503/overloaded wraps it, so callers back off with
@@ -54,6 +86,35 @@ type Subscriber interface {
 	SubscribeSession(id string, buffer int) (*core.ResultStream, error)
 }
 
+// handlerConfig collects NewHTTPHandler's options.
+type handlerConfig struct {
+	rpcTimeout time.Duration
+	admitting  func() bool
+}
+
+// HandlerOption configures NewHTTPHandler.
+type HandlerOption func(*handlerConfig)
+
+// WithRPCTimeout bounds one /rpc request's wall-clock execution: past d
+// the handler answers 503 (overloaded envelope, Retry-After stamped)
+// and abandons the slow execution to finish in the background — the
+// session's own locks keep that safe, and the connection is freed so a
+// stuck request cannot wedge the serving goroutine's client. Zero
+// disables the bound. /stream is never bounded (streams are long-lived
+// by design).
+func WithRPCTimeout(d time.Duration) HandlerOption {
+	return func(c *handlerConfig) { c.rpcTimeout = d }
+}
+
+// WithAdmitGate installs an admission gate consulted before
+// session-creating ops (open, resume): while fn reports false — the
+// server is draining — those requests are answered 503 + Retry-After so
+// a gateway or retrying client places the session elsewhere. In-flight
+// sessions keep working; only new arrivals are turned away.
+func WithAdmitGate(fn func() bool) HandlerOption {
+	return func(c *handlerConfig) { c.admitting = fn }
+}
+
 // NewHTTPHandler serves the wire protocol over HTTP:
 //
 //	POST /rpc                            one Request in, one Response out
@@ -62,7 +123,11 @@ type Subscriber interface {
 //	                                     the client disconnects
 //
 // The stream endpoint requires the router to implement Subscriber.
-func NewHTTPHandler(r Router) http.Handler {
+func NewHTTPHandler(r Router, opts ...HandlerOption) http.Handler {
+	var cfg handlerConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/rpc", func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodPost {
@@ -76,10 +141,14 @@ func NewHTTPHandler(r Router) http.Handler {
 		}
 		decoded, err := DecodeRequest(body)
 		var resp Response
-		if err != nil {
+		switch {
+		case err != nil:
 			resp = Errorf("%v", err)
-		} else {
-			resp = r.HandleRequest(decoded)
+		case cfg.admitting != nil && admissionGated(decoded.Op) && !cfg.admitting():
+			resp = Overloadedf("%s: server is draining; retry against another backend", decoded.Op)
+			resp.V = decoded.V
+		default:
+			resp = handleWithTimeout(r, decoded, cfg.rpcTimeout)
 		}
 		w.Header().Set("Content-Type", "application/json")
 		data, err := EncodeResponse(resp)
@@ -198,6 +267,13 @@ type Client struct {
 	// the request once. Requires a server running with session
 	// durability; without one the original Gone failure surfaces.
 	AutoResume bool
+	// Retry, when set, is the client's retry policy: overloaded
+	// responses (503 + Retry-After) are retried with capped backoff and
+	// full jitter, honoring the server's Retry-After hint, and
+	// StreamResumed retries reopening a dropped stream the same way.
+	// Exhausting the budget surfaces ErrRetriesExhausted wrapping the
+	// last failure. Nil keeps single-attempt behavior.
+	Retry *Backoff
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -211,8 +287,27 @@ func (c *Client) httpClient() *http.Client {
 // transport-level failure returns an error; a server-side failure comes
 // back inside the Response (OK=false) wrapped as an error too. With
 // AutoResume set, a Gone failure on a session-scoped request triggers
-// one OpResume + retry before surfacing.
+// one OpResume + retry before surfacing. With Retry set, overloaded
+// responses are retried under the shared backoff policy (Retry-After
+// honored) before ErrRetriesExhausted surfaces.
 func (c *Client) Do(req Request) (Response, error) {
+	if c.Retry == nil {
+		return c.doResuming(req)
+	}
+	var resp Response
+	err := c.Retry.Retry(context.Background(), func() (bool, time.Duration, error) {
+		var err error
+		resp, err = c.doResuming(req)
+		if err != nil && errors.Is(err, ErrOverloaded) {
+			return true, RetryAfterDuration(resp), err
+		}
+		return false, 0, err
+	})
+	return resp, err
+}
+
+// doResuming is one Do attempt including the AutoResume Gone-handling.
+func (c *Client) doResuming(req Request) (Response, error) {
 	resp, err := c.do(req)
 	if err != nil && resp.Gone && c.AutoResume && req.Session != "" && resumableOp(req.Op) {
 		if _, rerr := c.Resume(req.Session); rerr != nil {

@@ -96,6 +96,18 @@ const (
 type Request struct {
 	V  int    `json:"v"`
 	Op string `json:"op"`
+	// ReqID, when set, makes a session-scoped mutating request
+	// exactly-once: the session caches its most recent (ReqID, response)
+	// pair, and a retry carrying the same ReqID is answered from the
+	// cache instead of re-executing. The cache survives crashes — resume
+	// replay repopulates it — which is what lets a proxy safely retry a
+	// perform whose response was lost in flight (the request may or may
+	// not have executed; with a ReqID both cases converge on one
+	// execution and one byte-identical response). Clients driving the
+	// server directly may leave it empty; the gateway stamps one per
+	// forwarded mutating request. Ids only need to differ between
+	// consecutive requests of one session.
+	ReqID string `json:"reqId,omitempty"`
 	// Session names the exploration session the operation addresses.
 	Session string `json:"session,omitempty"`
 	// Object is the client-chosen object name: the one being created

@@ -1,0 +1,92 @@
+package session
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"dbtouch/internal/gesture"
+	"dbtouch/internal/protocol"
+)
+
+// The exactly-once cache is what makes lost responses safe to retry
+// through the gateway: a mutating request re-sent with the ReqID of the
+// session's most recent one must answer from cache, byte-identically,
+// without executing again.
+
+func TestReqIDRetryReturnsCachedResponse(t *testing.T) {
+	m := handleManager(t)
+	defer m.Close()
+
+	mustOK(t, m, protocol.Request{Op: protocol.OpOpen, Session: "d"})
+	mustOK(t, m, protocol.Request{
+		Op: protocol.OpCreate, Session: "d", Object: "col",
+		Create: &protocol.CreateSpec{Table: "t", Column: "v", X: 2, Y: 2, W: 2, H: 10},
+	})
+
+	tap := gesture.NewTap(0, 0.25)
+	first := mustOK(t, m, protocol.Request{
+		Op: protocol.OpPerform, Session: "d", Object: "col", Gesture: &tap, ReqID: "r1",
+	})
+
+	// The retry carries a *different* gesture under the same ReqID: if
+	// the cache misses, the slide executes and the response shape gives
+	// it away. A correct hit returns the tap's answer untouched.
+	slide := gesture.NewSlide(0, 0, 1, time.Second)
+	retry := mustOK(t, m, protocol.Request{
+		Op: protocol.OpPerform, Session: "d", Object: "col", Gesture: &slide, ReqID: "r1",
+	})
+	wantB, _ := json.Marshal(first)
+	gotB, _ := json.Marshal(retry)
+	if !bytes.Equal(gotB, wantB) {
+		t.Fatalf("retry with cached ReqID diverged:\n first: %s\n retry: %s", wantB, gotB)
+	}
+	if len(retry.Results) != 1 {
+		t.Fatalf("retry returned %d frames, want the tap's 1", len(retry.Results))
+	}
+}
+
+func TestReqIDCacheHoldsOnlyLastRequest(t *testing.T) {
+	m := handleManager(t)
+	defer m.Close()
+
+	mustOK(t, m, protocol.Request{Op: protocol.OpOpen, Session: "d"})
+	mustOK(t, m, protocol.Request{
+		Op: protocol.OpCreate, Session: "d", Object: "col",
+		Create: &protocol.CreateSpec{Table: "t", Column: "v", X: 2, Y: 2, W: 2, H: 10},
+		ReqID:  "r1",
+	})
+	tap := gesture.NewTap(0, 0.5)
+	mustOK(t, m, protocol.Request{
+		Op: protocol.OpPerform, Session: "d", Object: "col", Gesture: &tap, ReqID: "r2",
+	})
+
+	// r1 is no longer the last request, so re-sending it must execute,
+	// not answer from cache. Wire clients are request-at-a-time, so only
+	// the most recent request can ever be a legitimate retry; a stale
+	// ReqID reaching here is a new request that happens to reuse an id.
+	stale := m.HandleRequest(protocol.Request{
+		Op: protocol.OpPerform, Session: "d", Object: "col", Gesture: &tap,
+		ReqID: "r1", V: protocol.Version,
+	})
+	if !stale.OK {
+		t.Fatalf("stale-ReqID request failed: %s", stale.Error)
+	}
+	if len(stale.Results) == 0 {
+		t.Fatal("stale ReqID should have executed the perform, got no frames")
+	}
+}
+
+func TestReqIDDedupeSkipsNonMutatingOps(t *testing.T) {
+	m := handleManager(t)
+	defer m.Close()
+
+	mustOK(t, m, protocol.Request{Op: protocol.OpOpen, Session: "d", ReqID: "r1"})
+	// OpStats is not session-scoped and never deduped: the same ReqID
+	// must not replay the open's cached response.
+	resp := m.HandleRequest(protocol.Request{Op: protocol.OpStats, ReqID: "r1", V: protocol.Version})
+	if !resp.OK || resp.Stats == nil {
+		t.Fatalf("stats with reused ReqID = %+v, want a real stats answer", resp)
+	}
+}

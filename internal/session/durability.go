@@ -70,10 +70,56 @@ func loggableOp(op string) bool {
 	return false
 }
 
-// serveRequest is HandleRequest's routing core: with durability
+// serveRequest is HandleRequest's routing core, wrapped in the
+// exactly-once cache: a session-scoped mutating request carrying a
+// ReqID that matches the session's most recent one is answered from
+// the cached response without re-executing. That is what makes lost
+// responses safe to retry through a proxy — whether the original
+// request executed (response torn off the wire) or never arrived, the
+// retry converges on one execution and one byte-identical answer. The
+// check is advisory outside the durability locker: callers that need
+// the guarantee (the gateway) serialize a session's requests
+// themselves, which wire clients do anyway by construction.
+func (m *Manager) serveRequest(req protocol.Request) protocol.Response {
+	dedupe := req.ReqID != "" && req.Session != "" && loggableOp(req.Op)
+	if dedupe {
+		if s, ok := m.Get(req.Session); ok {
+			if resp, hit := s.cachedResponse(req.ReqID); hit {
+				return resp
+			}
+		}
+	}
+	resp := m.dispatchRequest(req)
+	if dedupe && resp.OK {
+		if s, ok := m.Get(req.Session); ok {
+			s.cacheResponse(req.ReqID, resp)
+		}
+	}
+	return resp
+}
+
+// cachedResponse answers a retry of the session's last mutating
+// request from the exactly-once cache.
+func (s *Session) cachedResponse(reqID string) (protocol.Response, bool) {
+	s.dedupeMu.Lock()
+	defer s.dedupeMu.Unlock()
+	if s.lastReqID == "" || s.lastReqID != reqID {
+		return protocol.Response{}, false
+	}
+	return s.lastResp, true
+}
+
+// cacheResponse records the session's last executed mutating request.
+func (s *Session) cacheResponse(reqID string, resp protocol.Response) {
+	s.dedupeMu.Lock()
+	s.lastReqID, s.lastResp = reqID, resp
+	s.dedupeMu.Unlock()
+}
+
+// dispatchRequest routes one non-duplicate request: with durability
 // disabled it is routeRequest; with it enabled, session- and
 // table-scoped requests execute and tee under the per-id locker.
-func (m *Manager) serveRequest(req protocol.Request) protocol.Response {
+func (m *Manager) dispatchRequest(req protocol.Request) protocol.Response {
 	d := m.durability()
 	if d == nil {
 		if req.Op == protocol.OpResume {
@@ -287,6 +333,15 @@ func (m *Manager) Resume(id string) (replayed int, err error) {
 				id, req.Op, fr.Seq, resp.Error)
 		}
 		replayed++
+		// Repopulate the exactly-once cache: if the crash tore off the
+		// response of the log's final request, the client's retry of it
+		// (same ReqID) must see the replayed — deterministically
+		// identical — response instead of executing twice.
+		if req.ReqID != "" {
+			if s, ok := m.Get(id); ok {
+				s.cacheResponse(req.ReqID, resp)
+			}
+		}
 	}
 	d.resumes.Add(1)
 	d.replayed.Add(int64(replayed))

@@ -36,6 +36,7 @@ import (
 
 	"dbtouch/internal/core"
 	"dbtouch/internal/gesture"
+	"dbtouch/internal/protocol"
 	"dbtouch/internal/storage"
 	"dbtouch/internal/touchos"
 )
@@ -108,6 +109,15 @@ type Session struct {
 	// remote clients address objects by chosen name, the kernel by id.
 	objMu    sync.Mutex
 	objNames map[string]int
+
+	// dedupeMu guards the exactly-once cache: the ReqID and full
+	// response of the session's most recent mutating wire request.
+	// Wire-driven sessions are request-at-a-time, so one entry is
+	// enough — a retry can only ever duplicate the last request (see
+	// durability.go, serveRequest).
+	dedupeMu  sync.Mutex
+	lastReqID string
+	lastResp  protocol.Response
 }
 
 // ID returns the session identifier.

@@ -18,10 +18,14 @@
 set -euo pipefail
 
 serve_pid=""
+serve_pids=()
 serve_log_n=0
 
 lib_cleanup() {
-  [ -n "$serve_pid" ] && kill -9 "$serve_pid" 2>/dev/null || true
+  local p
+  for p in ${serve_pids[@]+"${serve_pids[@]}"}; do
+    kill -9 "$p" 2>/dev/null || true
+  done
   [ -n "${work:-}" ] && rm -rf "$work"
 }
 
@@ -33,7 +37,9 @@ lib_init() {
 }
 
 # serve_start FLAGS... — build (once) and launch dbtouch-serve in the
-# background with FLAGS, output to a fresh $serve_log.
+# background with FLAGS, output to a fresh $serve_log. Sets $serve_pid
+# (the just-started server) and appends to serve_pids, so fleet scripts
+# can run several servers at once; every pid is killed -9 on exit.
 serve_start() {
   if [ ! -x "$work/dbtouch-serve" ]; then
     go build -o "$work/dbtouch-serve" ./cmd/dbtouch-serve
@@ -42,44 +48,62 @@ serve_start() {
   serve_log="$work/serve-$serve_log_n.log"
   "$work/dbtouch-serve" "$@" >"$serve_log" 2>&1 &
   serve_pid=$!
+  serve_pids+=("$serve_pid")
 }
 
-# serve_wait ADDR — poll until the server answers /rpc (an open of a
-# throwaway session), dumping the server log on timeout.
+# gateway_start FLAGS... — build (once) and launch dbtouch-gateway, same
+# lifecycle tracking as serve_start.
+gateway_start() {
+  if [ ! -x "$work/dbtouch-gateway" ]; then
+    go build -o "$work/dbtouch-gateway" ./cmd/dbtouch-gateway
+  fi
+  serve_log_n=$((serve_log_n + 1))
+  serve_log="$work/gateway-$serve_log_n.log"
+  "$work/dbtouch-gateway" "$@" >"$serve_log" 2>&1 &
+  serve_pid=$!
+  serve_pids+=("$serve_pid")
+}
+
+# serve_wait ADDR [PID] — poll GET /healthz until it answers 200 "ready"
+# (dbtouch-serve and dbtouch-gateway both serve it), dumping the process
+# log on premature exit or timeout. PID defaults to the last-started
+# process.
 serve_wait() {
-  local addr="$1"
+  local addr="$1" pid="${2:-$serve_pid}"
   for _ in $(seq 1 100); do
-    if curl -sf -d '{"v":1,"op":"open","session":"readiness-probe"}' "http://$addr/rpc" >/dev/null 2>&1; then
-      curl -sf -d '{"v":1,"op":"evict","session":"readiness-probe"}' "http://$addr/rpc" >/dev/null 2>&1 || true
+    if [ "$(curl -sf "http://$addr/healthz" 2>/dev/null)" = "ready" ]; then
       return 0
     fi
-    if ! kill -0 "$serve_pid" 2>/dev/null; then
-      echo "FAIL: dbtouch-serve exited during startup" >&2
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "FAIL: server exited during startup" >&2
       cat "$serve_log" >&2
       exit 1
     fi
     sleep 0.1
   done
-  echo "FAIL: dbtouch-serve never became ready on $addr" >&2
+  echo "FAIL: server never became ready on $addr" >&2
   cat "$serve_log" >&2
   exit 1
 }
 
-# serve_stop [SIGNAL] — signal the server (default TERM) and wait for it.
+# serve_stop [SIGNAL] [PID] — signal a server (default TERM to the
+# last-started one) and wait for it.
 serve_stop() {
-  local sig="${1:-TERM}"
-  [ -n "$serve_pid" ] || return 0
-  kill "-$sig" "$serve_pid" 2>/dev/null || true
-  wait "$serve_pid" 2>/dev/null || true
-  serve_pid=""
+  local sig="${1:-TERM}" pid="${2:-$serve_pid}"
+  [ -n "$pid" ] || return 0
+  kill "-$sig" "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+  if [ "$pid" = "$serve_pid" ]; then serve_pid=""; fi
 }
 
-# serve_kill9 — kill -9, the crash the durability layer must survive.
+# serve_kill9 [PID] — kill -9, the crash the durability layer must
+# survive.
 serve_kill9() {
-  [ -n "$serve_pid" ] || return 0
-  kill -9 "$serve_pid" 2>/dev/null || true
-  wait "$serve_pid" 2>/dev/null || true
-  serve_pid=""
+  local pid="${1:-$serve_pid}"
+  [ -n "$pid" ] || return 0
+  kill -9 "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+  if [ "$pid" = "$serve_pid" ]; then serve_pid=""; fi
 }
 
 # rpc ADDR JSON — POST one request, print the raw response body.
